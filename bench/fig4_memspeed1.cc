@@ -1,0 +1,41 @@
+/**
+ * Figure 4 reproduction: total execution time vs. cache size for a
+ * non-pipelined memory with a 1-cycle access time.
+ *
+ *   (a) input bus width = 4 bytes
+ *   (b) input bus width = 8 bytes
+ *
+ * Expected shape (paper section 6): a large improvement up to the
+ * knee near 128 bytes (half the inner loops fit), then flattening;
+ * with the 8-byte bus, configurations 8-8 and 16-16 are nearly flat
+ * — a 16-32 byte PIPE cache performs close to a 512-byte cache.
+ */
+
+#include "bench_common.hh"
+
+using namespace pipesim;
+
+int
+main(int argc, char **argv)
+{
+    auto s = bench::setup(argc, argv,
+                          "Figure 4: cycles vs cache size, memory "
+                          "access time 1, non-pipelined");
+    if (!s)
+        return 0;
+
+    for (unsigned bus : {4u, 8u}) {
+        SweepSpec spec;
+        spec.cacheSizes = bench::paperCacheSizes();
+        spec.mem.accessTime = 1;
+        spec.mem.busWidthBytes = bus;
+        spec.mem.pipelined = false;
+        const Table table = runCacheSweep(spec, s->benchmark.program);
+        bench::printPanel(*s,
+                          std::string("Figure 4") +
+                              (bus == 4 ? "a" : "b") + ": bus = " +
+                              std::to_string(bus) + " bytes",
+                          table);
+    }
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * Figure 5 reproduction: total execution time vs. cache size for a
+ * non-pipelined memory with a 6-cycle access time.
+ *
+ *   (a) input bus width = 4 bytes
+ *   (b) input bus width = 8 bytes
+ *
+ * Expected shape (paper section 6): every PIPE configuration beats
+ * the conventional cache at every size; at small caches the PIPE
+ * configurations are far less sensitive to the bus width than the
+ * conventional cache ("if one is forced to use a bus width of 4
+ * bytes ... the PIPE strategy will significantly outperform the
+ * conventional cache approach").
+ */
+
+#include "bench_common.hh"
+
+using namespace pipesim;
+
+int
+main(int argc, char **argv)
+{
+    auto s = bench::setup(argc, argv,
+                          "Figure 5: cycles vs cache size, memory "
+                          "access time 6, non-pipelined");
+    if (!s)
+        return 0;
+
+    for (unsigned bus : {4u, 8u}) {
+        SweepSpec spec;
+        spec.cacheSizes = bench::paperCacheSizes();
+        spec.mem.accessTime = 6;
+        spec.mem.busWidthBytes = bus;
+        spec.mem.pipelined = false;
+        const Table table = runCacheSweep(spec, s->benchmark.program);
+        bench::printPanel(*s,
+                          std::string("Figure 5") +
+                              (bus == 4 ? "a" : "b") + ": bus = " +
+                              std::to_string(bus) + " bytes",
+                          table);
+    }
+    return 0;
+}

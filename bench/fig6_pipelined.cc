@@ -1,0 +1,41 @@
+/**
+ * Figure 6 reproduction: total execution time vs. cache size with an
+ * 8-byte bus and a 6-cycle memory access time.
+ *
+ *   (a) non-pipelined memory (same data as Figure 5b)
+ *   (b) pipelined memory (a new request accepted every cycle)
+ *
+ * Expected shape (paper section 6): pipelining shifts the curves
+ * down and compresses them; the best configurations have 16- or
+ * 32-byte lines (the reverse of Figure 4); configuration 16-16
+ * performs uniformly well across all cache sizes.
+ */
+
+#include "bench_common.hh"
+
+using namespace pipesim;
+
+int
+main(int argc, char **argv)
+{
+    auto s = bench::setup(argc, argv,
+                          "Figure 6: bus 8 bytes, memory access time "
+                          "6, non-pipelined vs pipelined");
+    if (!s)
+        return 0;
+
+    for (bool pipelined : {false, true}) {
+        SweepSpec spec;
+        spec.cacheSizes = bench::paperCacheSizes();
+        spec.mem.accessTime = 6;
+        spec.mem.busWidthBytes = 8;
+        spec.mem.pipelined = pipelined;
+        const Table table = runCacheSweep(spec, s->benchmark.program);
+        bench::printPanel(*s,
+                          std::string("Figure 6") +
+                              (pipelined ? "b: pipelined memory"
+                                         : "a: non-pipelined memory"),
+                          table);
+    }
+    return 0;
+}

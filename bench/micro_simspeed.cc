@@ -1,0 +1,92 @@
+/**
+ * Simulator throughput microbenchmarks (google-benchmark): host
+ * cycles-per-second of the cycle model for both fetch strategies,
+ * plus the cost of program generation and assembly.  These measure
+ * the simulator itself, not the simulated machine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "assembler/assembler.hh"
+#include "sim/simulator.hh"
+#include "workloads/benchmark_program.hh"
+
+using namespace pipesim;
+
+namespace
+{
+
+const workloads::Benchmark &
+smallBench()
+{
+    static const auto b = workloads::buildLivermoreBenchmark(0.05);
+    return b;
+}
+
+void
+BM_SimulatePipe(benchmark::State &state)
+{
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("16-16", 128);
+    cfg.mem.accessTime = unsigned(state.range(0));
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        const auto res = runSimulation(cfg, smallBench().program);
+        cycles += res.totalCycles;
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        double(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatePipe)->Arg(1)->Arg(6);
+
+void
+BM_SimulateConventional(benchmark::State &state)
+{
+    SimConfig cfg;
+    cfg.fetch = conventionalConfigFor(128, 16);
+    cfg.mem.accessTime = unsigned(state.range(0));
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        const auto res = runSimulation(cfg, smallBench().program);
+        cycles += res.totalCycles;
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        double(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateConventional)->Arg(1)->Arg(6);
+
+void
+BM_BuildBenchmark(benchmark::State &state)
+{
+    for (auto _ : state) {
+        const auto b = workloads::buildLivermoreBenchmark(0.05);
+        benchmark::DoNotOptimize(b.program.codeSize());
+    }
+}
+BENCHMARK(BM_BuildBenchmark);
+
+void
+BM_Assemble(benchmark::State &state)
+{
+    const char *src = R"(
+        li r1, 0x4000
+        li r2, 100
+        lbr b0, loop
+    loop:
+        ld [r1 + 0]
+        addi r1, r1, 4
+        add r3, r3, r7
+        subi r2, r2, 1
+        pbr b0, 2, nez, r2
+        nop
+        nop
+        halt
+    )";
+    for (auto _ : state) {
+        const Program p = assembler::assemble(src);
+        benchmark::DoNotOptimize(p.codeSize());
+    }
+}
+BENCHMARK(BM_Assemble);
+
+} // namespace

@@ -1,0 +1,35 @@
+/**
+ * Memory-speed sweep: the paper notes that "simulations with memory
+ * access times of 2 and 3 clock cycles showed similar results" to
+ * the 6-cycle case.  This bench regenerates the cache-size sweep for
+ * every access time in {1, 2, 3, 6} (8-byte bus, non-pipelined) so
+ * the trend between Figures 4 and 5 is visible.
+ */
+
+#include "bench_common.hh"
+
+using namespace pipesim;
+
+int
+main(int argc, char **argv)
+{
+    auto s = bench::setup(argc, argv,
+                          "cache-size sweep across memory access "
+                          "times 1/2/3/6");
+    if (!s)
+        return 0;
+
+    for (unsigned access : {1u, 2u, 3u, 6u}) {
+        SweepSpec spec;
+        spec.cacheSizes = bench::paperCacheSizes();
+        spec.mem.accessTime = access;
+        spec.mem.busWidthBytes = 8;
+        spec.mem.pipelined = false;
+        const Table table = runCacheSweep(spec, s->benchmark.program);
+        bench::printPanel(*s,
+                          "memory access time = " +
+                              std::to_string(access) + " cycles",
+                          table);
+    }
+    return 0;
+}

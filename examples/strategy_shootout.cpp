@@ -1,0 +1,55 @@
+/**
+ * Strategy shootout: sweep cache sizes for every fetch strategy on a
+ * configurable machine and print the figure-style table — a
+ * generalisation of the paper's Figures 4-6 to any parameter point.
+ *
+ *     ./strategy_shootout --mem 6 --bus 8 --pipelined --scale 0.3
+ */
+
+#include <iostream>
+
+#include "common/strutil.hh"
+#include "sim/cli.hh"
+#include "sim/experiment.hh"
+#include "workloads/benchmark_program.hh"
+
+using namespace pipesim;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("cache-size sweep across all fetch strategies");
+    cli.addOption("mem", "6", "memory access time in cycles");
+    cli.addOption("bus", "8", "bus width bytes (4 or 8)");
+    cli.addOption("scale", "0.3", "workload scale (1.0 = paper)");
+    cli.addOption("sizes", "16,32,64,128,256,512",
+                  "comma-separated cache sizes");
+    cli.addFlag("pipelined", "pipelined external memory");
+    cli.addFlag("tib", "include the target-instruction-buffer strategy");
+    cli.addFlag("csv", "emit CSV instead of a text table");
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    const auto bench =
+        workloads::buildLivermoreBenchmark(cli.getDouble("scale"));
+
+    SweepSpec spec;
+    if (cli.getFlag("tib"))
+        spec.strategies.insert(spec.strategies.begin() + 1, "tib");
+    spec.mem.accessTime = unsigned(cli.getInt("mem"));
+    spec.mem.busWidthBytes = unsigned(cli.getInt("bus"));
+    spec.mem.pipelined = cli.getFlag("pipelined");
+    spec.cacheSizes.clear();
+    for (const auto &part : split(cli.get("sizes"), ','))
+        spec.cacheSizes.push_back(unsigned(*parseInt(part)));
+
+    std::cout << "total cycles, " << bench.kernels.size()
+              << " Livermore loops, mem=" << spec.mem.accessTime
+              << " bus=" << spec.mem.busWidthBytes
+              << (spec.mem.pipelined ? " pipelined" : " non-pipelined")
+              << "\n\n";
+
+    const Table table = runCacheSweep(spec, bench.program);
+    std::cout << (cli.getFlag("csv") ? table.toCsv() : table.toText());
+    return 0;
+}

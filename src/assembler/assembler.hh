@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Two-pass assembler for PIPE assembly source.
+ *
+ * Syntax overview:
+ *
+ *     ; comment                # comment
+ *     .equ    N, 100           ; define a constant
+ *     .entry  start             ; set the entry point
+ *     start:                    ; label
+ *         li   r1, table        ; symbols usable as immediates
+ *         ld   [r1 + 4]         ; load  (LAQ push)
+ *         ldx  [r1 + r2]        ; indexed load (or plain 'ld')
+ *         st   [r1 + 0]         ; store (SAQ push)
+ *         mov  r7, r2           ; SDQ push (store data)
+ *         lbr  b0, loop         ; load branch register
+ *         pbr  b0, 4, nez, r3   ; prepare-to-branch, 4 delay slots
+ *         halt
+ *     .data  0x4000             ; open a data segment
+ *     table: .word 1, 2, 3
+ *         .float 1.5, 2.5
+ *         .space 16
+ *     .text                     ; back to code
+ *
+ * All diagnostics carry line numbers; every error in the source is
+ * reported in a single FatalError.
+ */
+
+#ifndef PIPESIM_ASSEMBLER_ASSEMBLER_HH
+#define PIPESIM_ASSEMBLER_ASSEMBLER_HH
+
+#include <string>
+
+#include "assembler/program.hh"
+#include "isa/encode.hh"
+
+namespace pipesim::assembler
+{
+
+/**
+ * Assemble PIPE assembly source text into a Program.
+ *
+ * @param source    Full assembly source.
+ * @param mode      Instruction format to encode with.
+ * @param code_base Address of the first instruction.
+ * @throws FatalError listing every diagnostic if the source is
+ *         malformed.
+ */
+Program assemble(const std::string &source,
+                 isa::FormatMode mode = isa::FormatMode::Fixed32,
+                 Addr code_base = 0);
+
+/** Assemble the contents of the file at @p path. */
+Program assembleFile(const std::string &path,
+                     isa::FormatMode mode = isa::FormatMode::Fixed32,
+                     Addr code_base = 0);
+
+} // namespace pipesim::assembler
+
+#endif // PIPESIM_ASSEMBLER_ASSEMBLER_HH

@@ -1,0 +1,133 @@
+#include "assembler/lexer.hh"
+
+#include <cctype>
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+
+namespace pipesim::assembler
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+std::vector<Token>
+tokenizeLine(const std::string &line_text, unsigned line_no)
+{
+    std::vector<Token> tokens;
+    std::size_t i = 0;
+    const std::size_t n = line_text.size();
+
+    auto push = [&](TokenKind kind, std::string text, std::int64_t value,
+                    std::size_t col) {
+        tokens.push_back(Token{kind, std::move(text), value, line_no,
+                               unsigned(col + 1)});
+    };
+
+    while (i < n) {
+        const char c = line_text[i];
+        if (c == ';' || c == '#')
+            break;
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        const std::size_t start = i;
+        switch (c) {
+          case ',': push(TokenKind::Comma, ",", 0, start); ++i; continue;
+          case ':': push(TokenKind::Colon, ":", 0, start); ++i; continue;
+          case '[': push(TokenKind::LBracket, "[", 0, start); ++i; continue;
+          case ']': push(TokenKind::RBracket, "]", 0, start); ++i; continue;
+          case '+': push(TokenKind::Plus, "+", 0, start); ++i; continue;
+          case '-': {
+            // Either a negative literal or a standalone minus.
+            if (i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(line_text[i + 1]))) {
+                std::size_t j = i + 1;
+                while (j < n && isIdentChar(line_text[j]))
+                    ++j;
+                const std::string text = line_text.substr(i, j - i);
+                const auto v = parseInt(text);
+                if (!v)
+                    fatal("line ", line_no, ": bad integer literal '",
+                          text, "'");
+                push(TokenKind::Int, text, *v, start);
+                i = j;
+            } else {
+                push(TokenKind::Minus, "-", 0, start);
+                ++i;
+            }
+            continue;
+          }
+          default:
+            break;
+        }
+
+        if (c == '.') {
+            std::size_t j = i + 1;
+            while (j < n && isIdentChar(line_text[j]))
+                ++j;
+            if (j == i + 1)
+                fatal("line ", line_no, ": stray '.'");
+            push(TokenKind::Directive,
+                 toLower(line_text.substr(i, j - i)), 0, start);
+            i = j;
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < n && isIdentChar(line_text[j]))
+                ++j;
+            const std::string text = line_text.substr(i, j - i);
+            const auto v = parseInt(text);
+            if (!v)
+                fatal("line ", line_no, ": bad integer literal '", text,
+                      "'");
+            push(TokenKind::Int, text, *v, start);
+            i = j;
+            continue;
+        }
+
+        if (isIdentStart(c)) {
+            std::size_t j = i;
+            while (j < n && isIdentChar(line_text[j]))
+                ++j;
+            const std::string text = line_text.substr(i, j - i);
+            // Register names: r0..r7 / b0..b7 (case-insensitive).
+            if (text.size() == 2 && (text[0] == 'r' || text[0] == 'R') &&
+                text[1] >= '0' && text[1] <= '7') {
+                push(TokenKind::Reg, text, text[1] - '0', start);
+            } else if (text.size() == 2 &&
+                       (text[0] == 'b' || text[0] == 'B') &&
+                       text[1] >= '0' && text[1] <= '7') {
+                push(TokenKind::BReg, text, text[1] - '0', start);
+            } else {
+                push(TokenKind::Ident, text, 0, start);
+            }
+            i = j;
+            continue;
+        }
+
+        fatal("line ", line_no, ": unexpected character '", c, "'");
+    }
+
+    push(TokenKind::EndOfLine, "", 0, i);
+    return tokens;
+}
+
+} // namespace pipesim::assembler

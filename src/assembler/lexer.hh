@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Line-oriented tokenizer for PIPE assembly source.
+ *
+ * Comments start with ';' or '#' and run to end of line.
+ */
+
+#ifndef PIPESIM_ASSEMBLER_LEXER_HH
+#define PIPESIM_ASSEMBLER_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pipesim::assembler
+{
+
+/** Token categories produced by the lexer. */
+enum class TokenKind
+{
+    Ident,     //!< mnemonic, label or symbol name
+    Reg,       //!< data register r0..r7
+    BReg,      //!< branch register b0..b7
+    Int,       //!< integer literal (dec/hex/bin)
+    Comma,
+    Colon,
+    LBracket,
+    RBracket,
+    Plus,
+    Minus,
+    Directive, //!< ".word", ".org", ...
+    EndOfLine,
+};
+
+/** One lexical token with its source position. */
+struct Token
+{
+    TokenKind kind;
+    std::string text;        //!< raw text (idents, directives)
+    std::int64_t value = 0;  //!< integer value (Int, Reg, BReg)
+    unsigned line = 0;
+    unsigned column = 0;
+};
+
+/**
+ * Tokenize one line of assembly.
+ *
+ * @param line_text  Source text without the trailing newline.
+ * @param line_no    1-based line number (recorded into tokens).
+ * @return tokens, terminated by an EndOfLine token.
+ * @throws FatalError on characters that cannot start any token.
+ */
+std::vector<Token> tokenizeLine(const std::string &line_text,
+                                unsigned line_no);
+
+} // namespace pipesim::assembler
+
+#endif // PIPESIM_ASSEMBLER_LEXER_HH

@@ -1,0 +1,111 @@
+#include "cache/icache.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace pipesim
+{
+
+InstructionCache::InstructionCache(unsigned size_bytes, unsigned line_bytes)
+    : _sizeBytes(size_bytes), _lineBytes(line_bytes)
+{
+    if (!isPowerOf2(size_bytes) || !isPowerOf2(line_bytes))
+        fatal("cache size and line size must be powers of two");
+    if (line_bytes > size_bytes)
+        fatal("line size ", line_bytes, " exceeds cache size ", size_bytes);
+    _lines.resize(size_bytes / line_bytes);
+}
+
+const InstructionCache::Line &
+InstructionCache::lineFor(Addr addr) const
+{
+    return _lines[(addr / _lineBytes) % _lines.size()];
+}
+
+InstructionCache::Line &
+InstructionCache::lineFor(Addr addr)
+{
+    return _lines[(addr / _lineBytes) % _lines.size()];
+}
+
+bool
+InstructionCache::linePresent(Addr addr) const
+{
+    const Line &line = lineFor(addr);
+    return line.tagValid && line.base == lineBase(addr);
+}
+
+bool
+InstructionCache::bytesValid(Addr addr, unsigned bytes) const
+{
+    const Line &line = lineFor(addr);
+    if (!line.tagValid || line.base != lineBase(addr))
+        return false;
+    const unsigned offset = addr - line.base;
+    return offset + bytes <= line.validBytes;
+}
+
+bool
+InstructionCache::lineValid(Addr addr) const
+{
+    const Line &line = lineFor(addr);
+    return line.tagValid && line.base == lineBase(addr) &&
+           line.validBytes == _lineBytes;
+}
+
+void
+InstructionCache::allocate(Addr addr)
+{
+    Line &line = lineFor(addr);
+    line.tagValid = true;
+    line.base = lineBase(addr);
+    line.validBytes = 0;
+}
+
+void
+InstructionCache::fill(Addr addr, unsigned bytes)
+{
+    Line &line = lineFor(addr);
+    PIPESIM_ASSERT(line.tagValid && line.base == lineBase(addr),
+                   "fill of unallocated line at ", addr);
+    const unsigned offset = addr - line.base;
+    PIPESIM_ASSERT(offset == line.validBytes,
+                   "non-streaming fill: offset ", offset, " valid ",
+                   line.validBytes);
+    line.validBytes += bytes;
+    PIPESIM_ASSERT(line.validBytes <= _lineBytes, "line overfilled");
+    ++_fills;
+}
+
+void
+InstructionCache::invalidateAll()
+{
+    for (Line &line : _lines)
+        line = Line{};
+}
+
+void
+InstructionCache::recordLookup(bool hit)
+{
+    if (hit)
+        ++_hits;
+    else
+        ++_misses;
+}
+
+void
+InstructionCache::regStats(StatGroup &stats, const std::string &prefix)
+{
+    stats.regCounter(prefix + ".hits", &_hits, "lookups that hit");
+    stats.regCounter(prefix + ".misses", &_misses, "lookups that missed");
+    stats.regCounter(prefix + ".fills", &_fills, "fill beats applied");
+    stats.regFormula(prefix + ".miss_rate",
+                     [this]() {
+                         const double total =
+                             double(_hits.value() + _misses.value());
+                         return total > 0 ? _misses.value() / total : 0.0;
+                     },
+                     "miss ratio of recorded lookups");
+}
+
+} // namespace pipesim

@@ -1,0 +1,123 @@
+#include "cache/subblock_cache.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace pipesim
+{
+
+SubblockCache::SubblockCache(unsigned size_bytes, unsigned line_bytes,
+                             unsigned subblock_bytes)
+    : _sizeBytes(size_bytes), _lineBytes(line_bytes),
+      _subblockBytes(subblock_bytes)
+{
+    if (!isPowerOf2(size_bytes) || !isPowerOf2(line_bytes) ||
+        !isPowerOf2(subblock_bytes))
+        fatal("cache, line and sub-block sizes must be powers of two");
+    if (line_bytes > size_bytes)
+        fatal("line size exceeds cache size");
+    if (subblock_bytes > line_bytes)
+        fatal("sub-block size exceeds line size");
+    _lines.resize(size_bytes / line_bytes);
+    for (Line &line : _lines)
+        line.valid.assign(subblocksPerLine(), false);
+}
+
+const SubblockCache::Line &
+SubblockCache::lineFor(Addr addr) const
+{
+    return _lines[(addr / _lineBytes) % _lines.size()];
+}
+
+SubblockCache::Line &
+SubblockCache::lineFor(Addr addr)
+{
+    return _lines[(addr / _lineBytes) % _lines.size()];
+}
+
+bool
+SubblockCache::linePresent(Addr addr) const
+{
+    const Line &line = lineFor(addr);
+    return line.tagValid && line.base == lineBase(addr);
+}
+
+bool
+SubblockCache::subblockValid(Addr addr) const
+{
+    const Line &line = lineFor(addr);
+    if (!line.tagValid || line.base != lineBase(addr))
+        return false;
+    return line.valid[(addr - line.base) / _subblockBytes];
+}
+
+bool
+SubblockCache::bytesValid(Addr addr, unsigned bytes) const
+{
+    for (Addr a = subblockBase(addr); a < addr + bytes;
+         a += _subblockBytes) {
+        if (!subblockValid(a))
+            return false;
+    }
+    return true;
+}
+
+void
+SubblockCache::allocate(Addr addr)
+{
+    Line &line = lineFor(addr);
+    line.tagValid = true;
+    line.base = lineBase(addr);
+    line.valid.assign(subblocksPerLine(), false);
+}
+
+void
+SubblockCache::fill(Addr addr, unsigned bytes)
+{
+    PIPESIM_ASSERT(addr % _subblockBytes == 0,
+                   "fill address not sub-block aligned");
+    Line &line = lineFor(addr);
+    PIPESIM_ASSERT(line.tagValid && line.base == lineBase(addr),
+                   "fill of unallocated line at ", addr);
+    for (Addr a = addr; a < addr + bytes; a += _subblockBytes) {
+        PIPESIM_ASSERT(a >= line.base && a < line.base + _lineBytes,
+                       "fill crosses line boundary");
+        line.valid[(a - line.base) / _subblockBytes] = true;
+    }
+    ++_fills;
+}
+
+void
+SubblockCache::invalidateAll()
+{
+    for (Line &line : _lines) {
+        line.tagValid = false;
+        line.valid.assign(subblocksPerLine(), false);
+    }
+}
+
+void
+SubblockCache::recordLookup(bool hit)
+{
+    if (hit)
+        ++_hits;
+    else
+        ++_misses;
+}
+
+void
+SubblockCache::regStats(StatGroup &stats, const std::string &prefix)
+{
+    stats.regCounter(prefix + ".hits", &_hits, "lookups that hit");
+    stats.regCounter(prefix + ".misses", &_misses, "lookups that missed");
+    stats.regCounter(prefix + ".fills", &_fills, "fill operations");
+    stats.regFormula(prefix + ".miss_rate",
+                     [this]() {
+                         const double total =
+                             double(_hits.value() + _misses.value());
+                         return total > 0 ? _misses.value() / total : 0.0;
+                     },
+                     "miss ratio of recorded lookups");
+}
+
+} // namespace pipesim

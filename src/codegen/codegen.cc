@@ -1,0 +1,632 @@
+#include "codegen/codegen.hh"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+
+#include "common/log.hh"
+#include "mem/data_memory.hh"
+#include "isa/fields.hh"
+
+namespace pipesim::codegen
+{
+
+using isa::Instruction;
+using isa::Opcode;
+
+namespace
+{
+
+// Register conventions (see header).
+constexpr unsigned regZero = 0;
+constexpr unsigned firstPtrReg = 1;
+constexpr unsigned maxPtrRegs = 3;
+constexpr unsigned regCounter = 4;
+constexpr unsigned firstScalarReg = 5;
+constexpr unsigned maxScalarRegs = 2;
+constexpr unsigned regQueue = isa::queueReg;
+
+constexpr unsigned innerBranchReg = 0;
+constexpr unsigned outerBranchReg = 1;
+
+Instruction
+makeRRI(Opcode op, unsigned rd, unsigned rs1, std::int32_t imm)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = std::uint8_t(rd);
+    i.rs1 = std::uint8_t(rs1);
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+makeLd(unsigned base, std::int32_t off)
+{
+    Instruction i;
+    i.op = Opcode::Ld;
+    i.rs1 = std::uint8_t(base);
+    i.imm = off;
+    return i;
+}
+
+Instruction
+makeSt(unsigned base, std::int32_t off)
+{
+    Instruction i;
+    i.op = Opcode::St;
+    i.rs1 = std::uint8_t(base);
+    i.imm = off;
+    return i;
+}
+
+Instruction
+makeMov(unsigned rd, unsigned rs)
+{
+    Instruction i;
+    i.op = Opcode::Mov;
+    i.rd = std::uint8_t(rd);
+    i.rs1 = std::uint8_t(rs);
+    return i;
+}
+
+Instruction
+makeLbr(unsigned br, Addr target)
+{
+    Instruction i;
+    i.op = Opcode::Lbr;
+    i.br = std::uint8_t(br);
+    i.imm = std::int32_t(target);
+    return i;
+}
+
+Instruction
+makePbr(unsigned br, unsigned count, isa::Cond cond, unsigned rs)
+{
+    Instruction i;
+    i.op = Opcode::Pbr;
+    i.br = std::uint8_t(br);
+    i.count = std::uint8_t(count);
+    i.cond = cond;
+    i.rs1 = std::uint8_t(rs);
+    return i;
+}
+
+} // namespace
+
+CodeGenerator::CodeGenerator(const CodeGenOptions &options)
+    : _opts(options), _program(options.mode, Layout::codeBase)
+{
+    PIPESIM_ASSERT(_opts.ldqWindow >= 1, "ldqWindow must be >= 1");
+    PIPESIM_ASSERT(_opts.maxDelaySlots <= 7, "PBR count field is 3 bits");
+    // Program prologue: establish the zero register.
+    emit(makeRRI(Opcode::Li, regZero, 0, 0));
+}
+
+void
+CodeGenerator::emit(const Instruction &inst)
+{
+    _program.append(inst);
+}
+
+void
+CodeGenerator::emitLoadAddress(unsigned reg, Addr value)
+{
+    if (value <= 0x7fff) {
+        emit(makeRRI(Opcode::Li, reg, 0, std::int32_t(value)));
+    } else {
+        Instruction lui;
+        lui.op = Opcode::Lui;
+        lui.rd = std::uint8_t(reg);
+        lui.imm = std::int32_t(value >> 16);
+        emit(lui);
+        emit(makeRRI(Opcode::Ori, reg, reg, std::int32_t(value & 0xffff)));
+    }
+}
+
+Addr
+CodeGenerator::allocScalarSlot()
+{
+    const Addr slot = _scalarCursor;
+    _scalarCursor += wordBytes;
+    if (_scalarCursor > FpuDevice::baseAddr)
+        fatal("scalar area overflow: too many scalars/constants");
+    return slot;
+}
+
+Addr
+CodeGenerator::constSlotFor(float value)
+{
+    const Word bits = std::bit_cast<Word>(value);
+    auto it = _constSlots.find(bits);
+    if (it != _constSlots.end())
+        return it->second;
+    const Addr slot = allocScalarSlot();
+    _constSlots.emplace(bits, slot);
+    _dataInit.emplace_back(slot, bits);
+    return slot;
+}
+
+Addr
+CodeGenerator::scalarSlotFor(KernelContext &ctx, const std::string &name)
+{
+    auto it = ctx.scalarSlot.find(name);
+    PIPESIM_ASSERT(it != ctx.scalarSlot.end(), "undeclared scalar '", name,
+                   "'");
+    return it->second;
+}
+
+int
+CodeGenerator::staticOffset(const KernelContext &ctx,
+                            const ArrayRef &ref) const
+{
+    auto it = ctx.arrayAddr.find(ref.array);
+    PIPESIM_ASSERT(it != ctx.arrayAddr.end(), "undeclared array '",
+                   ref.array, "'");
+    const std::int64_t off = std::int64_t(it->second) -
+                             std::int64_t(ctx.anchor) +
+                             std::int64_t(ref.offset) * wordBytes;
+    if (off < -32768 || off > 32767)
+        fatal("array displacement ", off, " for '", ref.array,
+              "' exceeds the 16-bit immediate");
+    return int(off);
+}
+
+void
+CodeGenerator::layoutKernel(const Kernel &kernel, KernelContext &ctx)
+{
+    ctx.kernel = &kernel;
+    ctx.anchor = _arrayCursor;
+
+    for (const ArrayDecl &decl : kernel.arrays) {
+        if (ctx.arrayAddr.count(decl.name))
+            fatal("array '", decl.name, "' declared twice");
+        ctx.arrayAddr[decl.name] = _arrayCursor;
+        std::vector<Word> init(decl.elems);
+        for (unsigned i = 0; i < decl.elems; ++i)
+            init[i] =
+                std::bit_cast<Word>(ArrayDecl::initValue(decl.name, i));
+        _program.addDataWords(_arrayCursor, init);
+        _arrayCursor += decl.elems * wordBytes;
+    }
+    if (_arrayCursor > pipesim::DataMemory::defaultSize)
+        fatal("array area overflow");
+
+    unsigned next_scalar_reg = firstScalarReg;
+    for (const ScalarDecl &decl : kernel.scalars) {
+        if (ctx.scalarSlot.count(decl.name))
+            fatal("scalar '", decl.name, "' declared twice");
+        const Addr slot = allocScalarSlot();
+        ctx.scalarSlot[decl.name] = slot;
+        _dataInit.emplace_back(slot, std::bit_cast<Word>(decl.init));
+        if (decl.preferRegister &&
+            next_scalar_reg < firstScalarReg + maxScalarRegs) {
+            ctx.scalarReg[decl.name] = next_scalar_reg++;
+        }
+    }
+
+    // Stride classes -> pointer registers.
+    auto note_stride = [&](int stride) {
+        if (ctx.strideReg.count(stride))
+            return;
+        const unsigned reg = firstPtrReg + unsigned(ctx.strideReg.size());
+        if (reg >= firstPtrReg + maxPtrRegs)
+            fatal("kernel '", kernel.name, "' needs more than ",
+                  maxPtrRegs, " stride classes");
+        ctx.strideReg[stride] = reg;
+    };
+    std::function<void(const FExpr &)> walk = [&](const FExpr &e) {
+        if (e.kind == FExpr::Kind::Array)
+            note_stride(e.ref.stride);
+        if (e.kind == FExpr::Kind::Bin) {
+            walk(*e.lhs);
+            walk(*e.rhs);
+        }
+    };
+    for (const Statement &stmt : kernel.body) {
+        if (stmt.targetKind == Statement::TargetKind::Array)
+            note_stride(stmt.arrayTarget.stride);
+        walk(*stmt.value);
+    }
+
+    if (kernel.outerReps > 1) {
+        ctx.outerSlot = allocScalarSlot();
+        _dataInit.emplace_back(ctx.outerSlot, Word(kernel.outerReps));
+    }
+}
+
+void
+CodeGenerator::emitPreamble(const KernelContext &ctx)
+{
+    // Pointer registers: all stride classes start at the anchor.
+    for (const auto &[stride, reg] : ctx.strideReg)
+        emitLoadAddress(reg, ctx.anchor);
+
+    // Register-cached scalars, loaded through the queues.
+    for (const auto &[name, reg] : ctx.scalarReg)
+        emit(makeLd(regZero, std::int32_t(ctx.scalarSlot.at(name))));
+    for (const auto &[name, reg] : ctx.scalarReg)
+        emit(makeMov(reg, regQueue));
+
+    emit(makeRRI(Opcode::Li, regCounter, 0,
+                 std::int32_t(ctx.kernel->tripCount)));
+}
+
+void
+CodeGenerator::emitOperand(const Source &src, Addr fpu_slot,
+                           std::vector<Step> &steps)
+{
+    unsigned src_reg = regQueue;
+    switch (src.kind) {
+      case Source::Kind::Reg:
+        src_reg = src.reg;
+        break;
+      case Source::Kind::LeafArray: {
+        Step ld;
+        ld.kind = Step::Kind::LoadArray;
+        ld.ref = src.ref;
+        steps.push_back(ld);
+        break;
+      }
+      case Source::Kind::LeafSlot:
+      case Source::Kind::Res: {
+        Step ld;
+        ld.kind = Step::Kind::LoadSlot;
+        ld.slot = src.slot;
+        ld.pinned = src.kind == Source::Kind::Res || src.pinnedLoad;
+        steps.push_back(ld);
+        break;
+      }
+    }
+    Step push;
+    push.kind = Step::Kind::PushOperand;
+    push.slot = fpu_slot;
+    push.srcReg = src_reg;
+    steps.push_back(push);
+}
+
+namespace
+{
+
+/** Does @p expr contain an operation of kind @p op? */
+bool
+containsOpKind(const FExpr &expr, FpuOp op)
+{
+    if (expr.kind != FExpr::Kind::Bin)
+        return false;
+    return expr.op == op || containsOpKind(*expr.lhs, op) ||
+           containsOpKind(*expr.rhs, op);
+}
+
+} // namespace
+
+CodeGenerator::Source
+CodeGenerator::spillIfConflicting(const Source &src, const FExpr &other,
+                                  std::vector<Step> &steps)
+{
+    if (src.kind != Source::Kind::Res ||
+        !containsOpKind(other, src.fpuKind))
+        return src;
+
+    const Addr scratch = allocScalarSlot();
+    Step ld;
+    ld.kind = Step::Kind::LoadSlot;
+    ld.slot = src.slot;
+    ld.pinned = true;
+    steps.push_back(ld);
+    Step st;
+    st.kind = Step::Kind::StoreTarget;
+    st.ref = ArrayRef{}; // slot store
+    st.slot = scratch;
+    st.srcReg = regQueue;
+    steps.push_back(st);
+
+    Source spilled;
+    spilled.kind = Source::Kind::LeafSlot;
+    spilled.slot = scratch;
+    spilled.pinnedLoad = true;
+    return spilled;
+}
+
+CodeGenerator::Source
+CodeGenerator::walkExpr(const KernelContext &ctx, const FExpr &expr,
+                        std::vector<Step> &steps)
+{
+    switch (expr.kind) {
+      case FExpr::Kind::Array: {
+        Source s;
+        s.kind = Source::Kind::LeafArray;
+        s.ref = expr.ref;
+        return s;
+      }
+      case FExpr::Kind::Scalar: {
+        auto it = ctx.scalarReg.find(expr.scalar);
+        Source s;
+        if (it != ctx.scalarReg.end()) {
+            s.kind = Source::Kind::Reg;
+            s.reg = it->second;
+        } else {
+            s.kind = Source::Kind::LeafSlot;
+            s.slot = ctx.scalarSlot.at(expr.scalar);
+        }
+        return s;
+      }
+      case FExpr::Kind::Const: {
+        Source s;
+        s.kind = Source::Kind::LeafSlot;
+        s.slot = constSlotFor(expr.value);
+        return s;
+      }
+      case FExpr::Kind::Bin: {
+        // Complete both subexpressions first, then push the two
+        // operands back to back (single A latch per op kind).
+        Source l = walkExpr(ctx, *expr.lhs, steps);
+        l = spillIfConflicting(l, *expr.rhs, steps);
+        const Source r = walkExpr(ctx, *expr.rhs, steps);
+        emitOperand(l, FpuDevice::opA(expr.op), steps);
+        emitOperand(r, FpuDevice::opB(expr.op), steps);
+        Source s;
+        s.kind = Source::Kind::Res;
+        s.slot = FpuDevice::opResult(expr.op);
+        s.fpuKind = expr.op;
+        return s;
+      }
+    }
+    panic("bad expression kind");
+}
+
+std::vector<CodeGenerator::Step>
+CodeGenerator::buildSteps(const KernelContext &ctx, const Statement &stmt)
+{
+    std::vector<Step> steps;
+    const Source value = walkExpr(ctx, *stmt.value, steps);
+
+    // Materialise the final value's load (if any) and route it to
+    // the target.
+    unsigned src_reg = regQueue;
+    if (value.kind == Source::Kind::Reg) {
+        src_reg = value.reg;
+    } else if (value.kind == Source::Kind::LeafArray) {
+        Step ld;
+        ld.kind = Step::Kind::LoadArray;
+        ld.ref = value.ref;
+        steps.push_back(ld);
+    } else {
+        Step ld;
+        ld.kind = Step::Kind::LoadSlot;
+        ld.slot = value.slot;
+        ld.pinned = value.kind == Source::Kind::Res;
+        steps.push_back(ld);
+    }
+
+    if (stmt.targetKind == Statement::TargetKind::Array) {
+        Step st;
+        st.kind = Step::Kind::StoreTarget;
+        st.ref = stmt.arrayTarget;
+        st.srcReg = src_reg;
+        steps.push_back(st);
+    } else {
+        auto it = ctx.scalarReg.find(stmt.scalarTarget);
+        if (it != ctx.scalarReg.end()) {
+            Step mv;
+            mv.kind = Step::Kind::MovScalar;
+            mv.dstReg = it->second;
+            mv.srcReg = src_reg;
+            steps.push_back(mv);
+        } else {
+            Step st;
+            st.kind = Step::Kind::StoreTarget;
+            st.ref = ArrayRef{}; // slot store marked by empty array name
+            st.slot = ctx.scalarSlot.at(stmt.scalarTarget);
+            st.srcReg = src_reg;
+            steps.push_back(st);
+        }
+    }
+    return steps;
+}
+
+std::vector<CodeGenerator::Step>
+CodeGenerator::scheduleSteps(const std::vector<Step> &steps) const
+{
+    // Loads are hoisted ahead of their consumers ("moved as far ahead
+    // of the instruction requiring the data as possible") subject to:
+    //  - loads never reorder among themselves (LDQ is a FIFO);
+    //  - pinned loads (FPU results) never move earlier than their
+    //    original position, which walkExpr placed after the operand
+    //    stores that start the operation;
+    //  - at most ldqWindow loads outstanding, so the LDQ reservation
+    //    at issue can always make progress.
+    std::vector<Step> loads;
+    std::vector<std::size_t> pin; // min consumer index for emission
+    std::vector<Step> consumers;
+    for (const Step &s : steps) {
+        if (s.isLoad()) {
+            loads.push_back(s);
+            std::size_t raw = s.pinned ? consumers.size() : 0;
+            if (!pin.empty())
+                raw = std::max(raw, pin.back());
+            pin.push_back(raw);
+        } else {
+            consumers.push_back(s);
+        }
+    }
+
+    std::vector<Step> out;
+    out.reserve(steps.size());
+    std::size_t li = 0;
+    std::size_t outstanding = 0;
+    for (std::size_t ci = 0; ci < consumers.size(); ++ci) {
+        while (li < loads.size() && pin[li] <= ci &&
+               outstanding < _opts.ldqWindow) {
+            out.push_back(loads[li++]);
+            ++outstanding;
+        }
+        if (consumers[ci].consumesLdq()) {
+            if (outstanding == 0) {
+                PIPESIM_ASSERT(li < loads.size() && pin[li] <= ci,
+                               "consumer with no load available");
+                out.push_back(loads[li++]);
+                ++outstanding;
+            }
+            --outstanding;
+        }
+        out.push_back(consumers[ci]);
+    }
+    PIPESIM_ASSERT(li == loads.size(),
+                   "unconsumed loads in statement schedule");
+    return out;
+}
+
+std::vector<Instruction>
+CodeGenerator::lowerSteps(const KernelContext &ctx,
+                          const std::vector<Step> &steps)
+{
+    std::vector<Instruction> insts;
+    for (const Step &s : steps) {
+        switch (s.kind) {
+          case Step::Kind::LoadArray:
+            insts.push_back(makeLd(ctx.strideReg.at(s.ref.stride),
+                                   staticOffset(ctx, s.ref)));
+            break;
+          case Step::Kind::LoadSlot:
+            insts.push_back(makeLd(regZero, std::int32_t(s.slot)));
+            break;
+          case Step::Kind::PushOperand:
+            insts.push_back(makeSt(regZero, std::int32_t(s.slot)));
+            insts.push_back(makeMov(regQueue, s.srcReg));
+            break;
+          case Step::Kind::StoreTarget:
+            if (s.ref.array.empty())
+                insts.push_back(makeSt(regZero, std::int32_t(s.slot)));
+            else
+                insts.push_back(makeSt(ctx.strideReg.at(s.ref.stride),
+                                       staticOffset(ctx, s.ref)));
+            insts.push_back(makeMov(regQueue, s.srcReg));
+            break;
+          case Step::Kind::MovScalar:
+            insts.push_back(makeMov(s.dstReg, s.srcReg));
+            break;
+        }
+    }
+    return insts;
+}
+
+KernelCodeInfo
+CodeGenerator::emitKernel(const Kernel &kernel)
+{
+    PIPESIM_ASSERT(!_finished, "emitKernel after finish()");
+    if (kernel.tripCount == 0 || kernel.tripCount > 32767)
+        fatal("kernel '", kernel.name, "': trip count out of range");
+
+    KernelContext ctx;
+    layoutKernel(kernel, ctx);
+
+    KernelCodeInfo info;
+    info.id = kernel.id;
+    info.name = kernel.name;
+    info.kernelStart = _program.nextCodeAddr();
+    info.arrayAddrs = ctx.arrayAddr;
+    info.scalarSlots = ctx.scalarSlot;
+
+    const bool has_outer = kernel.outerReps > 1;
+    if (has_outer) {
+        // lbr b1, outer_head  (the instruction right after the lbr)
+        const Addr lbr_at = _program.nextCodeAddr();
+        const unsigned lbr_size =
+            _opts.mode == isa::FormatMode::Fixed32 ? 4 : 4;
+        emit(makeLbr(outerBranchReg, lbr_at + lbr_size));
+    }
+
+    emitPreamble(ctx);
+
+    // lbr b0, inner_loop (the next instruction).
+    {
+        const Addr lbr_at = _program.nextCodeAddr();
+        const unsigned lbr_size =
+            _opts.mode == isa::FormatMode::Fixed32 ? 4 : 4;
+        emit(makeLbr(innerBranchReg, lbr_at + lbr_size));
+    }
+
+    info.innerLoopStart = _program.nextCodeAddr();
+
+    // Build the whole inner-loop body as an instruction list first so
+    // the PBR and its delay slots can be arranged.
+    std::vector<Instruction> body;
+    for (const Statement &stmt : kernel.body) {
+        const auto steps = scheduleSteps(buildSteps(ctx, stmt));
+        const auto insts = lowerSteps(ctx, steps);
+        body.insert(body.end(), insts.begin(), insts.end());
+    }
+
+    // Pointer increments execute after all body uses; the loop body
+    // is [statements..., increments...], and the PBR is placed so
+    // that exactly `delay` of its trailing instructions become delay
+    // slots (every post-PBR instruction must be a delay slot or a
+    // taken branch would skip it).
+    for (const auto &[stride, reg] : ctx.strideReg)
+        body.push_back(makeRRI(Opcode::Addi, reg, reg,
+                               std::int32_t(stride) * wordBytes));
+
+    const unsigned delay = std::min<unsigned>(
+        _opts.maxDelaySlots, unsigned(body.size()));
+    info.delaySlots = delay;
+
+    const std::size_t head_len = body.size() - delay;
+    for (std::size_t i = 0; i < head_len; ++i)
+        emit(body[i]);
+    emit(makeRRI(Opcode::Subi, regCounter, regCounter, 1));
+    emit(makePbr(innerBranchReg, delay, isa::Cond::Nez, regCounter));
+    for (std::size_t i = head_len; i < body.size(); ++i)
+        emit(body[i]);
+
+    info.innerLoopBytes =
+        unsigned(_program.nextCodeAddr() - info.innerLoopStart);
+
+    // Write register-cached scalars back to their memory slots.
+    for (const auto &[name, reg] : ctx.scalarReg) {
+        emit(makeSt(regZero, std::int32_t(ctx.scalarSlot.at(name))));
+        emit(makeMov(regQueue, reg));
+    }
+
+    if (has_outer) {
+        // Decrement the memory-resident outer counter and loop.  The
+        // write-back pair can serve as delay slots when the budget
+        // allows; otherwise it runs before the PBR.
+        emit(makeLd(regZero, std::int32_t(ctx.outerSlot)));
+        emit(makeMov(firstPtrReg, regQueue));
+        emit(makeRRI(Opcode::Subi, firstPtrReg, firstPtrReg, 1));
+        const std::vector<Instruction> tail = {
+            makeSt(regZero, std::int32_t(ctx.outerSlot)),
+            makeMov(regQueue, firstPtrReg),
+        };
+        const unsigned outer_delay = std::min<unsigned>(
+            _opts.maxDelaySlots, unsigned(tail.size()));
+        const std::size_t pre = tail.size() - outer_delay;
+        for (std::size_t i = 0; i < pre; ++i)
+            emit(tail[i]);
+        emit(makePbr(outerBranchReg, outer_delay, isa::Cond::Nez,
+                     firstPtrReg));
+        for (std::size_t i = pre; i < tail.size(); ++i)
+            emit(tail[i]);
+    }
+
+    _infos.push_back(info);
+    return info;
+}
+
+Program
+CodeGenerator::finish()
+{
+    PIPESIM_ASSERT(!_finished, "finish() called twice");
+    _finished = true;
+    Instruction halt;
+    halt.op = Opcode::Halt;
+    emit(halt);
+
+    for (const auto &[addr, word] : _dataInit)
+        _program.addDataWords(addr, {word});
+
+    return std::move(_program);
+}
+
+} // namespace pipesim::codegen

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The code generator: Kernel IR -> PIPE assembly (a Program).
+ *
+ * This stands in for the paper's PIPE compiler.  It reproduces the
+ * code shape the paper depends on:
+ *
+ *  - all floating point flows through the memory-mapped FPU via
+ *    store/store/load triples and the architectural queues;
+ *  - loads are hoisted ahead of their consumers ("the load
+ *    instructions are moved as far ahead of the instruction requiring
+ *    the data as possible", section 3.1.2), bounded by the LDQ
+ *    reservation window so issue can always make progress;
+ *  - loop control uses LBR + PBR with compiler-filled delay slots
+ *    (tail-of-body instructions and pointer increments), averaging
+ *    the ~4 unconditionally executed slots the paper reports;
+ *  - array addressing is strength-reduced onto per-stride pointer
+ *    registers stepped each iteration.
+ *
+ * Register conventions (8 data registers, r7 is the queue register):
+ *
+ *     r0        constant zero (absolute addressing base)
+ *     r1..r3    stride-class pointer registers
+ *     r4        inner loop counter
+ *     r5, r6    register-cached scalars
+ *     r7        LDQ head / SDQ tail
+ */
+
+#ifndef PIPESIM_CODEGEN_CODEGEN_HH
+#define PIPESIM_CODEGEN_CODEGEN_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "assembler/program.hh"
+#include "codegen/ir.hh"
+
+namespace pipesim::codegen
+{
+
+/** Data-space layout constants for generated programs. */
+struct Layout
+{
+    static constexpr Addr codeBase = 0x0000;
+    /** Scalars, constants, spill slots, outer-loop counters. */
+    static constexpr Addr scalarBase = 0x6000;
+    /** Array storage (pointer-addressed; may exceed 32 KiB). */
+    static constexpr Addr arrayBase = 0x8000;
+};
+
+/** Code generation options. */
+struct CodeGenOptions
+{
+    isa::FormatMode mode = isa::FormatMode::Fixed32;
+    /**
+     * Maximum loads in flight ahead of their consumers; must be at
+     * most (LDQ capacity - 1) or generated code can deadlock at the
+     * LDQ reservation.
+     */
+    unsigned ldqWindow = 7;
+    /** Maximum PBR delay-slot count to use (the field allows 0..7). */
+    unsigned maxDelaySlots = 7;
+};
+
+/** What the generator reports about one emitted kernel. */
+struct KernelCodeInfo
+{
+    int id = 0;
+    std::string name;
+    Addr kernelStart = 0;     //!< first instruction of the kernel
+    Addr innerLoopStart = 0;  //!< PBR target of the inner loop
+    unsigned innerLoopBytes = 0; //!< static inner-loop size (Table I)
+    unsigned delaySlots = 0;  //!< PBR count used for the inner loop
+    std::map<std::string, Addr> arrayAddrs;
+    std::map<std::string, Addr> scalarSlots;
+};
+
+/**
+ * Generates one Program containing a sequence of kernels that run
+ * back to back and then halt, as in the paper's benchmark.
+ */
+class CodeGenerator
+{
+  public:
+    explicit CodeGenerator(const CodeGenOptions &options = {});
+
+    /** Append one kernel; returns placement/measurement info. */
+    KernelCodeInfo emitKernel(const Kernel &kernel);
+
+    /** Finish with HALT and return the completed program. */
+    Program finish();
+
+    /** Info for every kernel emitted so far. */
+    const std::vector<KernelCodeInfo> &kernels() const { return _infos; }
+
+  private:
+    // Scheduling step types (see emitStatement).
+    struct Step
+    {
+        enum class Kind
+        {
+            LoadArray,   //!< ld [ptr + off]
+            LoadSlot,    //!< ld [r0 + slot] (scalar/const/FPU result)
+            PushOperand, //!< st [r0 + fpu operand]; mov r7, src
+            StoreTarget, //!< st [target]; mov r7, src
+            MovScalar,   //!< mov rScalar, src
+        };
+        Kind kind;
+        ArrayRef ref;      //!< LoadArray / StoreTarget
+        Addr slot = 0;     //!< LoadSlot / PushOperand address
+        unsigned srcReg = unsigned(-1); //!< r7 when == queue register
+        unsigned dstReg = 0; //!< MovScalar destination
+
+        /**
+         * FPU-result loads are pinned: hoisting one above its
+         * operation's operand stores would let a later external
+         * memory load wedge the in-order load-return path (the
+         * result read would block the LDQ while the stores that
+         * start the operation sit behind the blocked load).
+         */
+        bool pinned = false;
+
+        bool
+        isLoad() const
+        {
+            return kind == Kind::LoadArray || kind == Kind::LoadSlot;
+        }
+        bool
+        consumesLdq() const
+        {
+            return !isLoad() && srcReg == 7;
+        }
+    };
+
+    /**
+     * Value source produced by walking an expression.  Loads are
+     * deferred to the consumption point so that (a) the two operand
+     * pushes of an FPU operation are adjacent -- the device has one
+     * A latch per kind, so nested same-kind operations must not
+     * interleave their pushes -- and (b) load issue order equals LDQ
+     * consumption order by construction.
+     */
+    struct Source
+    {
+        enum class Kind { Reg, LeafSlot, LeafArray, Res };
+        Kind kind;
+        unsigned reg = 0; //!< Reg
+        Addr slot = 0;    //!< LeafSlot / Res
+        ArrayRef ref;     //!< LeafArray
+        FpuOp fpuKind = FpuOp::Add; //!< Res: producing operation kind
+        /** LeafSlot reload of a spilled value: may not be hoisted
+         *  above the spill store. */
+        bool pinnedLoad = false;
+    };
+
+    /** Emit the (deferred) load for @p src, then a push/use of it. */
+    void emitOperand(const Source &src, Addr fpu_slot,
+                     std::vector<Step> &steps);
+
+    /**
+     * Spill a deferred FPU result to a scratch slot when the other
+     * operand's subtree starts operations of the same kind: the
+     * device returns results of one kind in FIFO order, so a
+     * deferred result read must not cross later same-kind reads.
+     */
+    Source spillIfConflicting(const Source &src, const FExpr &other,
+                              std::vector<Step> &steps);
+
+    struct KernelContext
+    {
+        const Kernel *kernel;
+        std::map<int, unsigned> strideReg;     //!< stride -> pointer reg
+        Addr anchor = 0;                       //!< pointer base address
+        std::map<std::string, Addr> arrayAddr;
+        std::map<std::string, Addr> scalarSlot;
+        std::map<std::string, unsigned> scalarReg; //!< register-cached
+        Addr outerSlot = 0;
+    };
+
+    void layoutKernel(const Kernel &kernel, KernelContext &ctx);
+    void emitPreamble(const KernelContext &ctx);
+    std::vector<Step> buildSteps(const KernelContext &ctx,
+                                 const Statement &stmt);
+    Source walkExpr(const KernelContext &ctx, const FExpr &expr,
+                    std::vector<Step> &steps);
+    std::vector<Step> scheduleSteps(const std::vector<Step> &steps) const;
+    std::vector<isa::Instruction> lowerSteps(const KernelContext &ctx,
+                                             const std::vector<Step> &steps);
+
+    /** [r0 + slot] for a named scalar (allocating on first use). */
+    Addr scalarSlotFor(KernelContext &ctx, const std::string &name);
+    Addr constSlotFor(float value);
+    Addr allocScalarSlot();
+
+    int staticOffset(const KernelContext &ctx, const ArrayRef &ref) const;
+
+    void emit(const isa::Instruction &inst);
+    void emitLoadAddress(unsigned reg, Addr value);
+
+    CodeGenOptions _opts;
+    Program _program;
+    std::vector<KernelCodeInfo> _infos;
+
+    Addr _scalarCursor = Layout::scalarBase;
+    Addr _arrayCursor = Layout::arrayBase;
+    std::map<Word, Addr> _constSlots;
+    std::vector<std::pair<Addr, Word>> _dataInit;
+    bool _finished = false;
+};
+
+} // namespace pipesim::codegen
+
+#endif // PIPESIM_CODEGEN_CODEGEN_HH

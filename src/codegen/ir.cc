@@ -1,0 +1,80 @@
+#include "codegen/ir.hh"
+
+namespace pipesim::codegen
+{
+
+FExprPtr
+ref(std::string array, int stride, int offset)
+{
+    auto e = std::make_shared<FExpr>();
+    e->kind = FExpr::Kind::Array;
+    e->ref = ArrayRef{std::move(array), stride, offset};
+    return e;
+}
+
+FExprPtr
+ref(std::string array, int offset)
+{
+    return ref(std::move(array), 1, offset);
+}
+
+FExprPtr
+scalar(std::string name)
+{
+    auto e = std::make_shared<FExpr>();
+    e->kind = FExpr::Kind::Scalar;
+    e->scalar = std::move(name);
+    return e;
+}
+
+FExprPtr
+cnst(float value)
+{
+    auto e = std::make_shared<FExpr>();
+    e->kind = FExpr::Kind::Const;
+    e->value = value;
+    return e;
+}
+
+namespace
+{
+
+FExprPtr
+bin(FpuOp op, FExprPtr l, FExprPtr r)
+{
+    auto e = std::make_shared<FExpr>();
+    e->kind = FExpr::Kind::Bin;
+    e->op = op;
+    e->lhs = std::move(l);
+    e->rhs = std::move(r);
+    return e;
+}
+
+} // namespace
+
+FExprPtr add(FExprPtr l, FExprPtr r) { return bin(FpuOp::Add, l, r); }
+FExprPtr sub(FExprPtr l, FExprPtr r) { return bin(FpuOp::Sub, l, r); }
+FExprPtr mul(FExprPtr l, FExprPtr r) { return bin(FpuOp::Mul, l, r); }
+FExprPtr div(FExprPtr l, FExprPtr r) { return bin(FpuOp::Div, l, r); }
+
+Statement
+assign(ArrayRef target, FExprPtr value)
+{
+    Statement s;
+    s.targetKind = Statement::TargetKind::Array;
+    s.arrayTarget = std::move(target);
+    s.value = std::move(value);
+    return s;
+}
+
+Statement
+assignScalar(std::string target, FExprPtr value)
+{
+    Statement s;
+    s.targetKind = Statement::TargetKind::Scalar;
+    s.scalarTarget = std::move(target);
+    s.value = std::move(value);
+    return s;
+}
+
+} // namespace pipesim::codegen

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The kernel intermediate representation consumed by the code
+ * generator and by the host-side reference interpreter.
+ *
+ * The IR deliberately covers exactly what the Livermore inner loops
+ * need: single-precision expressions over strided array references
+ * a[s*k + c], named scalars, and constants, assigned to array
+ * elements or scalars inside a counted inner loop (optionally
+ * repeated by an outer loop).  Recurrences (negative offsets reading
+ * elements stored by earlier iterations) are supported by the
+ * simulator's program-order memory discipline.
+ */
+
+#ifndef PIPESIM_CODEGEN_IR_HH
+#define PIPESIM_CODEGEN_IR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/fpu.hh"
+
+namespace pipesim::codegen
+{
+
+struct FExpr;
+using FExprPtr = std::shared_ptr<const FExpr>;
+
+/** A strided array reference: array[stride*k + offset]. */
+struct ArrayRef
+{
+    std::string array;
+    int stride = 1;  //!< elements advanced per loop iteration
+    int offset = 0;  //!< constant element offset
+};
+
+/** A single-precision expression tree. */
+struct FExpr
+{
+    enum class Kind
+    {
+        Array,   //!< strided array element
+        Scalar,  //!< named scalar
+        Const,   //!< literal constant
+        Bin,     //!< FPU binary operation
+    };
+
+    Kind kind;
+    ArrayRef ref;         //!< Array
+    std::string scalar;   //!< Scalar
+    float value = 0.0f;   //!< Const
+    FpuOp op = FpuOp::Add;
+    FExprPtr lhs, rhs;    //!< Bin
+};
+
+FExprPtr ref(std::string array, int stride, int offset);
+/** Unit-stride reference array[k + offset]. */
+FExprPtr ref(std::string array, int offset = 0);
+FExprPtr scalar(std::string name);
+FExprPtr cnst(float value);
+FExprPtr add(FExprPtr l, FExprPtr r);
+FExprPtr sub(FExprPtr l, FExprPtr r);
+FExprPtr mul(FExprPtr l, FExprPtr r);
+FExprPtr div(FExprPtr l, FExprPtr r);
+
+/** One assignment executed per inner-loop iteration. */
+struct Statement
+{
+    enum class TargetKind { Array, Scalar };
+    TargetKind targetKind;
+    ArrayRef arrayTarget;      //!< valid when targetKind == Array
+    std::string scalarTarget;  //!< valid when targetKind == Scalar
+    FExprPtr value;
+};
+
+Statement assign(ArrayRef target, FExprPtr value);
+Statement assignScalar(std::string target, FExprPtr value);
+
+/** Array declaration with a deterministic initial-value pattern. */
+struct ArrayDecl
+{
+    std::string name;
+    unsigned elems;
+
+    /** Initial value of element @p i (shared with the reference). */
+    static float
+    initValue(const std::string &name, unsigned i)
+    {
+        // Small positive values keyed to the array name so different
+        // arrays differ; magnitudes stay well-conditioned across the
+        // kernels' multiply/accumulate chains.
+        unsigned h = 2166136261u;
+        for (char c : name)
+            h = (h ^ unsigned(c)) * 16777619u;
+        return 0.001f + 0.01f * float((i + h % 19) % 37) /
+                   float(1 + (h >> 28));
+    }
+};
+
+/** Scalar declaration. */
+struct ScalarDecl
+{
+    std::string name;
+    float init;
+    /** Hint: keep this scalar's bits in a data register. */
+    bool preferRegister = false;
+};
+
+/** One Livermore kernel expressed in the IR. */
+struct Kernel
+{
+    int id = 0;
+    std::string name;
+    std::vector<ArrayDecl> arrays;
+    std::vector<ScalarDecl> scalars;
+    unsigned tripCount = 0;  //!< inner-loop iterations per pass
+    unsigned outerReps = 1;  //!< passes over the inner loop
+    std::vector<Statement> body;
+};
+
+} // namespace pipesim::codegen
+
+#endif // PIPESIM_CODEGEN_IR_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the ISA encoder/decoder and the
+ * cache indexing logic.
+ */
+
+#ifndef PIPESIM_COMMON_BITUTIL_HH
+#define PIPESIM_COMMON_BITUTIL_HH
+
+#include <cstdint>
+
+#include "common/log.hh"
+
+namespace pipesim
+{
+
+/** @return a mask with the low @p n bits set (n may be 0..64). */
+constexpr std::uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/**
+ * Extract the bit field [first, first+count) from @p value.
+ *
+ * @param value  Source word.
+ * @param first  Least significant bit of the field.
+ * @param count  Width of the field in bits.
+ */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned first, unsigned count)
+{
+    return (value >> first) & mask(count);
+}
+
+/**
+ * Insert @p field into bits [first, first+count) of @p value.
+ */
+constexpr std::uint64_t
+insertBits(std::uint64_t value, unsigned first, unsigned count,
+           std::uint64_t field)
+{
+    const std::uint64_t m = mask(count) << first;
+    return (value & ~m) | ((field << first) & m);
+}
+
+/** Sign-extend the low @p width bits of @p value to 64 bits. */
+constexpr std::int64_t
+sext(std::uint64_t value, unsigned width)
+{
+    const std::uint64_t m = mask(width);
+    const std::uint64_t v = value & m;
+    const std::uint64_t sign = std::uint64_t{1} << (width - 1);
+    return static_cast<std::int64_t>((v ^ sign) - sign);
+}
+
+/** @return true if @p v is a (non-zero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** @return floor(log2(v)); @p v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** Round @p v down to a multiple of @p align (a power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of @p align (a power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Ceiling division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace pipesim
+
+#endif // PIPESIM_COMMON_BITUTIL_HH

@@ -1,0 +1,39 @@
+#include "common/log.hh"
+
+#include <iostream>
+
+namespace pipesim
+{
+
+namespace
+{
+bool quietFlag = false;
+} // namespace
+
+void
+warn(const std::string &msg)
+{
+    if (!quietFlag)
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+inform(const std::string &msg)
+{
+    if (!quietFlag)
+        std::cout << "info: " << msg << "\n";
+}
+
+void
+setLogQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+logQuiet()
+{
+    return quietFlag;
+}
+
+} // namespace pipesim

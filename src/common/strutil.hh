@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Small string helpers shared by the assembler, CLI parser and table
+ * formatter.
+ */
+
+#ifndef PIPESIM_COMMON_STRUTIL_HH
+#define PIPESIM_COMMON_STRUTIL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pipesim
+{
+
+/** Strip leading and trailing whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Split @p s on @p sep, trimming each piece; empty pieces are kept. */
+std::vector<std::string> split(std::string_view s, char sep);
+
+/** Case-insensitive string equality. */
+bool iequals(std::string_view a, std::string_view b);
+
+/** Lower-case copy of @p s. */
+std::string toLower(std::string_view s);
+
+/**
+ * Parse an integer literal: decimal, 0x-hex, 0b-binary, optional
+ * leading '-'.  @return std::nullopt on malformed input.
+ */
+std::optional<std::int64_t> parseInt(std::string_view s);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace pipesim
+
+#endif // PIPESIM_COMMON_STRUTIL_HH

@@ -1,0 +1,188 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace pipesim
+{
+
+Table::Table(std::vector<std::string> headers) : _headers(std::move(headers))
+{
+    PIPESIM_ASSERT(!_headers.empty(), "table needs at least one column");
+}
+
+void
+Table::beginRow()
+{
+    if (_inRow)
+        checkRowWidth();
+    if (!_current.empty()) {
+        _rows.push_back(std::move(_current));
+        _current.clear();
+    }
+    _inRow = true;
+}
+
+void
+Table::cell(const std::string &value)
+{
+    PIPESIM_ASSERT(_inRow, "cell() before beginRow()");
+    PIPESIM_ASSERT(_current.size() < _headers.size(),
+                   "row has more cells than headers");
+    _current.push_back(value);
+}
+
+void Table::cell(const char *value) { cell(std::string(value)); }
+
+void
+Table::cell(std::uint64_t value)
+{
+    cell(std::to_string(value));
+}
+
+void
+Table::cell(std::int64_t value)
+{
+    cell(std::to_string(value));
+}
+
+void Table::cell(int value) { cell(std::to_string(value)); }
+void Table::cell(unsigned value) { cell(std::to_string(value)); }
+
+void
+Table::cell(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    cell(os.str());
+}
+
+void
+Table::checkRowWidth() const
+{
+    PIPESIM_ASSERT(_current.size() == _headers.size(),
+                   "row width ", _current.size(), " != header width ",
+                   _headers.size());
+}
+
+const std::string &
+Table::at(std::size_t row, std::size_t col) const
+{
+    // Allow access to the row under construction once finished rows
+    // are exhausted.
+    if (row < _rows.size())
+        return _rows[row].at(col);
+    PIPESIM_ASSERT(row == _rows.size() && !_current.empty(),
+                   "table row out of range");
+    return _current.at(col);
+}
+
+namespace
+{
+
+std::vector<std::vector<std::string>>
+allRows(const std::vector<std::vector<std::string>> &rows,
+        const std::vector<std::string> &current)
+{
+    auto out = rows;
+    if (!current.empty())
+        out.push_back(current);
+    return out;
+}
+
+} // namespace
+
+std::string
+Table::toText() const
+{
+    const auto rows = allRows(_rows, _current);
+    std::vector<std::size_t> width(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        width[c] = _headers[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]))
+               << row[c];
+            if (c + 1 < row.size())
+                os << "  ";
+        }
+        os << "\n";
+    };
+    emitRow(_headers);
+    std::string rule;
+    for (std::size_t c = 0; c < _headers.size(); ++c) {
+        rule += std::string(width[c], '-');
+        if (c + 1 < _headers.size())
+            rule += "  ";
+    }
+    os << rule << "\n";
+    for (const auto &row : rows)
+        emitRow(row);
+    return os.str();
+}
+
+std::string
+Table::toMarkdown() const
+{
+    const auto rows = allRows(_rows, _current);
+    std::ostringstream os;
+    os << "|";
+    for (const auto &h : _headers)
+        os << " " << h << " |";
+    os << "\n|";
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        os << "---|";
+    os << "\n";
+    for (const auto &row : rows) {
+        os << "|";
+        for (const auto &cell : row)
+            os << " " << cell << " |";
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    const auto rows = allRows(_rows, _current);
+    auto quote = [](const std::string &s) {
+        if (s.find(',') == std::string::npos &&
+            s.find('"') == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"')
+                out += '"';
+            out += c;
+        }
+        out += '"';
+        return out;
+    };
+    std::ostringstream os;
+    for (std::size_t c = 0; c < _headers.size(); ++c) {
+        os << quote(_headers[c]);
+        if (c + 1 < _headers.size())
+            os << ",";
+    }
+    os << "\n";
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << quote(row[c]);
+            if (c + 1 < row.size())
+                os << ",";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace pipesim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tabular output for benchmark harnesses.
+ *
+ * Every figure/table bench prints its series through this class so
+ * that the output format (aligned text, markdown, CSV) is uniform
+ * across the whole reproduction.
+ */
+
+#ifndef PIPESIM_COMMON_TABLE_HH
+#define PIPESIM_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace pipesim
+{
+
+/**
+ * A simple column-oriented table builder.
+ *
+ * Cells are strings; numeric convenience overloads format with
+ * reasonable defaults.  Rows must match the header width.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Start a new row.  Cells are appended with cell(). */
+    void beginRow();
+
+    void cell(const std::string &value);
+    void cell(const char *value);
+    void cell(std::uint64_t value);
+    void cell(std::int64_t value);
+    void cell(int value);
+    void cell(unsigned value);
+    /** Floating point cell with @p precision decimal places. */
+    void cell(double value, int precision = 2);
+
+    /** Number of data rows, including the row under construction. */
+    std::size_t
+    numRows() const
+    {
+        return _rows.size() + (_current.empty() ? 0 : 1);
+    }
+    std::size_t numCols() const { return _headers.size(); }
+
+    /** Access a finished cell (for tests). */
+    const std::string &at(std::size_t row, std::size_t col) const;
+
+    /** Render as an aligned plain-text table. */
+    std::string toText() const;
+
+    /** Render as GitHub-flavoured markdown. */
+    std::string toMarkdown() const;
+
+    /** Render as CSV (RFC-4180-ish; quotes cells containing commas). */
+    std::string toCsv() const;
+
+  private:
+    void checkRowWidth() const;
+
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+    std::vector<std::string> _current;
+    bool _inRow = false;
+};
+
+} // namespace pipesim
+
+#endif // PIPESIM_COMMON_TABLE_HH

@@ -1,0 +1,218 @@
+#include "core/conventional_fetch.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace pipesim
+{
+
+namespace
+{
+
+/** Sub-block size: one instruction slot. */
+unsigned
+subblockBytesFor(const Program &program)
+{
+    return program.mode() == isa::FormatMode::Fixed32 ? 2 * parcelBytes
+                                                      : parcelBytes;
+}
+
+} // namespace
+
+ConventionalFetchUnit::ConventionalFetchUnit(const FetchConfig &config,
+                                             const Program &program,
+                                             MemorySystem &mem)
+    : FetchUnit(program, mem), _cfg(config),
+      _cache(config.cacheBytes, config.lineBytes,
+             std::min(config.lineBytes, subblockBytesFor(program))),
+      _busRegionBytes(mem.config().busWidthBytes)
+{
+    // With the compact (16/32-bit) format an instruction can straddle
+    // a line boundary.  In a single-frame cache the two halves evict
+    // each other forever (demand fetch and always-prefetch retag the
+    // only frame), so that geometry is rejected.
+    if (program.mode() == isa::FormatMode::Compact &&
+        config.cacheBytes == _cache.lineBytes())
+        fatal("conventional cache needs at least two frames for the "
+              "compact instruction format (cache ",
+              config.cacheBytes, " B, line ", _cache.lineBytes(), " B)");
+    reset(program.entry());
+}
+
+void
+ConventionalFetchUnit::reset(Addr entry)
+{
+    _want.reset();
+    _outstanding = false;
+    _prefetchAddr.reset();
+    _missRecordedFor.reset();
+    _follower.reset(entry);
+    _cache.invalidateAll();
+}
+
+std::optional<Addr>
+ConventionalFetchUnit::firstMissing(Addr addr, unsigned bytes) const
+{
+    for (Addr a = _cache.subblockBase(addr); a < addr + bytes;
+         a += _cache.subblockBytes()) {
+        if (!_cache.subblockValid(a))
+            return a;
+    }
+    return std::nullopt;
+}
+
+bool
+ConventionalFetchUnit::inflightCovers(Addr addr) const
+{
+    return _outstanding && addr >= _outstandingAddr &&
+           addr < _outstandingAddr + _outstandingBytes;
+}
+
+MemRequest
+ConventionalFetchUnit::makeRequest(Addr addr, ReqClass cls)
+{
+    const Addr region = Addr(alignDown(addr, _busRegionBytes));
+    if (!_cache.linePresent(region))
+        _cache.allocate(region);
+
+    MemRequest req;
+    req.addr = region;
+    req.bytes = _busRegionBytes;
+    req.isStore = false;
+    req.cls = cls;
+    req.onBeat = [this](Addr a, unsigned n) { onBeatArrived(a, n); };
+    req.onComplete = [this]() { _outstanding = false; };
+    return req;
+}
+
+void
+ConventionalFetchUnit::onBeatArrived(Addr addr, unsigned bytes)
+{
+    // The line was allocated when the request was made and no other
+    // allocation can intervene (single outstanding request), except a
+    // prefetch allocation for a region in the same frame; guard by
+    // re-checking the tag.
+    if (_cache.linePresent(addr))
+        _cache.fill(addr, bytes);
+}
+
+void
+ConventionalFetchUnit::tick(Cycle now)
+{
+    (void)now;
+
+    // Always-prefetch: the reference made last cycle launches a
+    // prefetch of the next sequential location (lowest priority at
+    // the memory interface), before the PC re-checks the cache --
+    // this is how Hill's model gets ahead of the instruction stream.
+    if (_cfg.alwaysPrefetch && _prefetchAddr && !_outstanding &&
+        !_want) {
+        const Addr p = *_prefetchAddr;
+        const Addr region = Addr(alignDown(p, _busRegionBytes));
+        if (firstMissing(region, _busRegionBytes)) {
+            _want = makeRequest(p, ReqClass::IPrefetch);
+            ++_prefetchFetches;
+        }
+        _prefetchAddr.reset();
+    }
+
+    // Demand path: the instruction the decoder needs next.
+    const auto next = _follower.nextAddr();
+    if (!next)
+        return;
+    const unsigned size = instSizeAt(*next);
+    const auto missing = firstMissing(*next, size);
+    if (!missing) {
+        _missRecordedFor.reset();
+        return;
+    }
+    if (_missRecordedFor != *next) {
+        _cache.recordLookup(false);
+        _missRecordedFor = *next;
+    }
+    if (inflightCovers(*missing))
+        return; // the in-flight request will satisfy it
+    if (!_outstanding && !_want) {
+        _want = makeRequest(*missing, ReqClass::IFetchDemand);
+        ++_demandFetches;
+    } else if (_want && _want->cls == ReqClass::IPrefetch) {
+        const bool covers =
+            *missing >= _want->addr &&
+            *missing < _want->addr + _want->bytes;
+        if (covers) {
+            // The PC now waits on this request, so it is presented
+            // to the memory interface as an instruction fetch.
+            _want->cls = ReqClass::IFetchDemand;
+        } else {
+            // Not sent yet and useless for the demand miss: the
+            // instruction fetch replaces the queued prefetch.
+            _want = makeRequest(*missing, ReqClass::IFetchDemand);
+        }
+        ++_demandFetches;
+        // An already in-flight prefetch keeps its (lowest) priority
+        // until it completes -- the cost Hill notes.
+    }
+}
+
+bool
+ConventionalFetchUnit::instructionReady() const
+{
+    const auto next = _follower.nextAddr();
+    if (!next)
+        return false;
+    return _cache.bytesValid(*next, instSizeAt(*next));
+}
+
+isa::FetchedInst
+ConventionalFetchUnit::take()
+{
+    PIPESIM_ASSERT(instructionReady(), "take() with nothing ready");
+    const Addr pc = *_follower.nextAddr();
+    const isa::Instruction inst = decodeAt(pc);
+    _cache.recordLookup(true);
+    _missRecordedFor.reset();
+    _follower.delivered(inst);
+    ++_deliveredInsts;
+    // Always-prefetch: reference made, note the next sequential
+    // location (even if it maps into the next cache line).
+    _prefetchAddr = pc + inst.sizeBytes();
+    return isa::FetchedInst{pc, inst};
+}
+
+void
+ConventionalFetchUnit::branchResolved(bool taken, Addr target)
+{
+    _follower.resolved(taken, target);
+}
+
+std::optional<MemRequest>
+ConventionalFetchUnit::peekOffchip(ReqClass cls)
+{
+    if (_want && _want->cls == cls)
+        return _want;
+    return std::nullopt;
+}
+
+void
+ConventionalFetchUnit::offchipAccepted()
+{
+    PIPESIM_ASSERT(_want, "acceptance with no request outstanding");
+    _outstanding = true;
+    _outstandingAddr = _want->addr;
+    _outstandingBytes = _want->bytes;
+    _want.reset();
+}
+
+void
+ConventionalFetchUnit::regStats(StatGroup &stats, const std::string &prefix)
+{
+    stats.regCounter(prefix + ".delivered_insts", &_deliveredInsts,
+                     "instructions delivered to decode");
+    stats.regCounter(prefix + ".demand_fetches", &_demandFetches,
+                     "demand fetch requests issued");
+    stats.regCounter(prefix + ".prefetch_fetches", &_prefetchFetches,
+                     "always-prefetch requests issued");
+    _cache.regStats(stats, prefix + ".icache");
+}
+
+} // namespace pipesim

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The instruction-supply interface shared by the two fetch
+ * strategies under study, plus the fetch-side configuration.
+ *
+ * Per cycle the simulator calls tick() (internal machinery: cache
+ * lookups, buffer management, off-chip request generation) and the
+ * pipeline consumes at most one instruction via instructionReady() /
+ * take().  The pipeline pushes branch resolutions back with
+ * branchResolved().
+ */
+
+#ifndef PIPESIM_CORE_FETCH_UNIT_HH
+#define PIPESIM_CORE_FETCH_UNIT_HH
+
+#include <optional>
+#include <string>
+
+#include "assembler/program.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/instruction.hh"
+#include "mem/memory_system.hh"
+#include "mem/request.hh"
+
+namespace pipesim
+{
+
+/** Which fetch strategy to instantiate. */
+enum class FetchStrategy
+{
+    Pipe,          //!< cache + IQ + IQB (the paper's contribution)
+    Conventional,  //!< Hill's always-prefetch sub-blocked cache
+    Tib,           //!< target instruction buffer (paper section 2.1)
+};
+
+/** Off-chip request gating policy for the PIPE strategy (section 6). */
+enum class OffchipPolicy
+{
+    /**
+     * Issue off-chip prefetches only for lines guaranteed to contain
+     * at least one unconditionally executed instruction (the policy
+     * the fabricated PIPE chip uses).
+     */
+    GuaranteedOnly,
+    /**
+     * True prefetching: speculative off-chip line requests are
+     * allowed.  All results presented in the paper use this policy.
+     */
+    TruePrefetch,
+};
+
+/** Fetch-side configuration (paper simulation parameters 2,3,7,8). */
+struct FetchConfig
+{
+    FetchStrategy strategy = FetchStrategy::Pipe;
+    unsigned cacheBytes = 128;  //!< parameter 2 (the PIPE chip: 128)
+    unsigned lineBytes = 8;     //!< parameter 3
+    unsigned iqBytes = 8;       //!< parameter 7 (PIPE only)
+    unsigned iqbBytes = 8;      //!< parameter 8 (PIPE only)
+    OffchipPolicy offchipPolicy = OffchipPolicy::TruePrefetch;
+
+    /**
+     * Conventional strategy only: enable Hill's always-prefetch.
+     * Disabling it gives the plain demand-fetch cache -- the
+     * baseline always-prefetch consistently beat in Hill's study,
+     * which is the premise the paper builds on.
+     */
+    bool alwaysPrefetch = true;
+};
+
+class FetchUnit
+{
+  public:
+    /**
+     * @param program Program image instructions are decoded from.
+     * @param mem     Memory system; the unit registers its demand
+     *                and prefetch request clients with it.
+     */
+    FetchUnit(const Program &program, MemorySystem &mem);
+    virtual ~FetchUnit();
+
+    FetchUnit(const FetchUnit &) = delete;
+    FetchUnit &operator=(const FetchUnit &) = delete;
+
+    /** Restart fetching at @p entry with cold buffers and cache. */
+    virtual void reset(Addr entry) = 0;
+
+    /** Advance internal machinery one cycle. */
+    virtual void tick(Cycle now) = 0;
+
+    /** @return true if an instruction can be consumed this cycle. */
+    virtual bool instructionReady() const = 0;
+
+    /** Consume the next instruction (instructionReady() holds). */
+    virtual isa::FetchedInst take() = 0;
+
+    /**
+     * A PBR resolved in the pipeline (applies to the oldest
+     * unresolved PBR, in program order).
+     */
+    virtual void branchResolved(bool taken, Addr target) = 0;
+
+    /** Register statistics under @p prefix. */
+    virtual void regStats(StatGroup &stats, const std::string &prefix) = 0;
+
+  protected:
+    /**
+     * MemClient adapter: routes the memory system's pull requests to
+     * the owning unit, filtered by request class.
+     */
+    class ClientPort : public MemClient
+    {
+      public:
+        ClientPort(FetchUnit &unit, ReqClass cls)
+            : _unit(unit), _cls(cls)
+        {
+        }
+
+        std::optional<MemRequest>
+        peek() override
+        {
+            return _unit.peekOffchip(_cls);
+        }
+
+        void accepted() override { _unit.offchipAccepted(); }
+
+      private:
+        FetchUnit &_unit;
+        ReqClass _cls;
+    };
+
+    /** The unit's candidate off-chip request of class @p cls. */
+    virtual std::optional<MemRequest> peekOffchip(ReqClass cls) = 0;
+
+    /** The candidate request was accepted on the output bus. */
+    virtual void offchipAccepted() = 0;
+
+    /** Decode the instruction at @p addr from the program image. */
+    isa::Instruction decodeAt(Addr addr) const;
+
+    /** Byte size of the instruction at @p addr. */
+    unsigned instSizeAt(Addr addr) const;
+
+    const Program &_program;
+    MemorySystem &_mem;
+    ClientPort _demandPort;
+    ClientPort _prefetchPort;
+};
+
+} // namespace pipesim
+
+#endif // PIPESIM_CORE_FETCH_UNIT_HH

@@ -1,0 +1,324 @@
+#include "core/tib_fetch.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace pipesim
+{
+
+TibFetchUnit::TibFetchUnit(const FetchConfig &config,
+                           const Program &program, MemorySystem &mem)
+    : FetchUnit(program, mem), _cfg(config),
+      _entryBytes(config.lineBytes),
+      _bufferCapacity(config.iqBytes + config.iqbBytes)
+{
+    if (!isPowerOf2(_entryBytes) || _entryBytes < 2 * parcelBytes)
+        fatal("TIB entry size must be a power of two >= 4 bytes");
+    if (config.cacheBytes % _entryBytes != 0 ||
+        config.cacheBytes < _entryBytes)
+        fatal("TIB capacity must be a multiple of the entry size");
+    if (_bufferCapacity < 2 * _entryBytes)
+        fatal("TIB stream buffer must hold two entries' worth");
+    _entries.resize(config.cacheBytes / _entryBytes);
+    reset(program.entry());
+}
+
+void
+TibFetchUnit::reset(Addr entry)
+{
+    _buffer.clear();
+    _occupancy = 0;
+    _fetch.reset();
+    _want.reset();
+    _offchipInFlight = false;
+    _squashDoneId = std::uint64_t(-1);
+    _targetPlannedId = std::uint64_t(-1);
+    _pendingTargets.clear();
+    _follower.reset(entry);
+    for (TibEntry &e : _entries)
+        e = TibEntry{};
+}
+
+TibFetchUnit::TibEntry &
+TibFetchUnit::entryFor(Addr target)
+{
+    return _entries[(target / _entryBytes) % _entries.size()];
+}
+
+Addr
+TibFetchUnit::tailEnd() const
+{
+    if (!_buffer.empty())
+        return _buffer.back().start + _buffer.back().len;
+    return _follower.streamPos();
+}
+
+Addr
+TibFetchUnit::staticWalk(Addr addr, unsigned n) const
+{
+    for (unsigned i = 0; i < n; ++i)
+        addr += instSizeAt(addr);
+    return addr;
+}
+
+void
+TibFetchUnit::appendBytes(Addr start, unsigned len)
+{
+    if (len == 0)
+        return;
+    if (!_buffer.empty() &&
+        _buffer.back().start + _buffer.back().len == start) {
+        _buffer.back().len += len;
+    } else {
+        _buffer.push_back(Segment{start, len});
+    }
+    _occupancy += len;
+}
+
+void
+TibFetchUnit::truncateBufferAt(Addr r)
+{
+    while (!_buffer.empty()) {
+        Segment &tail = _buffer.back();
+        if (r <= tail.start) {
+            _squashedBytes += tail.len;
+            _occupancy -= tail.len;
+            _buffer.pop_back();
+            continue;
+        }
+        if (r < tail.start + tail.len) {
+            const unsigned cut = tail.start + tail.len - r;
+            _squashedBytes += cut;
+            _occupancy -= cut;
+            tail.len -= cut;
+        }
+        break;
+    }
+}
+
+void
+TibFetchUnit::branchResolved(bool taken, Addr target)
+{
+    if (_follower.hasPending() && !_follower.frontResolved()) {
+        _squashDoneId = _follower.frontId();
+        if (taken) {
+            _pendingTargets.push_back(target);
+            const Addr r = staticWalk(_follower.streamPos(),
+                                      _follower.frontSlotsLeft());
+            truncateBufferAt(r);
+            if (_fetch && !_fetch->dead) {
+                if (_fetch->nextByte >= r)
+                    _fetch->dead = true;
+                else
+                    _fetch->end = std::min(_fetch->end, r);
+            }
+        }
+    }
+    _follower.resolved(taken, target);
+}
+
+void
+TibFetchUnit::handleResolvedRedirect()
+{
+    if (!_follower.hasPending() || !_follower.frontResolved() ||
+        _follower.frontId() == _squashDoneId)
+        return;
+    _squashDoneId = _follower.frontId();
+    if (_follower.frontTaken()) {
+        _pendingTargets.push_back(_follower.frontTarget());
+        const Addr r = staticWalk(_follower.streamPos(),
+                                  _follower.frontSlotsLeft());
+        truncateBufferAt(r);
+        if (_fetch && !_fetch->dead) {
+            if (_fetch->nextByte >= r)
+                _fetch->dead = true;
+            else
+                _fetch->end = std::min(_fetch->end, r);
+        }
+    }
+}
+
+bool
+TibFetchUnit::decoderStarving() const
+{
+    const auto next = _follower.nextAddr();
+    if (!next)
+        return false;
+    if (_buffer.empty())
+        return true;
+    const Segment &head = _buffer.front();
+    return head.start != *next || head.len < instSizeAt(*next);
+}
+
+void
+TibFetchUnit::startFetchIfNeeded()
+{
+    if (_fetch)
+        return; // one outstanding request
+
+    if (_occupancy + _entryBytes > _bufferCapacity &&
+        !decoderStarving())
+        return;
+
+    Addr start = tailEnd();
+    std::optional<Addr> fill_target;
+    Addr cap = Addr(-1);
+
+    if (_follower.hasPending() && _follower.frontResolved() &&
+        _follower.frontTaken() &&
+        _follower.frontId() != _targetPlannedId) {
+        const Addr r = staticWalk(_follower.streamPos(),
+                                  _follower.frontSlotsLeft());
+        if (start >= r) {
+            start = _follower.frontTarget();
+            _targetPlannedId = _follower.frontId();
+        } else {
+            cap = r; // pre-target sequential fetch toward the slots
+        }
+    }
+
+    // The first fetch at a taken branch's target goes through the TIB
+    // (whether the redirect is still pending or already applied).
+    const bool is_target = !_pendingTargets.empty() &&
+                           start == _pendingTargets.front();
+    if (is_target)
+        _pendingTargets.pop_front();
+
+    if (is_target) {
+        TibEntry &entry = entryFor(start);
+        if (entry.valid && entry.target == start &&
+            entry.validBytes > 0) {
+            // TIB hit: the buffered target instructions supply the
+            // decoder while the off-chip fetch for the instructions
+            // past the entry is launched.
+            ++_tibHits;
+            appendBytes(start, entry.validBytes);
+            return; // fetch for start+validBytes begins next tick
+        }
+        ++_tibMisses;
+        entry.valid = true;
+        entry.target = start;
+        entry.validBytes = 0;
+        fill_target = start;
+    }
+
+    Fetch f;
+    f.nextByte = start;
+    f.end = std::min<Addr>(start + _entryBytes, cap);
+    f.fillTibTarget = fill_target;
+    _fetch = f;
+
+    MemRequest req;
+    req.addr = start;
+    req.bytes = _entryBytes;
+    req.isStore = false;
+    const bool demand = decoderStarving() || _buffer.empty();
+    req.cls = demand ? ReqClass::IFetchDemand : ReqClass::IPrefetch;
+    req.onBeat = [this](Addr addr, unsigned bytes) {
+        onBeatArrived(addr, bytes);
+    };
+    req.onComplete = [this]() {
+        _offchipInFlight = false;
+        _fetch.reset();
+    };
+    _want = std::move(req);
+    ++_offchipFetches;
+}
+
+void
+TibFetchUnit::onBeatArrived(Addr addr, unsigned bytes)
+{
+    PIPESIM_ASSERT(_fetch, "beat with no fetch active");
+    if (_fetch->fillTibTarget) {
+        TibEntry &entry = entryFor(*_fetch->fillTibTarget);
+        if (entry.valid && entry.target == *_fetch->fillTibTarget &&
+            entry.target + entry.validBytes == addr) {
+            entry.validBytes = std::min(
+                entry.validBytes + bytes, _entryBytes);
+        }
+    }
+    if (_fetch->dead)
+        return;
+    const Addr lo = std::max(addr, _fetch->nextByte);
+    const Addr hi = std::min<Addr>(addr + bytes, _fetch->end);
+    if (lo >= hi)
+        return;
+    PIPESIM_ASSERT(lo == _fetch->nextByte, "non-streaming append");
+    appendBytes(lo, hi - lo);
+    _fetch->nextByte = hi;
+}
+
+std::optional<MemRequest>
+TibFetchUnit::peekOffchip(ReqClass cls)
+{
+    if (_want && _want->cls == cls)
+        return _want;
+    return std::nullopt;
+}
+
+void
+TibFetchUnit::offchipAccepted()
+{
+    PIPESIM_ASSERT(_want, "acceptance with no request outstanding");
+    _offchipInFlight = true;
+    _want.reset();
+}
+
+void
+TibFetchUnit::tick(Cycle now)
+{
+    (void)now;
+    handleResolvedRedirect();
+    if (_want && _want->cls == ReqClass::IPrefetch &&
+        (decoderStarving() || _buffer.empty()))
+        _want->cls = ReqClass::IFetchDemand;
+    startFetchIfNeeded();
+}
+
+bool
+TibFetchUnit::instructionReady() const
+{
+    const auto next = _follower.nextAddr();
+    if (!next || _buffer.empty())
+        return false;
+    const Segment &head = _buffer.front();
+    if (head.len == 0)
+        return false;
+    PIPESIM_ASSERT(head.start == *next, "buffer head ", head.start,
+                   " does not match stream position ", *next);
+    return head.len >= instSizeAt(*next);
+}
+
+isa::FetchedInst
+TibFetchUnit::take()
+{
+    PIPESIM_ASSERT(instructionReady(), "take() with nothing ready");
+    const Addr pc = *_follower.nextAddr();
+    const isa::Instruction inst = decodeAt(pc);
+    Segment &head = _buffer.front();
+    head.start += inst.sizeBytes();
+    head.len -= inst.sizeBytes();
+    _occupancy -= inst.sizeBytes();
+    if (head.len == 0)
+        _buffer.pop_front();
+    _follower.delivered(inst);
+    ++_deliveredInsts;
+    return isa::FetchedInst{pc, inst};
+}
+
+void
+TibFetchUnit::regStats(StatGroup &stats, const std::string &prefix)
+{
+    stats.regCounter(prefix + ".delivered_insts", &_deliveredInsts,
+                     "instructions delivered to decode");
+    stats.regCounter(prefix + ".tib_hits", &_tibHits,
+                     "taken branches whose target hit the TIB");
+    stats.regCounter(prefix + ".tib_misses", &_tibMisses,
+                     "taken branches that missed the TIB");
+    stats.regCounter(prefix + ".offchip_fetches", &_offchipFetches,
+                     "off-chip fetch requests issued");
+    stats.regCounter(prefix + ".squashed_bytes", &_squashedBytes,
+                     "buffered bytes squashed by taken branches");
+}
+
+} // namespace pipesim

@@ -1,0 +1,62 @@
+#include "cpu/regfile.hh"
+
+#include "common/log.hh"
+
+namespace pipesim
+{
+
+void
+RegFile::reset()
+{
+    _regs.fill(0);
+    _busy.fill(0);
+    _branch.fill(0);
+    _bank = 0;
+}
+
+unsigned
+RegFile::index(unsigned r) const
+{
+    PIPESIM_ASSERT(r < isa::numDataRegs, "bad register number ", r);
+    return _bank * isa::numDataRegs + r;
+}
+
+Word
+RegFile::read(unsigned r) const
+{
+    return _regs[index(r)];
+}
+
+void
+RegFile::write(unsigned r, Word value)
+{
+    _regs[index(r)] = value;
+}
+
+Cycle
+RegFile::busyUntil(unsigned r) const
+{
+    return _busy[index(r)];
+}
+
+void
+RegFile::setBusyUntil(unsigned r, Cycle cycle)
+{
+    _busy[index(r)] = cycle;
+}
+
+Addr
+RegFile::readBranch(unsigned br) const
+{
+    PIPESIM_ASSERT(br < isa::numBranchRegs, "bad branch register ", br);
+    return _branch[br];
+}
+
+void
+RegFile::writeBranch(unsigned br, Addr value)
+{
+    PIPESIM_ASSERT(br < isa::numBranchRegs, "bad branch register ", br);
+    _branch[br] = value;
+}
+
+} // namespace pipesim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The PIPE register file: sixteen 32-bit data registers arranged as
+ * 8 foreground + 8 background (switched by RSW to speed subroutine
+ * calls), plus the 8 branch registers used by LBR/PBR.
+ *
+ * Register r7 of the visible bank is the architectural queue
+ * register; the pipeline intercepts reads/writes of it (LDQ/SDQ), so
+ * its storage here is never used.
+ */
+
+#ifndef PIPESIM_CPU_REGFILE_HH
+#define PIPESIM_CPU_REGFILE_HH
+
+#include <array>
+
+#include "common/types.hh"
+#include "isa/fields.hh"
+
+namespace pipesim
+{
+
+class RegFile
+{
+  public:
+    RegFile() { reset(); }
+
+    void reset();
+
+    /** Read data register @p r of the visible bank. */
+    Word read(unsigned r) const;
+
+    /** Write data register @p r of the visible bank. */
+    void write(unsigned r, Word value);
+
+    /** Cycle until which register @p r is busy (result latency). */
+    Cycle busyUntil(unsigned r) const;
+    void setBusyUntil(unsigned r, Cycle cycle);
+
+    /** Toggle foreground/background banks (the RSW instruction). */
+    void switchBanks() { _bank ^= 1; }
+    unsigned currentBank() const { return _bank; }
+
+    Addr readBranch(unsigned br) const;
+    void writeBranch(unsigned br, Addr value);
+
+  private:
+    unsigned index(unsigned r) const;
+
+    std::array<Word, 2 * isa::numDataRegs> _regs;
+    std::array<Cycle, 2 * isa::numDataRegs> _busy;
+    std::array<Addr, isa::numBranchRegs> _branch;
+    unsigned _bank = 0;
+};
+
+} // namespace pipesim
+
+#endif // PIPESIM_CPU_REGFILE_HH

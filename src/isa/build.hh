@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Inline builder helpers for constructing decoded Instructions in
+ * code (program generators, tests).  Purely convenience; the
+ * Instruction struct stays a plain aggregate.
+ */
+
+#ifndef PIPESIM_ISA_BUILD_HH
+#define PIPESIM_ISA_BUILD_HH
+
+#include "isa/instruction.hh"
+
+namespace pipesim::isa::build
+{
+
+inline Instruction
+rrr(Opcode op, unsigned rd, unsigned rs1, unsigned rs2)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = std::uint8_t(rd);
+    i.rs1 = std::uint8_t(rs1);
+    i.rs2 = std::uint8_t(rs2);
+    return i;
+}
+
+inline Instruction
+rri(Opcode op, unsigned rd, unsigned rs1, std::int32_t imm)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = std::uint8_t(rd);
+    i.rs1 = std::uint8_t(rs1);
+    i.imm = imm;
+    return i;
+}
+
+inline Instruction
+li(unsigned rd, std::int32_t imm)
+{
+    return rri(Opcode::Li, rd, 0, imm);
+}
+
+inline Instruction
+ld(unsigned base, std::int32_t offset)
+{
+    Instruction i;
+    i.op = Opcode::Ld;
+    i.rs1 = std::uint8_t(base);
+    i.imm = offset;
+    return i;
+}
+
+inline Instruction
+st(unsigned base, std::int32_t offset)
+{
+    Instruction i;
+    i.op = Opcode::St;
+    i.rs1 = std::uint8_t(base);
+    i.imm = offset;
+    return i;
+}
+
+inline Instruction
+mov(unsigned rd, unsigned rs)
+{
+    Instruction i;
+    i.op = Opcode::Mov;
+    i.rd = std::uint8_t(rd);
+    i.rs1 = std::uint8_t(rs);
+    return i;
+}
+
+inline Instruction
+lbr(unsigned br, Addr target)
+{
+    Instruction i;
+    i.op = Opcode::Lbr;
+    i.br = std::uint8_t(br);
+    i.imm = std::int32_t(target);
+    return i;
+}
+
+inline Instruction
+pbr(unsigned br, unsigned count, Cond cond, unsigned rs = 0)
+{
+    Instruction i;
+    i.op = Opcode::Pbr;
+    i.br = std::uint8_t(br);
+    i.count = std::uint8_t(count);
+    i.cond = cond;
+    i.rs1 = std::uint8_t(rs);
+    return i;
+}
+
+inline Instruction
+halt()
+{
+    Instruction i;
+    i.op = Opcode::Halt;
+    return i;
+}
+
+inline Instruction
+nop()
+{
+    Instruction i;
+    i.op = Opcode::Nop;
+    return i;
+}
+
+} // namespace pipesim::isa::build
+
+#endif // PIPESIM_ISA_BUILD_HH

@@ -1,0 +1,70 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace pipesim::isa
+{
+
+namespace
+{
+
+std::string reg(unsigned r) { return "r" + std::to_string(r); }
+std::string breg(unsigned b) { return "b" + std::to_string(b); }
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream os;
+    os << mnemonic(inst.op);
+    switch (inst.op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Sll:
+      case Opcode::Srl: case Opcode::Sra:
+        os << " " << reg(inst.rd) << ", " << reg(inst.rs1) << ", "
+           << reg(inst.rs2);
+        break;
+      case Opcode::Addi: case Opcode::Subi: case Opcode::Andi:
+      case Opcode::Ori: case Opcode::Xori: case Opcode::Slli:
+      case Opcode::Srli: case Opcode::Srai:
+        os << " " << reg(inst.rd) << ", " << reg(inst.rs1) << ", "
+           << inst.imm;
+        break;
+      case Opcode::Li:
+      case Opcode::Lui:
+        os << " " << reg(inst.rd) << ", " << inst.imm;
+        break;
+      case Opcode::Ld:
+      case Opcode::St:
+        os << " [" << reg(inst.rs1) << " + " << inst.imm << "]";
+        break;
+      case Opcode::LdX:
+      case Opcode::StX:
+        os << " [" << reg(inst.rs1) << " + " << reg(inst.rs2) << "]";
+        break;
+      case Opcode::Mov: case Opcode::Not: case Opcode::Neg:
+        os << " " << reg(inst.rd) << ", " << reg(inst.rs1);
+        break;
+      case Opcode::Lbr:
+        os << " " << breg(inst.br) << ", " << inst.imm;
+        break;
+      case Opcode::Pbr:
+        os << " " << breg(inst.br) << ", " << unsigned(inst.count) << ", "
+           << condName(inst.cond);
+        if (inst.cond != Cond::Always)
+            os << ", " << reg(inst.rs1);
+        break;
+      case Opcode::Nop:
+      case Opcode::Rsw:
+      case Opcode::Halt:
+        break;
+      default:
+        panic("cannot disassemble opcode ", unsigned(inst.op));
+    }
+    return os.str();
+}
+
+} // namespace pipesim::isa

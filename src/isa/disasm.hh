@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Disassembler: decoded Instruction -> assembly text.
+ *
+ * Output round-trips through the assembler (modulo labels, which the
+ * disassembler renders as absolute addresses).
+ */
+
+#ifndef PIPESIM_ISA_DISASM_HH
+#define PIPESIM_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/instruction.hh"
+
+namespace pipesim::isa
+{
+
+/** Render @p inst as assembly text (e.g. "add r1, r2, r3"). */
+std::string disassemble(const Instruction &inst);
+
+} // namespace pipesim::isa
+
+#endif // PIPESIM_ISA_DISASM_HH

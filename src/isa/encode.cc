@@ -1,0 +1,133 @@
+#include "isa/encode.hh"
+
+#include "common/log.hh"
+#include "isa/fields.hh"
+
+namespace pipesim::isa
+{
+
+namespace
+{
+
+/** ALU function index within the AluRR / AluRI majors. */
+unsigned
+aluFunc(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: case Opcode::Addi: return 0;
+      case Opcode::Sub: case Opcode::Subi: return 1;
+      case Opcode::And: case Opcode::Andi: return 2;
+      case Opcode::Or:  case Opcode::Ori:  return 3;
+      case Opcode::Xor: case Opcode::Xori: return 4;
+      case Opcode::Sll: case Opcode::Slli: return 5;
+      case Opcode::Srl: case Opcode::Srli: return 6;
+      case Opcode::Sra: case Opcode::Srai: return 7;
+      default: panic("not an ALU opcode");
+    }
+}
+
+void
+checkImm(const Instruction &inst)
+{
+    if (inst.imm < -32768 || inst.imm > 65535)
+        fatal("immediate ", inst.imm, " out of 16-bit range for '",
+              mnemonic(inst.op), "'");
+}
+
+} // namespace
+
+std::vector<Parcel>
+encode(const Instruction &inst, FormatMode mode)
+{
+    const OpcodeInfo &info = opcodeInfo(inst.op);
+    Parcel first = 0;
+    switch (inst.op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Sll:
+      case Opcode::Srl: case Opcode::Sra:
+        first = makeParcel(Major::AluRR, aluFunc(inst.op), inst.rd,
+                           inst.rs1, inst.rs2);
+        break;
+      case Opcode::Addi: case Opcode::Subi: case Opcode::Andi:
+      case Opcode::Ori: case Opcode::Xori: case Opcode::Slli:
+      case Opcode::Srli: case Opcode::Srai:
+        first = makeParcel(Major::AluRI, aluFunc(inst.op), inst.rd,
+                           inst.rs1, 0);
+        break;
+      case Opcode::Li:
+        first = makeParcel(Major::LiGrp, 0, inst.rd, 0, 0);
+        break;
+      case Opcode::Lui:
+        first = makeParcel(Major::LiGrp, 1, inst.rd, 0, 0);
+        break;
+      case Opcode::Ld:
+        first = makeParcel(Major::Ld, 0, 0, inst.rs1, 0);
+        break;
+      case Opcode::LdX:
+        first = makeParcel(Major::Ld, 1, 0, inst.rs1, inst.rs2);
+        break;
+      case Opcode::St:
+        first = makeParcel(Major::St, 0, 0, inst.rs1, 0);
+        break;
+      case Opcode::StX:
+        first = makeParcel(Major::St, 1, 0, inst.rs1, inst.rs2);
+        break;
+      case Opcode::Mov:
+        first = makeParcel(Major::Unary, 0, inst.rd, inst.rs1, 0);
+        break;
+      case Opcode::Not:
+        first = makeParcel(Major::Unary, 1, inst.rd, inst.rs1, 0);
+        break;
+      case Opcode::Neg:
+        first = makeParcel(Major::Unary, 2, inst.rd, inst.rs1, 0);
+        break;
+      case Opcode::Lbr:
+        first = makeParcel(Major::Lbr, inst.br, 0, 0, 0);
+        break;
+      case Opcode::Nop:
+        first = makeParcel(Major::Misc, 0, 0, 0, 0);
+        break;
+      case Opcode::Rsw:
+        first = makeParcel(Major::Misc, 1, 0, 0, 0);
+        break;
+      case Opcode::Halt:
+        first = makeParcel(Major::Misc, 2, 0, 0, 0);
+        break;
+      case Opcode::Pbr:
+        PIPESIM_ASSERT(inst.count <= 7, "pbr delay count out of range");
+        first = makeParcel(Major::Pbr, inst.br, unsigned(inst.cond),
+                           inst.rs1, inst.count);
+        break;
+      default:
+        panic("cannot encode opcode ", unsigned(inst.op));
+    }
+
+    std::vector<Parcel> out{first};
+    if (info.hasImm) {
+        checkImm(inst);
+        out.push_back(Parcel(inst.imm & 0xffff));
+    } else if (mode == FormatMode::Fixed32) {
+        out.push_back(0);
+    }
+    return out;
+}
+
+unsigned
+instParcels(Parcel p1, FormatMode mode)
+{
+    if (mode == FormatMode::Fixed32)
+        return 2;
+    switch (Major(majorOf(p1))) {
+      case Major::AluRI:
+      case Major::LiGrp:
+      case Major::Lbr:
+        return 2;
+      case Major::Ld:
+      case Major::St:
+        return fieldA(p1) == 0 ? 2 : 1;
+      default:
+        return 1;
+    }
+}
+
+} // namespace pipesim::isa

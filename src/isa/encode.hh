@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Instruction encoder: decoded Instruction -> parcels.
+ *
+ * Two format modes are supported, mirroring simulation parameter (1)
+ * of the paper:
+ *  - Compact: the native PIPE mix of one- and two-parcel encodings.
+ *  - Fixed32: every instruction occupies two parcels (4 bytes); a
+ *    one-parcel instruction is padded with a zero immediate parcel.
+ *    All results presented in the paper use a fixed 32-bit format
+ *    "to make comparisons to other machines more realistic".
+ */
+
+#ifndef PIPESIM_ISA_ENCODE_HH
+#define PIPESIM_ISA_ENCODE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace pipesim::isa
+{
+
+/** Instruction format selection (simulation parameter 1). */
+enum class FormatMode
+{
+    Compact,  //!< native 16/32-bit PIPE formats
+    Fixed32,  //!< every instruction padded to 32 bits
+};
+
+/**
+ * Encode @p inst into parcels.
+ *
+ * @param inst Instruction to encode; imm must fit in 16 bits
+ *             (signed or unsigned view).
+ * @param mode Format mode; Fixed32 always yields two parcels.
+ * @return the encoded parcels (1 or 2).
+ */
+std::vector<Parcel> encode(const Instruction &inst, FormatMode mode);
+
+/**
+ * Number of parcels the instruction starting with first parcel @p p1
+ * occupies under @p mode.
+ */
+unsigned instParcels(Parcel p1, FormatMode mode);
+
+} // namespace pipesim::isa
+
+#endif // PIPESIM_ISA_ENCODE_HH

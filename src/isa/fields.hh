@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Parcel-level field layout of the PIPE instruction encoding.
+ *
+ * PIPE instructions come in one- and two-parcel forms (a parcel is a
+ * 16-bit quantity).  As in the real machine, the register fields sit
+ * in the same position in every instruction, which keeps the decode
+ * logic trivial.  Our rendition of the first parcel:
+ *
+ *     [15:12] major opcode
+ *     [11:9]  field a   (ALU function / branch register / mode)
+ *     [8:6]   field b   (destination register / condition)
+ *     [5:3]   field c   (source register 1)
+ *     [2:0]   field d   (source register 2 / delay-slot count)
+ *
+ * Two-parcel instructions carry a 16-bit immediate in the second
+ * parcel.  The paper notes that "the existence of a branch
+ * instruction is determined by a single bit of the opcode"; we honour
+ * that property by reserving major 0x8 for PBR so that parcel bit 15
+ * by itself identifies a branch (all other majors are < 8).
+ */
+
+#ifndef PIPESIM_ISA_FIELDS_HH
+#define PIPESIM_ISA_FIELDS_HH
+
+#include "common/bitutil.hh"
+#include "common/types.hh"
+
+namespace pipesim::isa
+{
+
+/** Major opcode values (parcel bits [15:12]). */
+enum class Major : unsigned
+{
+    AluRR = 0x0,  //!< register-register ALU op, 1 parcel
+    AluRI = 0x1,  //!< register-immediate ALU op, 2 parcels
+    LiGrp = 0x2,  //!< load immediate / load upper immediate, 2 parcels
+    Ld    = 0x3,  //!< load address generation (LAQ push)
+    St    = 0x4,  //!< store address generation (SAQ push)
+    Unary = 0x5,  //!< mov / not / neg, 1 parcel
+    Lbr   = 0x6,  //!< load branch register, 2 parcels
+    Misc  = 0x7,  //!< nop / rsw / halt, 1 parcel
+    Pbr   = 0x8,  //!< prepare-to-branch, 1 parcel (bit 15 set)
+};
+
+/** Field extractors for the first parcel. */
+constexpr unsigned majorOf(Parcel p) { return unsigned(bits(p, 12, 4)); }
+constexpr unsigned fieldA(Parcel p) { return unsigned(bits(p, 9, 3)); }
+constexpr unsigned fieldB(Parcel p) { return unsigned(bits(p, 6, 3)); }
+constexpr unsigned fieldC(Parcel p) { return unsigned(bits(p, 3, 3)); }
+constexpr unsigned fieldD(Parcel p) { return unsigned(bits(p, 0, 3)); }
+
+/** Compose a first parcel from its fields. */
+constexpr Parcel
+makeParcel(Major major, unsigned a, unsigned b, unsigned c, unsigned d)
+{
+    return Parcel((unsigned(major) << 12) | ((a & 7) << 9) |
+                  ((b & 7) << 6) | ((c & 7) << 3) | (d & 7));
+}
+
+/** The single-bit branch test the PIPE cache control logic relies on. */
+constexpr bool parcelIsBranch(Parcel p) { return (p & 0x8000) != 0; }
+
+/** Number of addressable data registers per bank. */
+inline constexpr unsigned numDataRegs = 8;
+
+/** Number of branch registers. */
+inline constexpr unsigned numBranchRegs = 8;
+
+/**
+ * The architectural queue register.  Reading r7 pops the Load Data
+ * Queue; writing r7 pushes the Store Data Queue.
+ */
+inline constexpr unsigned queueReg = 7;
+
+} // namespace pipesim::isa
+
+#endif // PIPESIM_ISA_FIELDS_HH

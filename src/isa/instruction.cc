@@ -1,0 +1,48 @@
+#include "isa/instruction.hh"
+
+#include "isa/fields.hh"
+
+namespace pipesim::isa
+{
+
+std::vector<std::uint8_t>
+Instruction::srcRegs() const
+{
+    const OpcodeInfo &info = opcodeInfo(op);
+    std::vector<std::uint8_t> regs;
+    if (info.hasRs1)
+        regs.push_back(rs1);
+    if (info.hasRs2)
+        regs.push_back(rs2);
+    // PBR reads the condition register unless the branch is
+    // unconditional.
+    if (op == Opcode::Pbr && cond != Cond::Always)
+        regs.push_back(rs1);
+    return regs;
+}
+
+bool
+Instruction::writesReg(std::uint8_t r) const
+{
+    const OpcodeInfo &info = opcodeInfo(op);
+    return info.hasRd && rd == r;
+}
+
+unsigned
+Instruction::ldqPops() const
+{
+    unsigned n = 0;
+    for (std::uint8_t r : srcRegs())
+        if (r == queueReg)
+            ++n;
+    return n;
+}
+
+bool
+Instruction::pushesSdq() const
+{
+    const OpcodeInfo &info = opcodeInfo(op);
+    return info.hasRd && rd == queueReg;
+}
+
+} // namespace pipesim::isa

@@ -1,0 +1,67 @@
+#include "mem/data_memory.hh"
+
+#include "assembler/program.hh"
+#include "common/log.hh"
+
+namespace pipesim
+{
+
+DataMemory::DataMemory(std::size_t size_bytes) : _bytes(size_bytes, 0)
+{
+}
+
+void
+DataMemory::loadProgram(const Program &program)
+{
+    const auto &code = program.code();
+    checkRange(program.codeBase(), unsigned(code.size()));
+    std::copy(code.begin(), code.end(),
+              _bytes.begin() + program.codeBase());
+    for (const auto &seg : program.dataSegments()) {
+        checkRange(seg.base, unsigned(seg.bytes.size()));
+        std::copy(seg.bytes.begin(), seg.bytes.end(),
+                  _bytes.begin() + seg.base);
+    }
+}
+
+Word
+DataMemory::readWord(Addr addr) const
+{
+    checkRange(addr, wordBytes);
+    return Word(_bytes[addr]) | (Word(_bytes[addr + 1]) << 8) |
+           (Word(_bytes[addr + 2]) << 16) | (Word(_bytes[addr + 3]) << 24);
+}
+
+void
+DataMemory::writeWord(Addr addr, Word value)
+{
+    checkRange(addr, wordBytes);
+    _bytes[addr] = std::uint8_t(value & 0xff);
+    _bytes[addr + 1] = std::uint8_t((value >> 8) & 0xff);
+    _bytes[addr + 2] = std::uint8_t((value >> 16) & 0xff);
+    _bytes[addr + 3] = std::uint8_t((value >> 24) & 0xff);
+}
+
+std::uint8_t
+DataMemory::readByte(Addr addr) const
+{
+    checkRange(addr, 1);
+    return _bytes[addr];
+}
+
+void
+DataMemory::writeByte(Addr addr, std::uint8_t value)
+{
+    checkRange(addr, 1);
+    _bytes[addr] = value;
+}
+
+void
+DataMemory::checkRange(Addr addr, unsigned bytes) const
+{
+    if (std::size_t(addr) + bytes > _bytes.size())
+        panic("memory access [", addr, ", +", bytes, ") out of range (",
+              _bytes.size(), " bytes backed)");
+}
+
+} // namespace pipesim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Flat backing store holding the program image and all data.
+ *
+ * This is the *contents* of the simulated address space; all timing
+ * lives in ExternalMemory / MemorySystem.  The memory-mapped FPU
+ * range is not backed here (see mem/fpu.hh).
+ */
+
+#ifndef PIPESIM_MEM_DATA_MEMORY_HH
+#define PIPESIM_MEM_DATA_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pipesim
+{
+
+class Program;
+
+/** Byte-addressable backing store with 32-bit word accessors. */
+class DataMemory
+{
+  public:
+    /** @param size_bytes Size of the address space to back. */
+    explicit DataMemory(std::size_t size_bytes = defaultSize);
+
+    /** Copy a program's code image and data segments into memory. */
+    void loadProgram(const Program &program);
+
+    Word readWord(Addr addr) const;
+    void writeWord(Addr addr, Word value);
+
+    std::uint8_t readByte(Addr addr) const;
+    void writeByte(Addr addr, std::uint8_t value);
+
+    std::size_t size() const { return _bytes.size(); }
+
+    /** Default backing size: 1 MiB, plenty for the workloads. */
+    static constexpr std::size_t defaultSize = 1u << 20;
+
+  private:
+    void checkRange(Addr addr, unsigned bytes) const;
+
+    std::vector<std::uint8_t> _bytes;
+};
+
+} // namespace pipesim
+
+#endif // PIPESIM_MEM_DATA_MEMORY_HH

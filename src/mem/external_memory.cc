@@ -1,0 +1,79 @@
+#include "mem/external_memory.hh"
+
+#include "common/log.hh"
+
+namespace pipesim
+{
+
+ExternalMemory::ExternalMemory(unsigned access_time, bool pipelined)
+    : _accessTime(access_time), _pipelined(pipelined)
+{
+    PIPESIM_ASSERT(access_time >= 1, "memory access time must be >= 1");
+}
+
+bool
+ExternalMemory::canAccept() const
+{
+    if (_pipelined)
+        return true;
+    return idle();
+}
+
+void
+ExternalMemory::accept(MemRequest req, Cycle now)
+{
+    PIPESIM_ASSERT(canAccept(), "request accepted while memory busy");
+    if (req.isStore)
+        ++_writes;
+    else
+        ++_reads;
+    _inflight.push_back(InFlight{std::move(req), now + _accessTime});
+}
+
+void
+ExternalMemory::tick(Cycle now)
+{
+    if (!_inflight.empty())
+        ++_busyCycles;
+    while (!_inflight.empty() && _inflight.front().req.isStore &&
+           _inflight.front().readyAt <= now) {
+        auto req = std::move(_inflight.front().req);
+        _inflight.pop_front();
+        if (req.onComplete)
+            req.onComplete();
+    }
+}
+
+std::optional<MemRequest>
+ExternalMemory::peekReady(Cycle now) const
+{
+    if (_inflight.empty())
+        return std::nullopt;
+    const InFlight &head = _inflight.front();
+    if (head.req.isStore || head.readyAt > now)
+        return std::nullopt;
+    return head.req;
+}
+
+MemRequest
+ExternalMemory::popReady(Cycle now)
+{
+    auto ready = peekReady(now);
+    PIPESIM_ASSERT(ready, "popReady with no ready response");
+    MemRequest req = std::move(_inflight.front().req);
+    _inflight.pop_front();
+    return req;
+}
+
+void
+ExternalMemory::regStats(StatGroup &stats, const std::string &prefix)
+{
+    stats.regCounter(prefix + ".reads", &_reads,
+                     "read requests accepted");
+    stats.regCounter(prefix + ".writes", &_writes,
+                     "write requests accepted");
+    stats.regCounter(prefix + ".busy_cycles", &_busyCycles,
+                     "cycles with at least one request in flight");
+}
+
+} // namespace pipesim

@@ -1,0 +1,271 @@
+#include "mem/memory_system.hh"
+
+#include <array>
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace pipesim
+{
+
+MemorySystem::MemorySystem(const MemSystemConfig &config,
+                           DataMemory &data_memory)
+    : _config(config), _dataMem(data_memory),
+      _extMem(config.accessTime, config.pipelined), _fpu(config.fpuLatency)
+{
+    PIPESIM_ASSERT(config.busWidthBytes >= wordBytes,
+                   "input bus must be at least one word wide");
+    PIPESIM_ASSERT(isPowerOf2(config.busWidthBytes),
+                   "bus width must be a power of two");
+    if (config.dcacheBytes > 0)
+        _dcache.emplace(config.dcacheBytes, config.dcacheLineBytes,
+                        wordBytes);
+}
+
+void
+MemorySystem::tick(Cycle now)
+{
+    _extMem.tick(now);
+    deliverLocalResponse(now);
+    deliverInputBus(now);
+    serviceDcache(now);
+    acceptOutputBus(now);
+}
+
+/**
+ * Data-cache port: service the data client's head if it is a hit
+ * load (at most one per cycle; no bus or external memory involved).
+ */
+void
+MemorySystem::serviceDcache(Cycle now)
+{
+    if (!_dcache || !_dataClient)
+        return;
+    auto req = _dataClient->peek();
+    if (!req || req->isStore || FpuDevice::contains(req->addr))
+        return;
+    if (!_dcache->bytesValid(req->addr, req->bytes)) {
+        if (_lastDcacheMissSeq != req->dataSeq) {
+            _dcache->recordLookup(false);
+            ++_dcacheMisses;
+            _lastDcacheMissSeq = req->dataSeq;
+        }
+        return; // falls through to the off-chip path this cycle
+    }
+    _dcache->recordLookup(true);
+    ++_dcacheHits;
+    _dataClient->accepted();
+    LocalResponse resp;
+    resp.req = std::move(*req);
+    resp.value = _dataMem.readWord(resp.req.addr);
+    resp.readyAt = now + 1;
+    _localResponses.push_back(std::move(resp));
+}
+
+/** Deliver at most one ready data-cache hit, in LDQ order. */
+void
+MemorySystem::deliverLocalResponse(Cycle now)
+{
+    if (_localResponses.empty())
+        return;
+    LocalResponse &resp = _localResponses.front();
+    if (resp.readyAt > now ||
+        resp.req.dataSeq != _nextDataDeliverSeq)
+        return;
+    if (resp.req.onData)
+        resp.req.onData(resp.value);
+    ++_nextDataDeliverSeq;
+    if (resp.req.onComplete)
+        resp.req.onComplete();
+    _localResponses.pop_front();
+}
+
+bool
+MemorySystem::deliverable(const MemRequest &req) const
+{
+    if (req.isStore)
+        return false;
+    if (req.cls == ReqClass::Data)
+        return req.dataSeq == _nextDataDeliverSeq;
+    return true;
+}
+
+void
+MemorySystem::selectTransfer(Cycle now)
+{
+    // Candidate 1: head of the external memory's response queue.
+    std::optional<MemRequest> ext = _extMem.peekReady(now);
+    const bool ext_ok = ext && deliverable(*ext);
+
+    // Candidate 2: oldest ready FPU result read.
+    auto fpu_ready = _fpu.peekReady(now);
+    const bool fpu_ok = fpu_ready && deliverable(fpu_ready->req);
+
+    if (!ext_ok && !fpu_ok)
+        return;
+
+    // Priority: demand responses beat FPU results, FPU results beat
+    // prefetch responses (paper section 5).
+    bool pick_ext;
+    if (ext_ok && fpu_ok)
+        pick_ext = ext->cls != ReqClass::IPrefetch;
+    else
+        pick_ext = ext_ok;
+
+    Transfer t;
+    if (pick_ext) {
+        t.req = _extMem.popReady(now);
+        t.fromExtMem = true;
+        t.value = t.req.loadData;
+        _extMem.setTransferring(true);
+    } else {
+        t.req = fpu_ready->req;
+        t.fromExtMem = false;
+        t.value = fpu_ready->value;
+        _fpu.popReady(now);
+    }
+    t.nextAddr = t.req.addr;
+    t.bytesLeft = t.req.bytes;
+    PIPESIM_ASSERT(t.bytesLeft > 0, "zero-length response");
+    _transfer = std::move(t);
+}
+
+void
+MemorySystem::deliverBeat(Cycle now)
+{
+    (void)now;
+    Transfer &t = *_transfer;
+    const unsigned beat = std::min(_config.busWidthBytes, t.bytesLeft);
+    ++_beatsDelivered;
+    ++_inputBusBusyCycles;
+    if (t.req.onBeat)
+        t.req.onBeat(t.nextAddr, beat);
+    t.nextAddr += beat;
+    t.bytesLeft -= beat;
+    if (t.bytesLeft == 0) {
+        if (!t.req.isStore && t.req.cls == ReqClass::Data) {
+            if (t.req.onData)
+                t.req.onData(t.value);
+            ++_nextDataDeliverSeq;
+        }
+        if (t.req.onComplete)
+            t.req.onComplete();
+        if (t.fromExtMem)
+            _extMem.setTransferring(false);
+        _transfer.reset();
+    }
+}
+
+void
+MemorySystem::deliverInputBus(Cycle now)
+{
+    if (!_transfer)
+        selectTransfer(now);
+    if (_transfer)
+        deliverBeat(now);
+}
+
+bool
+MemorySystem::tryAccept(MemClient *client, Cycle now)
+{
+    if (!client)
+        return false;
+    auto req = client->peek();
+    if (!req)
+        return false;
+
+    const bool to_fpu = FpuDevice::contains(req->addr);
+    if (!to_fpu && !_extMem.canAccept())
+        return false;
+
+    client->accepted();
+    ++_outputBusBusyCycles;
+    switch (req->cls) {
+      case ReqClass::Data: ++_dataRequests; break;
+      case ReqClass::IFetchDemand: ++_demandRequests; break;
+      case ReqClass::IPrefetch: ++_prefetchRequests; break;
+    }
+
+    if (to_fpu) {
+        if (req->isStore) {
+            _fpu.store(req->addr, req->storeData, now);
+            if (req->onComplete)
+                req->onComplete();
+        } else {
+            _fpu.queueRead(*req, now);
+        }
+        return true;
+    }
+
+    if (req->isStore) {
+        // Applied now; later loads are accepted later in program
+        // order and capture their values at acceptance, so ordering
+        // is preserved.
+        _dataMem.writeWord(req->addr, req->storeData);
+        // Write-through: update the data cache only if present.
+        if (_dcache && _dcache->linePresent(req->addr))
+            _dcache->fill(Addr(alignDown(req->addr, wordBytes)),
+                          wordBytes);
+    } else if (req->cls == ReqClass::Data) {
+        req->loadData = _dataMem.readWord(req->addr);
+        // Miss fill (word granular, allocating the line frame).
+        if (_dcache) {
+            if (!_dcache->linePresent(req->addr))
+                _dcache->allocate(req->addr);
+            _dcache->fill(Addr(alignDown(req->addr, wordBytes)),
+                          wordBytes);
+        }
+    }
+    _extMem.accept(std::move(*req), now);
+    return true;
+}
+
+void
+MemorySystem::acceptOutputBus(Cycle now)
+{
+    std::array<MemClient *, 3> order;
+    if (_config.instructionPriority)
+        order = {_demandClient, _dataClient, _prefetchClient};
+    else
+        order = {_dataClient, _demandClient, _prefetchClient};
+
+    for (MemClient *client : order)
+        if (tryAccept(client, now))
+            return;
+}
+
+bool
+MemorySystem::quiescent() const
+{
+    return !_transfer && _extMem.idle() && _fpu.pendingReads() == 0 &&
+           _localResponses.empty();
+}
+
+void
+MemorySystem::regStats(StatGroup &stats, const std::string &prefix)
+{
+    stats.regCounter(prefix + ".input_bus_busy_cycles",
+                     &_inputBusBusyCycles,
+                     "cycles the input bus carried a beat");
+    stats.regCounter(prefix + ".output_bus_busy_cycles",
+                     &_outputBusBusyCycles,
+                     "cycles the output bus carried a request");
+    stats.regCounter(prefix + ".data_requests", &_dataRequests,
+                     "data loads/stores accepted");
+    stats.regCounter(prefix + ".demand_ifetch_requests", &_demandRequests,
+                     "demand instruction fetches accepted");
+    stats.regCounter(prefix + ".prefetch_requests", &_prefetchRequests,
+                     "instruction prefetches accepted");
+    stats.regCounter(prefix + ".beats_delivered", &_beatsDelivered,
+                     "input bus beats delivered");
+    stats.regCounter(prefix + ".dcache_hits", &_dcacheHits,
+                     "on-chip data cache hits (extension)");
+    stats.regCounter(prefix + ".dcache_misses", &_dcacheMisses,
+                     "on-chip data cache misses (extension)");
+    if (_dcache)
+        _dcache->regStats(stats, prefix + ".dcache");
+    _extMem.regStats(stats, prefix + ".extmem");
+    _fpu.regStats(stats, prefix + ".fpu");
+}
+
+} // namespace pipesim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Memory request/response types exchanged between the processor-side
+ * requesters (the CPU's data queues and the instruction fetch units)
+ * and the memory system.
+ */
+
+#ifndef PIPESIM_MEM_REQUEST_HH
+#define PIPESIM_MEM_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/types.hh"
+
+namespace pipesim
+{
+
+/**
+ * Arbitration class of a request.  The paper's simulation model
+ * "gives precedence to data and instruction loads and stores,
+ * followed by multiply results, with instruction prefetches having
+ * lowest priority"; additionally the presented results give demand
+ * instruction fetches priority over data requests (configurable).
+ */
+enum class ReqClass : unsigned char
+{
+    Data,          //!< architectural load/store (LAQ/SAQ drain)
+    IFetchDemand,  //!< instruction fetch the decoder is waiting on
+    IPrefetch,     //!< speculative instruction prefetch
+};
+
+/**
+ * One request presented to the memory interface.
+ *
+ * Loads and instruction fetches produce response beats on the input
+ * bus; stores complete silently.  @c onBeat is invoked once per input
+ * bus beat with the byte range delivered; @c onComplete fires after
+ * the final beat (or, for stores, when the memory finishes the
+ * write).
+ */
+struct MemRequest
+{
+    Addr addr = 0;
+    unsigned bytes = 0;
+    bool isStore = false;
+    Word storeData = 0;
+    ReqClass cls = ReqClass::Data;
+
+    /**
+     * Program-order sequence number for Data-class requests.  The
+     * memory system delivers data-load responses strictly in this
+     * order so the Load Data Queue (a FIFO the programmer reads as
+     * r7) fills correctly.
+     */
+    std::uint64_t dataSeq = 0;
+
+    /** Called for every input-bus beat: (base address, bytes). */
+    std::function<void(Addr, unsigned)> onBeat;
+
+    /**
+     * For data loads: called with the loaded word when the response
+     * is delivered.  The value is captured when the memory services
+     * the request, preserving program-order memory semantics.
+     */
+    std::function<void(Word)> onData;
+
+    /** Called once when the request fully completes. */
+    std::function<void()> onComplete;
+
+    /** Load value captured at acceptance (memory system internal). */
+    Word loadData = 0;
+};
+
+/**
+ * Pull interface the memory system uses to collect requests.
+ *
+ * Each requester exposes at most one candidate request per cycle;
+ * when the output bus accepts it the memory system calls accepted()
+ * and the requester pops its internal queue.
+ */
+class MemClient
+{
+  public:
+    virtual ~MemClient() = default;
+
+    /** The request this client wants to issue now, if any. */
+    virtual std::optional<MemRequest> peek() = 0;
+
+    /** The peeked request was accepted this cycle. */
+    virtual void accepted() = 0;
+};
+
+} // namespace pipesim
+
+#endif // PIPESIM_MEM_REQUEST_HH

@@ -1,0 +1,35 @@
+#include "queue/arch_queues.hh"
+
+namespace pipesim
+{
+
+ArchQueues::ArchQueues(std::size_t laq_entries, std::size_t ldq_entries,
+                       std::size_t saq_entries, std::size_t sdq_entries)
+    : _laq(laq_entries), _ldq(ldq_entries), _saq(saq_entries),
+      _sdq(sdq_entries)
+{
+}
+
+void
+ArchQueues::sampleOccupancy()
+{
+    _laqOcc.sample(_laq.size());
+    _ldqOcc.sample(_ldq.size());
+    _saqOcc.sample(_saq.size());
+    _sdqOcc.sample(_sdq.size());
+}
+
+void
+ArchQueues::regStats(StatGroup &stats, const std::string &prefix)
+{
+    stats.regHistogram(prefix + ".laq_occupancy", &_laqOcc,
+                       "LAQ entries in use per cycle");
+    stats.regHistogram(prefix + ".ldq_occupancy", &_ldqOcc,
+                       "LDQ entries in use per cycle");
+    stats.regHistogram(prefix + ".saq_occupancy", &_saqOcc,
+                       "SAQ entries in use per cycle");
+    stats.regHistogram(prefix + ".sdq_occupancy", &_sdqOcc,
+                       "SDQ entries in use per cycle");
+}
+
+} // namespace pipesim

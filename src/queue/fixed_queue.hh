@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A fixed-capacity FIFO, the building block of PIPE's architectural
+ * queues (LAQ, LDQ, SAQ, SDQ) and of the instruction queue / queue
+ * buffer in the fetch unit.
+ */
+
+#ifndef PIPESIM_QUEUE_FIXED_QUEUE_HH
+#define PIPESIM_QUEUE_FIXED_QUEUE_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "common/log.hh"
+
+namespace pipesim
+{
+
+/**
+ * Bounded FIFO queue.
+ *
+ * Overflow and underflow are simulator bugs (the issue logic must
+ * check full()/empty() first), so they panic.
+ */
+template <typename T>
+class FixedQueue
+{
+  public:
+    explicit FixedQueue(std::size_t capacity) : _capacity(capacity)
+    {
+        PIPESIM_ASSERT(capacity > 0, "queue capacity must be positive");
+    }
+
+    bool empty() const { return _items.empty(); }
+    bool full() const { return _items.size() >= _capacity; }
+    std::size_t size() const { return _items.size(); }
+    std::size_t capacity() const { return _capacity; }
+    std::size_t freeSlots() const { return _capacity - _items.size(); }
+
+    /** Push onto the tail; queue must not be full. */
+    void
+    push(T item)
+    {
+        PIPESIM_ASSERT(!full(), "push to full queue");
+        _items.push_back(std::move(item));
+    }
+
+    /** The head element; queue must not be empty. */
+    const T &
+    front() const
+    {
+        PIPESIM_ASSERT(!empty(), "front of empty queue");
+        return _items.front();
+    }
+
+    /** Pop and return the head element; queue must not be empty. */
+    T
+    pop()
+    {
+        PIPESIM_ASSERT(!empty(), "pop from empty queue");
+        T item = std::move(_items.front());
+        _items.pop_front();
+        return item;
+    }
+
+    /** Random access from the head (0 == front) for scan logic. */
+    const T &
+    at(std::size_t idx) const
+    {
+        PIPESIM_ASSERT(idx < _items.size(), "queue index out of range");
+        return _items[idx];
+    }
+
+    void clear() { _items.clear(); }
+
+  private:
+    std::size_t _capacity;
+    std::deque<T> _items;
+};
+
+} // namespace pipesim
+
+#endif // PIPESIM_QUEUE_FIXED_QUEUE_HH

@@ -1,0 +1,131 @@
+#include "sim/cli.hh"
+
+#include <iostream>
+#include <sstream>
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+
+namespace pipesim
+{
+
+CliParser::CliParser(std::string description)
+    : _description(std::move(description))
+{
+}
+
+void
+CliParser::addOption(const std::string &name, const std::string &def,
+                     const std::string &help)
+{
+    PIPESIM_ASSERT(!_options.count(name), "duplicate option --", name);
+    _options.emplace(name, Option{def, help, false, def});
+    _order.push_back(name);
+}
+
+void
+CliParser::addFlag(const std::string &name, const std::string &help)
+{
+    PIPESIM_ASSERT(!_options.count(name), "duplicate option --", name);
+    _options.emplace(name, Option{"", help, true, ""});
+    _order.push_back(name);
+}
+
+bool
+CliParser::parse(int argc, const char *const *argv)
+{
+    _program = argc > 0 ? argv[0] : "tool";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::cout << usage();
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            _positional.push_back(arg);
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        if (const auto eq = name.find('='); eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_value = true;
+        }
+        auto it = _options.find(name);
+        if (it == _options.end())
+            fatal("unknown option --", name, "\n", usage());
+        Option &opt = it->second;
+        opt.seen = true;
+        if (opt.isFlag) {
+            if (has_value)
+                fatal("flag --", name, " takes no value");
+            continue;
+        }
+        if (!has_value) {
+            if (i + 1 >= argc)
+                fatal("option --", name, " needs a value");
+            value = argv[++i];
+        }
+        opt.value = value;
+    }
+    return true;
+}
+
+std::string
+CliParser::get(const std::string &name) const
+{
+    auto it = _options.find(name);
+    PIPESIM_ASSERT(it != _options.end(), "undefined option --", name);
+    return it->second.value;
+}
+
+std::int64_t
+CliParser::getInt(const std::string &name) const
+{
+    const auto v = parseInt(get(name));
+    if (!v)
+        fatal("option --", name, ": '", get(name), "' is not an integer");
+    return *v;
+}
+
+double
+CliParser::getDouble(const std::string &name) const
+{
+    try {
+        return std::stod(get(name));
+    } catch (const std::exception &) {
+        fatal("option --", name, ": '", get(name), "' is not a number");
+    }
+}
+
+bool
+CliParser::getFlag(const std::string &name) const
+{
+    auto it = _options.find(name);
+    PIPESIM_ASSERT(it != _options.end(), "undefined option --", name);
+    return it->second.seen;
+}
+
+std::string
+CliParser::usage() const
+{
+    std::ostringstream os;
+    os << _description << "\n\nusage: " << _program << " [options]\n\n";
+    for (const auto &name : _order) {
+        const Option &opt = _options.at(name);
+        std::string left = "  --" + name;
+        if (!opt.isFlag)
+            left += " <" + (opt.def.empty() ? "value" : opt.def) + ">";
+        os << left;
+        if (left.size() < 28)
+            os << std::string(28 - left.size(), ' ');
+        else
+            os << "  ";
+        os << opt.help << "\n";
+    }
+    return os.str();
+}
+
+} // namespace pipesim

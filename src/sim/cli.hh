@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal command-line option parser shared by the examples and the
+ * benchmark binaries, so every tool has uniform --help output.
+ */
+
+#ifndef PIPESIM_SIM_CLI_HH
+#define PIPESIM_SIM_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pipesim
+{
+
+class CliParser
+{
+  public:
+    /** @param description One-line tool description for --help. */
+    explicit CliParser(std::string description);
+
+    /** Define --name <value> with a default. */
+    void addOption(const std::string &name, const std::string &def,
+                   const std::string &help);
+
+    /** Define a boolean --name flag (default false). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv.  Unknown options or a --help request print usage;
+     * --help returns false (caller should exit 0), unknown options
+     * throw FatalError.
+     */
+    bool parse(int argc, const char *const *argv);
+
+    std::string get(const std::string &name) const;
+    std::int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getFlag(const std::string &name) const;
+
+    /** Positional arguments left after option parsing. */
+    const std::vector<std::string> &positional() const
+    {
+        return _positional;
+    }
+
+    std::string usage() const;
+
+  private:
+    struct Option
+    {
+        std::string def;
+        std::string help;
+        bool isFlag;
+        std::string value;
+        bool seen = false;
+    };
+
+    std::string _description;
+    std::string _program;
+    std::map<std::string, Option> _options;
+    std::vector<std::string> _order;
+    std::vector<std::string> _positional;
+};
+
+} // namespace pipesim
+
+#endif // PIPESIM_SIM_CLI_HH

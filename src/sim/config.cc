@@ -1,0 +1,80 @@
+#include "sim/config.hh"
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+
+namespace pipesim
+{
+
+std::string
+SimConfig::fetchName() const
+{
+    if (fetch.strategy == FetchStrategy::Conventional)
+        return "conv";
+    if (fetch.strategy == FetchStrategy::Tib)
+        return "tib";
+    return format("%u-%u", fetch.iqBytes, fetch.iqbBytes);
+}
+
+FetchConfig
+pipeConfigFor(const std::string &name, unsigned cache_bytes)
+{
+    FetchConfig cfg;
+    cfg.strategy = FetchStrategy::Pipe;
+    cfg.cacheBytes = cache_bytes;
+    if (name == "8-8") {
+        cfg.lineBytes = 8;
+        cfg.iqBytes = 8;
+        cfg.iqbBytes = 8;
+    } else if (name == "16-16") {
+        cfg.lineBytes = 16;
+        cfg.iqBytes = 16;
+        cfg.iqbBytes = 16;
+    } else if (name == "16-32") {
+        cfg.lineBytes = 32;
+        cfg.iqBytes = 16;
+        cfg.iqbBytes = 32;
+    } else if (name == "32-32") {
+        cfg.lineBytes = 32;
+        cfg.iqBytes = 32;
+        cfg.iqbBytes = 32;
+    } else {
+        fatal("unknown PIPE configuration '", name,
+              "' (expected 8-8, 16-16, 16-32 or 32-32)");
+    }
+    return cfg;
+}
+
+FetchConfig
+conventionalConfigFor(unsigned cache_bytes, unsigned line_bytes)
+{
+    FetchConfig cfg;
+    cfg.strategy = FetchStrategy::Conventional;
+    cfg.cacheBytes = cache_bytes;
+    cfg.lineBytes = std::min(line_bytes, cache_bytes);
+    return cfg;
+}
+
+FetchConfig
+tibConfigFor(unsigned tib_bytes, unsigned entry_bytes)
+{
+    FetchConfig cfg;
+    cfg.strategy = FetchStrategy::Tib;
+    cfg.cacheBytes = tib_bytes;
+    cfg.lineBytes = std::min(entry_bytes, tib_bytes);
+    // Stream buffer: two entries of lookahead, like the IQ + IQB.
+    cfg.iqBytes = cfg.lineBytes;
+    cfg.iqbBytes = cfg.lineBytes;
+    return cfg;
+}
+
+const std::vector<std::string> &
+tableIIConfigNames()
+{
+    static const std::vector<std::string> names = {
+        "8-8", "16-16", "16-32", "32-32",
+    };
+    return names;
+}
+
+} // namespace pipesim

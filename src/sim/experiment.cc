@@ -1,0 +1,63 @@
+#include "sim/experiment.hh"
+
+namespace pipesim
+{
+
+SimConfig
+makeSweepConfig(const SweepSpec &spec [[maybe_unused]], const std::string &strategy,
+                unsigned cache_bytes)
+{
+    SimConfig cfg;
+    cfg.mem = spec.mem;
+    cfg.cpu = spec.cpu;
+    if (strategy == "conv") {
+        cfg.fetch = conventionalConfigFor(cache_bytes, spec.convLineBytes);
+    } else if (strategy == "tib") {
+        cfg.fetch = tibConfigFor(cache_bytes, spec.tibEntryBytes);
+    } else {
+        cfg.fetch = pipeConfigFor(strategy, cache_bytes);
+        cfg.fetch.offchipPolicy = spec.policy;
+    }
+    return cfg;
+}
+
+bool
+sweepPointValid([[maybe_unused]] const SweepSpec &spec,
+                const std::string &strategy, unsigned cache_bytes)
+{
+    if (strategy == "conv")
+        return true;
+    if (strategy == "tib")
+        return cache_bytes >= 2 * parcelBytes;
+    return pipeConfigFor(strategy, cache_bytes).lineBytes <= cache_bytes;
+}
+
+Table
+runCacheSweep(const SweepSpec &spec, const Program &program,
+              const std::function<void(const std::string &, unsigned,
+                                       const SimResult &)> &on_point)
+{
+    std::vector<std::string> headers = {"cache_bytes"};
+    for (const auto &s : spec.strategies)
+        headers.push_back(s);
+    Table table(std::move(headers));
+
+    for (unsigned size : spec.cacheSizes) {
+        table.beginRow();
+        table.cell(size);
+        for (const auto &strategy : spec.strategies) {
+            if (!sweepPointValid(spec, strategy, size)) {
+                table.cell("-");
+                continue;
+            }
+            const SimConfig cfg = makeSweepConfig(spec, strategy, size);
+            const SimResult result = runSimulation(cfg, program);
+            table.cell(std::uint64_t(result.totalCycles));
+            if (on_point)
+                on_point(strategy, size, result);
+        }
+    }
+    return table;
+}
+
+} // namespace pipesim

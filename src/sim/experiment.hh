@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Experiment harness: the cache-size sweeps behind every figure in
+ * the paper's evaluation, parameterised the same way (strategy set,
+ * memory access time, bus width, pipelining).
+ */
+
+#ifndef PIPESIM_SIM_EXPERIMENT_HH
+#define PIPESIM_SIM_EXPERIMENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "assembler/program.hh"
+#include "common/table.hh"
+#include "sim/config.hh"
+#include "sim/simulator.hh"
+
+namespace pipesim
+{
+
+/** One figure-style sweep: strategies x cache sizes. */
+struct SweepSpec
+{
+    /** Cache sizes on the x axis (bytes). */
+    std::vector<unsigned> cacheSizes = {16, 32, 64, 128, 256, 512, 1024};
+
+    /**
+     * Strategy names: "conv" or a Table II PIPE configuration name.
+     * Order defines the table columns.
+     */
+    std::vector<std::string> strategies = {"conv", "8-8", "16-16",
+                                           "16-32", "32-32"};
+
+    /** Memory-side parameters shared by every point. */
+    MemSystemConfig mem;
+
+    /** Off-chip policy for the PIPE strategies (paper: TruePrefetch). */
+    OffchipPolicy policy = OffchipPolicy::TruePrefetch;
+
+    /** Line size for the conventional cache. */
+    unsigned convLineBytes = 16;
+
+    /** Entry size for the "tib" strategy. */
+    unsigned tibEntryBytes = 16;
+
+    /** Processor-side parameters. */
+    PipelineConfig cpu;
+};
+
+/** Build the SimConfig for one (strategy, cache size) point. */
+SimConfig makeSweepConfig(const SweepSpec &spec,
+                          const std::string &strategy,
+                          unsigned cache_bytes);
+
+/**
+ * @return true if the point is simulable (a PIPE configuration needs
+ *         a cache at least one line large).
+ */
+bool sweepPointValid(const SweepSpec &spec, const std::string &strategy,
+                     unsigned cache_bytes);
+
+/**
+ * Run the sweep over @p program.
+ *
+ * @param on_point Optional observer called after each run (e.g. for
+ *                 progress output or extra stat collection).
+ * @return a table: one row per cache size, one column per strategy,
+ *         cells are total execution cycles ("-" for invalid points).
+ */
+Table runCacheSweep(
+    const SweepSpec &spec, const Program &program,
+    const std::function<void(const std::string &strategy,
+                             unsigned cache_bytes,
+                             const SimResult &result)> &on_point = {});
+
+} // namespace pipesim
+
+#endif // PIPESIM_SIM_EXPERIMENT_HH

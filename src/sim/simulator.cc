@@ -1,0 +1,99 @@
+#include "sim/simulator.hh"
+
+#include "core/conventional_fetch.hh"
+#include "core/pipe_fetch.hh"
+#include "core/tib_fetch.hh"
+
+namespace pipesim
+{
+
+std::uint64_t
+SimResult::counter(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+Simulator::Simulator(const SimConfig &config, const Program &program)
+    : _config(config), _program(program)
+{
+    _dataMem.loadProgram(program);
+    _mem = std::make_unique<MemorySystem>(config.mem, _dataMem);
+
+    switch (config.fetch.strategy) {
+      case FetchStrategy::Pipe:
+        _fetch = std::make_unique<PipeFetchUnit>(config.fetch, program,
+                                                 *_mem);
+        break;
+      case FetchStrategy::Conventional:
+        _fetch = std::make_unique<ConventionalFetchUnit>(config.fetch,
+                                                         program, *_mem);
+        break;
+      case FetchStrategy::Tib:
+        _fetch = std::make_unique<TibFetchUnit>(config.fetch, program,
+                                                *_mem);
+        break;
+    }
+
+    _pipeline = std::make_unique<Pipeline>(config.cpu, *_fetch, *_mem);
+
+    _pipeline->regStats(_stats, "cpu");
+    _fetch->regStats(_stats, "fetch");
+    _mem->regStats(_stats, "mem");
+}
+
+void
+Simulator::step()
+{
+    _fetch->tick(_now);
+    _mem->tick(_now);
+    _pipeline->tick(_now);
+
+    if (_pipeline->instructionsRetired() != _lastRetired) {
+        _lastRetired = _pipeline->instructionsRetired();
+        _lastProgressCycle = _now;
+    }
+    ++_now;
+}
+
+bool
+Simulator::done() const
+{
+    return _pipeline->halted() && _pipeline->drained() &&
+           _mem->quiescent();
+}
+
+SimResult
+Simulator::run()
+{
+    while (!done()) {
+        step();
+        if (_now > _config.maxCycles)
+            fatal("simulation exceeded ", _config.maxCycles, " cycles");
+        if (!_pipeline->halted() &&
+            _now - _lastProgressCycle > _config.progressWindow)
+            fatal("no instruction retired for ", _config.progressWindow,
+                  " cycles: machine deadlocked at cycle ", _now);
+    }
+    return result();
+}
+
+SimResult
+Simulator::result() const
+{
+    SimResult r;
+    r.totalCycles = _pipeline->haltCycle();
+    r.instructions = _pipeline->instructionsRetired();
+    for (const auto &name : _stats.counterNames())
+        r.counters.emplace(name, _stats.counterValue(name));
+    return r;
+}
+
+SimResult
+runSimulation(const SimConfig &config, const Program &program)
+{
+    Simulator sim(config, program);
+    return sim.run();
+}
+
+} // namespace pipesim

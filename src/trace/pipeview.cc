@@ -1,0 +1,101 @@
+#include "trace/pipeview.hh"
+
+#include <sstream>
+
+#include "common/strutil.hh"
+
+namespace pipesim
+{
+
+void
+PipeViewer::run(Simulator &sim, Cycle max_cycles)
+{
+    _samples.clear();
+
+    StatGroup &st = sim.stats();
+    auto queue_stalls = [&st]() {
+        return st.counterValue("cpu.stall_sdq_full") +
+               st.counterValue("cpu.stall_laq_full") +
+               st.counterValue("cpu.stall_saq_full") +
+               st.counterValue("cpu.stall_ldq_reserved");
+    };
+    std::uint64_t retired = sim.pipeline().instructionsRetired();
+    std::uint64_t starve = st.counterValue("cpu.fetch_starve_cycles");
+    std::uint64_t ldq_stall = st.counterValue("cpu.stall_ldq_empty");
+    std::uint64_t q_stall = queue_stalls();
+
+    while (!sim.done() && sim.now() < max_cycles) {
+        sim.step();
+
+        Sample s;
+        s.cycle = sim.now() - 1;
+        const std::uint64_t retired_now =
+            sim.pipeline().instructionsRetired();
+        s.issued = retired_now != retired;
+        retired = retired_now;
+
+        const std::uint64_t starve_now =
+            st.counterValue("cpu.fetch_starve_cycles");
+        const std::uint64_t ldq_now =
+            st.counterValue("cpu.stall_ldq_empty");
+        const std::uint64_t q_now = queue_stalls();
+        if (s.issued)
+            s.cause = 'I';
+        else if (starve_now != starve)
+            s.cause = 'f';
+        else if (ldq_now != ldq_stall)
+            s.cause = 'd';
+        else if (q_now != q_stall)
+            s.cause = 'q';
+        else
+            s.cause = '.';
+        starve = starve_now;
+        ldq_stall = ldq_now;
+        q_stall = q_now;
+
+        s.ldqOcc = sim.pipeline().queues().ldq().size();
+        s.sdqOcc = sim.pipeline().queues().sdq().size();
+        s.memBusy = !sim.memorySystem().quiescent();
+        _samples.push_back(s);
+    }
+}
+
+std::string
+PipeViewer::timeline(unsigned width) const
+{
+    std::ostringstream os;
+    for (std::size_t base = 0; base < _samples.size(); base += width) {
+        os << format("%8llu  ",
+                     static_cast<unsigned long long>(
+                         _samples[base].cycle));
+        const std::size_t end =
+            std::min(_samples.size(), base + width);
+        for (std::size_t i = base; i < end; ++i)
+            os << _samples[i].cause;
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+PipeViewer::summary() const
+{
+    std::uint64_t issued = 0;
+    std::uint64_t starve = 0;
+    std::uint64_t data = 0;
+    std::uint64_t queues = 0;
+    for (const Sample &s : _samples) {
+        issued += s.issued;
+        starve += s.cause == 'f';
+        data += s.cause == 'd';
+        queues += s.cause == 'q';
+    }
+    const double n = _samples.empty() ? 1.0 : double(_samples.size());
+    return format("cycles=%zu issue=%.1f%% fetch-starve=%.1f%% "
+                  "ldq-wait=%.1f%% queue-full=%.1f%%",
+                  _samples.size(), 100.0 * double(issued) / n,
+                  100.0 * double(starve) / n, 100.0 * double(data) / n,
+                  100.0 * double(queues) / n);
+}
+
+} // namespace pipesim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Cycle-timeline visualiser: runs a simulator step by step, samples
+ * the machine every cycle and renders a compact text timeline of
+ * issue activity, stall causes and queue occupancy — the quickest way
+ * to see *why* a configuration loses cycles.
+ *
+ * Timeline letters (one column per cycle):
+ *
+ *     I  an instruction issued this cycle
+ *     f  issue idle: the decoder had no instruction (fetch starve)
+ *     d  issue stalled waiting for load data (LDQ empty)
+ *     q  issue stalled on a full store/load queue
+ *     .  other stall (busy register, drained, ...)
+ */
+
+#ifndef PIPESIM_TRACE_PIPEVIEW_HH
+#define PIPESIM_TRACE_PIPEVIEW_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace pipesim
+{
+
+class PipeViewer
+{
+  public:
+    /** Per-cycle sample of the interesting machine state. */
+    struct Sample
+    {
+        Cycle cycle;
+        bool issued;
+        char cause;          //!< timeline letter (see file comment)
+        std::size_t ldqOcc;
+        std::size_t sdqOcc;
+        bool memBusy;
+    };
+
+    /**
+     * Run @p sim to completion (or @p max_cycles), sampling every
+     * cycle.
+     */
+    void run(Simulator &sim, Cycle max_cycles = 1'000'000);
+
+    const std::vector<Sample> &samples() const { return _samples; }
+
+    /** Render the timeline, wrapped at @p width columns per row. */
+    std::string timeline(unsigned width = 72) const;
+
+    /** One-line utilisation summary. */
+    std::string summary() const;
+
+  private:
+    std::vector<Sample> _samples;
+};
+
+} // namespace pipesim
+
+#endif // PIPESIM_TRACE_PIPEVIEW_HH

@@ -1,0 +1,34 @@
+#include "trace/trace.hh"
+
+#include <iomanip>
+
+#include "isa/disasm.hh"
+
+namespace pipesim
+{
+
+InstructionTracer::InstructionTracer(std::ostream &out) : _out(out)
+{
+}
+
+void
+InstructionTracer::attach(Pipeline &pipeline)
+{
+    pipeline.setRetireHook(
+        [this](const isa::FetchedInst &fi, Cycle now) {
+            _out << std::setw(10) << now << "  " << std::setw(6)
+                 << fi.pc << "  " << isa::disassemble(fi.inst) << "\n";
+            ++_lines;
+        });
+}
+
+void
+RetireRecorder::attach(Pipeline &pipeline)
+{
+    pipeline.setRetireHook(
+        [this](const isa::FetchedInst &fi, Cycle now) {
+            _records.push_back(Record{fi.pc, now, fi.inst.op});
+        });
+}
+
+} // namespace pipesim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Execution tracing: a retiring-instruction trace (cycle, pc,
+ * disassembly, key machine state) for debugging and for tests that
+ * assert on dynamic behaviour.
+ */
+
+#ifndef PIPESIM_TRACE_TRACE_HH
+#define PIPESIM_TRACE_TRACE_HH
+
+#include <ostream>
+#include <vector>
+
+#include "common/types.hh"
+#include "cpu/pipeline.hh"
+#include "isa/instruction.hh"
+
+namespace pipesim
+{
+
+/**
+ * Streams one line per retired instruction to an ostream:
+ *
+ *     <cycle> <pc> <disassembly>
+ *
+ * Attach before running; the tracer must outlive the pipeline run.
+ */
+class InstructionTracer
+{
+  public:
+    explicit InstructionTracer(std::ostream &out);
+
+    /** Install this tracer as the pipeline's retire hook. */
+    void attach(Pipeline &pipeline);
+
+    std::uint64_t lines() const { return _lines; }
+
+  private:
+    std::ostream &_out;
+    std::uint64_t _lines = 0;
+};
+
+/**
+ * Records retired (pc, cycle) pairs in memory, for tests that check
+ * dynamic paths and issue timing.
+ */
+class RetireRecorder
+{
+  public:
+    struct Record
+    {
+        Addr pc;
+        Cycle cycle;
+        isa::Opcode op;
+    };
+
+    void attach(Pipeline &pipeline);
+
+    const std::vector<Record> &records() const { return _records; }
+
+  private:
+    std::vector<Record> _records;
+};
+
+} // namespace pipesim
+
+#endif // PIPESIM_TRACE_TRACE_HH

@@ -1,0 +1,44 @@
+#include "workloads/benchmark_program.hh"
+
+#include "workloads/livermore.hh"
+
+namespace pipesim::workloads
+{
+
+Benchmark
+buildBenchmark(const std::vector<codegen::Kernel> &kernels,
+               const codegen::CodeGenOptions &options)
+{
+    codegen::CodeGenerator gen(options);
+
+    Benchmark bench;
+    bench.kernels = kernels;
+    for (const codegen::Kernel &kernel : kernels)
+        bench.codeInfo.push_back(gen.emitKernel(kernel));
+    bench.program = gen.finish();
+    return bench;
+}
+
+Benchmark
+buildBenchmark(const std::vector<codegen::Kernel> &kernels,
+               isa::FormatMode mode)
+{
+    codegen::CodeGenOptions opts;
+    opts.mode = mode;
+    return buildBenchmark(kernels, opts);
+}
+
+Benchmark
+buildLivermoreBenchmark(double scale, isa::FormatMode mode)
+{
+    return buildBenchmark(livermoreKernels(scale), mode);
+}
+
+Benchmark
+buildLivermoreBenchmark(double scale,
+                        const codegen::CodeGenOptions &options)
+{
+    return buildBenchmark(livermoreKernels(scale), options);
+}
+
+} // namespace pipesim::workloads

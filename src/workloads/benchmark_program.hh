@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Builder for the paper's benchmark program: the first 14 Livermore
+ * loops compiled as one program, each kernel running to completion
+ * and falling through to the next (which cold-starts the cache every
+ * few thousand cycles, as the paper notes), ending in HALT.
+ */
+
+#ifndef PIPESIM_WORKLOADS_BENCHMARK_PROGRAM_HH
+#define PIPESIM_WORKLOADS_BENCHMARK_PROGRAM_HH
+
+#include <vector>
+
+#include "assembler/program.hh"
+#include "codegen/codegen.hh"
+#include "codegen/ir.hh"
+
+namespace pipesim::workloads
+{
+
+/** A built benchmark: the program plus per-kernel metadata. */
+struct Benchmark
+{
+    Program program;
+    std::vector<codegen::Kernel> kernels;
+    std::vector<codegen::KernelCodeInfo> codeInfo;
+};
+
+/**
+ * Build the full 14-loop benchmark.
+ *
+ * @param scale Trip-count multiplier; 1.0 is paper scale (~150k
+ *              dynamic instructions).
+ * @param mode  Instruction format (the paper's presented results use
+ *              Fixed32).
+ */
+Benchmark buildLivermoreBenchmark(
+    double scale = 1.0, isa::FormatMode mode = isa::FormatMode::Fixed32);
+
+/** Build the 14-loop benchmark with full code generator control. */
+Benchmark buildLivermoreBenchmark(double scale,
+                                  const codegen::CodeGenOptions &options);
+
+/** Build a benchmark from an arbitrary kernel list. */
+Benchmark buildBenchmark(
+    const std::vector<codegen::Kernel> &kernels,
+    isa::FormatMode mode = isa::FormatMode::Fixed32);
+
+/** Build a benchmark with full code generator control. */
+Benchmark buildBenchmark(const std::vector<codegen::Kernel> &kernels,
+                         const codegen::CodeGenOptions &options);
+
+} // namespace pipesim::workloads
+
+#endif // PIPESIM_WORKLOADS_BENCHMARK_PROGRAM_HH

@@ -1,0 +1,373 @@
+#include "workloads/livermore.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace pipesim::workloads
+{
+
+using namespace codegen;
+
+namespace
+{
+
+/** Scale a base trip count, keeping at least two iterations. */
+unsigned
+trips(unsigned base, double scale)
+{
+    const auto t = unsigned(double(base) * scale);
+    return std::max(2u, t);
+}
+
+Kernel
+kernel1(double s)
+{
+    // Hydro fragment: x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])
+    Kernel k;
+    k.id = 1;
+    k.name = "hydro";
+    const unsigned n = trips(400, s);
+    k.tripCount = n;
+    k.arrays = {{"x", n}, {"y", n}, {"z", n + 11}};
+    k.scalars = {{"q", 1.0031f, false},
+                 {"r", 0.9813f, true},
+                 {"t", 0.0422f, true}};
+    k.body = {assign(
+        {"x", 1, 0},
+        add(scalar("q"),
+            mul(ref("y"), add(mul(scalar("r"), ref("z", 10)),
+                              mul(scalar("t"), ref("z", 11))))))};
+    return k;
+}
+
+Kernel
+kernel2(double s)
+{
+    // ICCG excerpt (one halving pass, stride-2 gathers):
+    //   xh[k] = x[2k+1] - v[2k+1]*x[2k] - v[2k+2]*x[2k+2]
+    Kernel k;
+    k.id = 2;
+    k.name = "iccg";
+    const unsigned n = trips(150, s);
+    k.tripCount = n;
+    k.arrays = {{"xh", n}, {"x", 2 * n + 3}, {"v", 2 * n + 3}};
+    k.body = {assign(
+        {"xh", 1, 0},
+        sub(sub(ref("x", 2, 1), mul(ref("v", 2, 1), ref("x", 2, 0))),
+            mul(ref("v", 2, 2), ref("x", 2, 2))))};
+    return k;
+}
+
+Kernel
+kernel3(double s)
+{
+    // Inner product: q += z[k]*x[k]
+    Kernel k;
+    k.id = 3;
+    k.name = "innerprod";
+    const unsigned n = trips(1000, s);
+    k.tripCount = n;
+    k.arrays = {{"z", n}, {"x", n}};
+    k.scalars = {{"q", 0.0f, true}};
+    k.body = {
+        assignScalar("q", add(scalar("q"), mul(ref("z"), ref("x"))))};
+    return k;
+}
+
+Kernel
+kernel4(double s)
+{
+    // Banded linear equations (3-wide band unrolled):
+    //   x[k] -= y[k]*z[k+10] + y[k+1]*z[k+11] + y[k+2]*z[k+12]
+    Kernel k;
+    k.id = 4;
+    k.name = "banded";
+    const unsigned n = trips(300, s);
+    k.tripCount = n;
+    k.arrays = {{"x", n}, {"y", n + 3}, {"z", n + 13}};
+    k.body = {assign(
+        {"x", 1, 0},
+        sub(sub(sub(ref("x"), mul(ref("y", 0), ref("z", 10))),
+                mul(ref("y", 1), ref("z", 11))),
+            mul(ref("y", 2), ref("z", 12))))};
+    return k;
+}
+
+Kernel
+kernel5(double s)
+{
+    // Tri-diagonal elimination: x[k+1] = z[k+1]*(y[k+1] - x[k])
+    Kernel k;
+    k.id = 5;
+    k.name = "tridiag";
+    const unsigned n = trips(1000, s);
+    k.tripCount = n;
+    k.arrays = {{"x", n + 1}, {"y", n + 1}, {"z", n + 1}};
+    k.body = {assign({"x", 1, 1},
+                     mul(ref("z", 1), sub(ref("y", 1), ref("x", 0))))};
+    return k;
+}
+
+Kernel
+kernel6(double s)
+{
+    // General linear recurrence (first order, coefficient array):
+    //   w[k+1] = w[k+1] + b[k+1]*w[k]
+    Kernel k;
+    k.id = 6;
+    k.name = "linrec";
+    const unsigned n = trips(300, s);
+    k.tripCount = n;
+    k.arrays = {{"w", n + 1}, {"b", n + 1}};
+    k.body = {assign({"w", 1, 1},
+                     add(ref("w", 1), mul(ref("b", 1), ref("w", 0))))};
+    return k;
+}
+
+Kernel
+kernel7(double s)
+{
+    // Equation of state fragment.
+    Kernel k;
+    k.id = 7;
+    k.name = "eos";
+    const unsigned n = trips(120, s);
+    k.tripCount = n;
+    k.arrays = {{"x", n}, {"y", n}, {"z", n}, {"u", n + 6}};
+    k.scalars = {{"q", 0.5021f, false},
+                 {"r", 0.9909f, true},
+                 {"t", 0.1278f, true}};
+    k.body = {assign(
+        {"x", 1, 0},
+        add(add(ref("u"),
+                mul(scalar("r"),
+                    add(ref("z"), mul(scalar("r"), ref("y"))))),
+            mul(scalar("t"),
+                add(add(ref("u", 3),
+                        mul(scalar("r"),
+                            add(ref("u", 2),
+                                mul(scalar("r"), ref("u", 1))))),
+                    mul(scalar("t"),
+                        add(ref("u", 6),
+                            mul(scalar("q"),
+                                add(ref("u", 5),
+                                    mul(scalar("q"),
+                                        ref("u", 4))))))))))};
+    return k;
+}
+
+Kernel
+kernel8(double s)
+{
+    // ADI integration, flattened to 1-D planes (the biggest body).
+    Kernel k;
+    k.id = 8;
+    k.name = "adi";
+    const unsigned n = trips(60, s);
+    k.tripCount = n;
+    k.arrays = {{"u1", n + 2}, {"u2", n + 2}, {"u3", n + 2},
+                {"du1", n + 1}, {"du2", n + 1}, {"du3", n + 1},
+                {"u1n", n + 2}, {"u2n", n + 2}, {"u3n", n + 2}};
+    k.scalars = {{"sig", 0.2071f, true}, {"a11", 0.1953f, true},
+                 {"a12", 0.0317f, false}, {"a13", 0.0742f, false},
+                 {"a21", 0.0537f, false}, {"a22", 0.1871f, false},
+                 {"a23", 0.0198f, false}, {"a31", 0.0289f, false},
+                 {"a32", 0.0611f, false}, {"a33", 0.1622f, false}};
+    auto two = cnst(2.0f);
+    auto stencil = [&](const char *u) {
+        return add(sub(ref(u, 2), mul(two, ref(u, 1))), ref(u, 0));
+    };
+    k.body = {
+        assign({"du1", 1, 0}, sub(ref("u1", 2), ref("u1", 0))),
+        assign({"du2", 1, 0}, sub(ref("u2", 2), ref("u2", 0))),
+        assign({"du3", 1, 0}, sub(ref("u3", 2), ref("u3", 0))),
+        assign({"u1n", 1, 1},
+               add(add(add(add(ref("u1", 1),
+                               mul(scalar("a11"), ref("du1", 0))),
+                           mul(scalar("a12"), ref("du2", 0))),
+                       mul(scalar("a13"), ref("du3", 0))),
+                   mul(scalar("sig"), stencil("u1")))),
+        assign({"u2n", 1, 1},
+               add(add(add(add(ref("u2", 1),
+                               mul(scalar("a21"), ref("du1", 0))),
+                           mul(scalar("a22"), ref("du2", 0))),
+                       mul(scalar("a23"), ref("du3", 0))),
+                   mul(scalar("sig"), stencil("u2")))),
+        assign({"u3n", 1, 1},
+               add(add(add(add(ref("u3", 1),
+                               mul(scalar("a31"), ref("du1", 0))),
+                           mul(scalar("a32"), ref("du2", 0))),
+                       mul(scalar("a33"), ref("du3", 0))),
+                   mul(scalar("sig"), stencil("u3")))),
+    };
+    return k;
+}
+
+Kernel
+kernel9(double s)
+{
+    // Integrate predictors.
+    Kernel k;
+    k.id = 9;
+    k.name = "integrate";
+    const unsigned n = trips(120, s);
+    k.tripCount = n;
+    k.arrays = {{"px", n + 13}};
+    k.scalars = {{"c0", 4.5674f, true},   {"dm22", 0.0421f, false},
+                 {"dm23", 0.0632f, false}, {"dm24", 0.0187f, false},
+                 {"dm25", 0.0954f, false}, {"dm26", 0.0276f, false},
+                 {"dm27", 0.0811f, false}, {"dm28", 0.0049f, false}};
+    k.body = {assign(
+        {"px", 1, 0},
+        add(add(add(add(add(add(add(mul(scalar("dm28"), ref("px", 12)),
+                                    mul(scalar("dm27"), ref("px", 11))),
+                                mul(scalar("dm26"), ref("px", 10))),
+                            mul(scalar("dm25"), ref("px", 9))),
+                        mul(scalar("dm24"), ref("px", 8))),
+                    mul(scalar("dm23"), ref("px", 7))),
+                mul(scalar("c0"), add(ref("px", 4), ref("px", 5)))),
+            ref("px", 2)))};
+    return k;
+}
+
+Kernel
+kernel10(double s)
+{
+    // Difference predictors (chained scalar temporaries).
+    Kernel k;
+    k.id = 10;
+    k.name = "diffpred";
+    const unsigned n = trips(120, s);
+    k.tripCount = n;
+    k.arrays = {{"cx", n}, {"pa", n}, {"pb", n},
+                {"pc", n}, {"pd", n}, {"pe", n}};
+    k.scalars = {{"ar", 0.0f, false}, {"br", 0.0f, false},
+                 {"cr", 0.0f, false}, {"dr", 0.0f, false},
+                 {"er", 0.0f, false}};
+    k.body = {
+        assignScalar("ar", ref("cx")),
+        assignScalar("br", sub(scalar("ar"), ref("pa"))),
+        assign({"pa", 1, 0}, scalar("ar")),
+        assignScalar("cr", sub(scalar("br"), ref("pb"))),
+        assign({"pb", 1, 0}, scalar("br")),
+        assignScalar("dr", sub(scalar("cr"), ref("pc"))),
+        assign({"pc", 1, 0}, scalar("cr")),
+        assignScalar("er", sub(scalar("dr"), ref("pd"))),
+        assign({"pd", 1, 0}, scalar("dr")),
+        assign({"pe", 1, 0}, scalar("er")),
+    };
+    return k;
+}
+
+Kernel
+kernel11(double s)
+{
+    // First sum: x[k+1] = x[k] + y[k+1]
+    Kernel k;
+    k.id = 11;
+    k.name = "firstsum";
+    const unsigned n = trips(1000, s);
+    k.tripCount = n;
+    k.arrays = {{"x", n + 1}, {"y", n + 1}};
+    k.body = {assign({"x", 1, 1}, add(ref("x", 0), ref("y", 1)))};
+    return k;
+}
+
+Kernel
+kernel12(double s)
+{
+    // First difference: x[k] = y[k+1] - y[k]
+    Kernel k;
+    k.id = 12;
+    k.name = "firstdiff";
+    const unsigned n = trips(1000, s);
+    k.tripCount = n;
+    k.arrays = {{"x", n}, {"y", n + 1}};
+    k.body = {assign({"x", 1, 0}, sub(ref("y", 1), ref("y", 0)))};
+    return k;
+}
+
+Kernel
+kernel13(double s)
+{
+    // 2-D particle in cell (strided passes over the particle arrays).
+    Kernel k;
+    k.id = 13;
+    k.name = "pic2d";
+    const unsigned n = trips(150, s);
+    k.tripCount = n;
+    k.arrays = {{"p1", n + 1}, {"p2", n + 1}, {"p3", n + 1},
+                {"p4", n + 1}, {"y", n + 1}, {"z", n + 1},
+                {"e", n + 1}, {"f", n + 1}};
+    k.body = {
+        assign({"p1", 1, 0},
+               add(ref("p1"), mul(ref("e"), add(ref("y"), ref("p2"))))),
+        assign({"p2", 1, 0},
+               add(ref("p2"), mul(ref("f"), add(ref("z"), ref("p1"))))),
+        assign({"p3", 1, 0}, add(ref("p3"), ref("p1"))),
+        assign({"p4", 1, 0}, add(ref("p4"), ref("p2"))),
+    };
+    return k;
+}
+
+Kernel
+kernel14(double s)
+{
+    // 1-D particle in cell (strided rendition).
+    Kernel k;
+    k.id = 14;
+    k.name = "pic1d";
+    const unsigned n = trips(150, s);
+    k.tripCount = n;
+    k.arrays = {{"vx", n}, {"xx", n}, {"ex", n}, {"grd", n},
+                {"xi", n}};
+    k.scalars = {{"qc", 0.3217f, true}, {"dt", 0.0125f, true},
+                 {"flx", 0.0017f, false}};
+    k.body = {
+        assign({"vx", 1, 0},
+               add(ref("vx"), mul(ref("ex"), scalar("qc")))),
+        assign({"xx", 1, 0},
+               add(ref("xx"), mul(ref("vx"), scalar("dt")))),
+        assign({"xi", 1, 0},
+               sub(ref("xx"), mul(scalar("flx"), ref("grd")))),
+    };
+    return k;
+}
+
+} // namespace
+
+codegen::Kernel
+livermoreKernel(int id, double scale)
+{
+    switch (id) {
+      case 1: return kernel1(scale);
+      case 2: return kernel2(scale);
+      case 3: return kernel3(scale);
+      case 4: return kernel4(scale);
+      case 5: return kernel5(scale);
+      case 6: return kernel6(scale);
+      case 7: return kernel7(scale);
+      case 8: return kernel8(scale);
+      case 9: return kernel9(scale);
+      case 10: return kernel10(scale);
+      case 11: return kernel11(scale);
+      case 12: return kernel12(scale);
+      case 13: return kernel13(scale);
+      case 14: return kernel14(scale);
+      default:
+        fatal("no Livermore kernel ", id, " (valid: 1..14)");
+    }
+}
+
+std::vector<codegen::Kernel>
+livermoreKernels(double scale)
+{
+    std::vector<codegen::Kernel> kernels;
+    kernels.reserve(numLivermoreKernels);
+    for (int id = 1; id <= numLivermoreKernels; ++id)
+        kernels.push_back(livermoreKernel(id, scale));
+    return kernels;
+}
+
+} // namespace pipesim::workloads

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The first 14 Lawrence Livermore Loops, expressed in the codegen IR.
+ *
+ * These are faithful-shape renditions of the kernels of [McMa84]: the
+ * same array access patterns, operation mixes and (for the
+ * recurrences) loop-carried dependences, adapted where necessary to
+ * the IR's strided 1-D model:
+ *
+ *  - kernel 2 (ICCG) keeps one stride-2 halving pass instead of the
+ *    log-depth outer loop;
+ *  - kernel 4 unrolls a 3-wide band instead of the inner band loop;
+ *  - kernel 6 keeps a first-order linear recurrence with a
+ *    coefficient array instead of the triangular 2-D access;
+ *  - kernel 8 flattens the 3-plane ADI update to 1-D arrays (same
+ *    statement count and term structure);
+ *  - kernels 13/14 replace the gather/scatter particle indexing with
+ *    strided passes of the same operation mix.
+ *
+ * Indices are shifted so that all element offsets are non-negative
+ * (k runs from 0), which changes nothing dynamically.  Trip counts
+ * are scaled so the whole 14-kernel program executes on the order of
+ * the paper's 150,575 dynamic instructions at scale 1.0.
+ */
+
+#ifndef PIPESIM_WORKLOADS_LIVERMORE_HH
+#define PIPESIM_WORKLOADS_LIVERMORE_HH
+
+#include <vector>
+
+#include "codegen/ir.hh"
+
+namespace pipesim::workloads
+{
+
+/** Number of kernels in the suite. */
+inline constexpr int numLivermoreKernels = 14;
+
+/**
+ * Build kernel @p id (1-based, 1..14).
+ *
+ * @param scale Trip-count multiplier (1.0 reproduces the paper-scale
+ *              run; tests use smaller values).
+ */
+codegen::Kernel livermoreKernel(int id, double scale = 1.0);
+
+/** All 14 kernels in order. */
+std::vector<codegen::Kernel> livermoreKernels(double scale = 1.0);
+
+} // namespace pipesim::workloads
+
+#endif // PIPESIM_WORKLOADS_LIVERMORE_HH

@@ -1,0 +1,142 @@
+#include "workloads/reference.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+
+namespace pipesim::workloads
+{
+
+using namespace codegen;
+
+namespace
+{
+
+struct InterpState
+{
+    std::map<std::string, std::vector<float>> arrays;
+    std::map<std::string, float> scalars;
+    unsigned k = 0;
+};
+
+float
+evalExpr(const InterpState &st, const FExpr &e)
+{
+    switch (e.kind) {
+      case FExpr::Kind::Array: {
+        const auto &arr = st.arrays.at(e.ref.array);
+        const long idx = long(e.ref.stride) * st.k + e.ref.offset;
+        PIPESIM_ASSERT(idx >= 0 && std::size_t(idx) < arr.size(),
+                       "reference: '", e.ref.array, "' index ", idx,
+                       " out of bounds (", arr.size(), ")");
+        return arr[std::size_t(idx)];
+      }
+      case FExpr::Kind::Scalar:
+        return st.scalars.at(e.scalar);
+      case FExpr::Kind::Const:
+        return e.value;
+      case FExpr::Kind::Bin: {
+        const float a = evalExpr(st, *e.lhs);
+        const float b = evalExpr(st, *e.rhs);
+        switch (e.op) {
+          case FpuOp::Add: return a + b;
+          case FpuOp::Sub: return a - b;
+          case FpuOp::Mul: return a * b;
+          case FpuOp::Div: return a / b;
+          default: panic("bad FPU op");
+        }
+      }
+    }
+    panic("bad expression kind");
+}
+
+} // namespace
+
+ReferenceResult
+runReference(const Kernel &kernel)
+{
+    InterpState st;
+    for (const ArrayDecl &decl : kernel.arrays) {
+        auto &arr = st.arrays[decl.name];
+        arr.resize(decl.elems);
+        for (unsigned i = 0; i < decl.elems; ++i)
+            arr[i] = ArrayDecl::initValue(decl.name, i);
+    }
+    for (const ScalarDecl &decl : kernel.scalars)
+        st.scalars[decl.name] = decl.init;
+
+    for (unsigned rep = 0; rep < kernel.outerReps; ++rep) {
+        for (st.k = 0; st.k < kernel.tripCount; ++st.k) {
+            for (const Statement &stmt : kernel.body) {
+                const float v = evalExpr(st, *stmt.value);
+                if (stmt.targetKind == Statement::TargetKind::Array) {
+                    auto &arr = st.arrays.at(stmt.arrayTarget.array);
+                    const long idx =
+                        long(stmt.arrayTarget.stride) * st.k +
+                        stmt.arrayTarget.offset;
+                    PIPESIM_ASSERT(idx >= 0 &&
+                                       std::size_t(idx) < arr.size(),
+                                   "reference: target index out of "
+                                   "bounds");
+                    arr[std::size_t(idx)] = v;
+                } else {
+                    st.scalars.at(stmt.scalarTarget) = v;
+                }
+            }
+        }
+    }
+
+    ReferenceResult result;
+    result.arrays = std::move(st.arrays);
+    result.scalars = std::move(st.scalars);
+    return result;
+}
+
+bool
+verifyAgainstReference(const DataMemory &mem, const Kernel &kernel,
+                       const KernelCodeInfo &info, std::string *diag)
+{
+    const ReferenceResult ref = runReference(kernel);
+
+    for (const ArrayDecl &decl : kernel.arrays) {
+        const Addr base = info.arrayAddrs.at(decl.name);
+        const auto &expect = ref.arrays.at(decl.name);
+        for (unsigned i = 0; i < decl.elems; ++i) {
+            const Word got = mem.readWord(base + i * wordBytes);
+            const Word want = std::bit_cast<Word>(expect[i]);
+            if (got != want) {
+                if (diag) {
+                    *diag = format(
+                        "kernel %d (%s): %s[%u] = 0x%08x (%g), "
+                        "expected 0x%08x (%g)",
+                        kernel.id, kernel.name.c_str(),
+                        decl.name.c_str(), i, got,
+                        double(std::bit_cast<float>(got)), want,
+                        double(expect[i]));
+                }
+                return false;
+            }
+        }
+    }
+
+    for (const ScalarDecl &decl : kernel.scalars) {
+        const Addr slot = info.scalarSlots.at(decl.name);
+        const Word got = mem.readWord(slot);
+        const Word want = std::bit_cast<Word>(ref.scalars.at(decl.name));
+        if (got != want) {
+            if (diag) {
+                *diag = format(
+                    "kernel %d (%s): scalar %s = 0x%08x (%g), expected "
+                    "0x%08x (%g)",
+                    kernel.id, kernel.name.c_str(), decl.name.c_str(),
+                    got, double(std::bit_cast<float>(got)), want,
+                    double(ref.scalars.at(decl.name)));
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace pipesim::workloads

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Host-side reference interpreter for the kernel IR, used to verify
+ * that the simulated machine computes the right answers.
+ *
+ * The interpreter performs the same single-precision operations in
+ * the same order as the generated code (all arithmetic rounds to
+ * float at every step, matching the memory-mapped FPU), so results
+ * are expected to be bit-exact.
+ */
+
+#ifndef PIPESIM_WORKLOADS_REFERENCE_HH
+#define PIPESIM_WORKLOADS_REFERENCE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "codegen/codegen.hh"
+#include "codegen/ir.hh"
+#include "mem/data_memory.hh"
+
+namespace pipesim::workloads
+{
+
+/** Final architectural state of one kernel, per the reference. */
+struct ReferenceResult
+{
+    std::map<std::string, std::vector<float>> arrays;
+    std::map<std::string, float> scalars;
+};
+
+/** Execute @p kernel on the host. */
+ReferenceResult runReference(const codegen::Kernel &kernel);
+
+/**
+ * Compare simulated memory against the reference for one kernel.
+ *
+ * @param mem    Data memory after the simulation finished.
+ * @param kernel The kernel IR.
+ * @param info   Placement info from the code generator.
+ * @param diag   When non-null, receives a description of the first
+ *               mismatch.
+ * @return true if every array element and scalar slot matches the
+ *         reference bit-for-bit.
+ */
+bool verifyAgainstReference(const DataMemory &mem,
+                            const codegen::Kernel &kernel,
+                            const codegen::KernelCodeInfo &info,
+                            std::string *diag = nullptr);
+
+} // namespace pipesim::workloads
+
+#endif // PIPESIM_WORKLOADS_REFERENCE_HH

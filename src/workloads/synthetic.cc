@@ -1,0 +1,176 @@
+#include "workloads/synthetic.hh"
+
+#include "codegen/codegen.hh" // Layout constants
+#include "common/log.hh"
+#include "isa/build.hh"
+#include "isa/fields.hh"
+
+namespace pipesim::workloads
+{
+
+using namespace isa;
+using namespace isa::build;
+
+namespace
+{
+
+// Register conventions (see header).
+constexpr unsigned regState = 1;
+constexpr unsigned regCounter = 2;
+constexpr unsigned regAcc = 3;
+constexpr unsigned regTmp = 4;
+constexpr unsigned regResult = 5;
+
+constexpr unsigned outerBr = 0;
+constexpr unsigned skipBr = 1;
+
+/** One xorshift32 step; mirrored exactly by the host model. */
+constexpr unsigned shiftA = 13;
+constexpr unsigned shiftB = 17;
+constexpr unsigned shiftC = 5;
+
+/** The i-th skippable filler operation, applied to the accumulator. */
+std::uint32_t
+applyFiller(std::uint32_t acc, unsigned i)
+{
+    switch (i % 4) {
+      case 0: return acc ^ 0x5au;
+      case 1: return acc + 7u;
+      case 2: return acc - 3u;
+      default: return acc | 1u;
+    }
+}
+
+Instruction
+fillerInst(unsigned i)
+{
+    switch (i % 4) {
+      case 0: return rri(Opcode::Xori, regAcc, regAcc, 0x5a);
+      case 1: return rri(Opcode::Addi, regAcc, regAcc, 7);
+      case 2: return rri(Opcode::Subi, regAcc, regAcc, 3);
+      default: return rri(Opcode::Ori, regAcc, regAcc, 1);
+    }
+}
+
+std::uint32_t
+xorshift(std::uint32_t x)
+{
+    x ^= x << shiftA;
+    x ^= x >> shiftB;
+    x ^= x << shiftC;
+    return x;
+}
+
+void
+validate(const BranchySpec &spec)
+{
+    if (spec.blocks == 0 || spec.iterations == 0)
+        fatal("branchy spec needs at least one block and iteration");
+    if (spec.delaySlots > 7)
+        fatal("PBR delay-slot count is 3 bits (0..7)");
+    if (spec.maskBits > 15)
+        fatal("maskBits must fit the 16-bit immediate");
+    if (spec.seed == 0)
+        fatal("xorshift seed must be non-zero");
+}
+
+} // namespace
+
+BranchyProgram
+buildBranchyProgram(const BranchySpec &spec)
+{
+    validate(spec);
+
+    BranchyProgram out;
+    Program &p = out.program;
+    out.accSlot = codegen::Layout::scalarBase;
+    out.stateSlot = codegen::Layout::scalarBase + wordBytes;
+
+    const std::uint32_t mask = (1u << spec.maskBits) - 1;
+
+    // Preamble.
+    Instruction lui_seed;
+    lui_seed.op = Opcode::Lui;
+    lui_seed.rd = regState;
+    lui_seed.imm = std::int32_t(spec.seed >> 16);
+    p.append(lui_seed);
+    p.append(rri(Opcode::Ori, regState, regState,
+                 std::int32_t(spec.seed & 0xffff)));
+    p.append(li(regCounter, std::int32_t(spec.iterations)));
+    p.append(li(regAcc, 0));
+    p.append(li(regResult, std::int32_t(out.accSlot)));
+    const Addr lbr_at = p.nextCodeAddr();
+    const unsigned lbr_size = unsigned(encode(
+        build::lbr(outerBr, 0), p.mode()).size()) * parcelBytes;
+    p.append(build::lbr(outerBr, lbr_at + lbr_size));
+    p.defineSymbol("loop_head", p.nextCodeAddr());
+
+    for (unsigned b = 0; b < spec.blocks; ++b) {
+        // xorshift32 step.
+        p.append(rri(Opcode::Slli, regTmp, regState, int(shiftA)));
+        p.append(rrr(Opcode::Xor, regState, regState, regTmp));
+        p.append(rri(Opcode::Srli, regTmp, regState, int(shiftB)));
+        p.append(rrr(Opcode::Xor, regState, regState, regTmp));
+        p.append(rri(Opcode::Slli, regTmp, regState, int(shiftC)));
+        p.append(rrr(Opcode::Xor, regState, regState, regTmp));
+        p.append(rrr(Opcode::Add, regAcc, regAcc, regState));
+
+        // Conditional forward branch over the filler ops.
+        const Addr lbr_addr = p.append(build::lbr(skipBr, 0));
+        p.append(rri(Opcode::Andi, regTmp, regState,
+                     std::int32_t(mask)));
+        p.append(build::pbr(skipBr, spec.delaySlots, Cond::Eqz,
+                            regTmp));
+        // Delay slots: executed on both paths.
+        for (unsigned d = 0; d < spec.delaySlots; ++d)
+            p.append(rri(Opcode::Addi, regAcc, regAcc, 1));
+        // Filler: executed only when the branch falls through.
+        for (unsigned f = 0; f < spec.fillerOps; ++f)
+            p.append(fillerInst(f));
+        // Patch the skip target (the immediate parcel of the lbr).
+        p.patchParcel(lbr_addr + parcelBytes,
+                      Parcel(p.nextCodeAddr() & 0xffff));
+    }
+
+    // Outer loop close.
+    p.append(rri(Opcode::Subi, regCounter, regCounter, 1));
+    p.append(build::pbr(outerBr, 0, Cond::Nez, regCounter));
+
+    // Epilogue: store the checksum and final PRNG state.
+    p.append(st(regResult, 0));
+    p.append(mov(isa::queueReg, regAcc));
+    p.append(st(regResult, wordBytes));
+    p.append(mov(isa::queueReg, regState));
+    p.append(build::halt());
+
+    p.addDataWords(out.accSlot, {0, 0});
+    return out;
+}
+
+BranchyReference
+runBranchyReference(const BranchySpec &spec)
+{
+    validate(spec);
+    const std::uint32_t mask = (1u << spec.maskBits) - 1;
+
+    BranchyReference ref;
+    ref.state = spec.seed;
+    for (unsigned iter = 0; iter < spec.iterations; ++iter) {
+        for (unsigned b = 0; b < spec.blocks; ++b) {
+            ref.state = xorshift(ref.state);
+            ref.acc += ref.state;
+            const bool taken = (ref.state & mask) == 0;
+            ref.acc += spec.delaySlots; // slots run on both paths
+            if (taken) {
+                ++ref.takenBranches;
+            } else {
+                ++ref.notTakenBranches;
+                for (unsigned f = 0; f < spec.fillerOps; ++f)
+                    ref.acc = applyFiller(ref.acc, f);
+            }
+        }
+    }
+    return ref;
+}
+
+} // namespace pipesim::workloads

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Synthetic branch-heavy workload generator.
+ *
+ * The paper's Livermore benchmark is loop-dominated: long, highly
+ * predictable inner loops with one backward PBR each.  This
+ * generator produces the opposite — chains of short basic blocks
+ * separated by *data-dependent* conditional forward branches (an
+ * xorshift PRNG computed in the integer pipeline drives the
+ * directions) — to study how the fetch strategies behave when
+ * redirects are frequent and irregular.
+ *
+ * The program is fully deterministic and computes a 32-bit
+ * accumulator checksum that a host-side model reproduces exactly, so
+ * every simulated run is verifiable, just like the Livermore suite.
+ *
+ * Register use: r1 PRNG state, r2 outer counter, r3 accumulator,
+ * r4 scratch, r5 result pointer.
+ */
+
+#ifndef PIPESIM_WORKLOADS_SYNTHETIC_HH
+#define PIPESIM_WORKLOADS_SYNTHETIC_HH
+
+#include <cstdint>
+
+#include "assembler/program.hh"
+
+namespace pipesim::workloads
+{
+
+/** Parameters of a branchy synthetic program. */
+struct BranchySpec
+{
+    unsigned blocks = 8;        //!< basic blocks per outer iteration
+    unsigned fillerOps = 4;     //!< skippable ALU ops after each branch
+    unsigned delaySlots = 2;    //!< PBR delay slots per branch (0..7)
+    unsigned iterations = 64;   //!< outer loop trips
+    std::uint32_t seed = 0x2545f491u;
+    /**
+     * Branch-taken selectivity: the branch is taken when the low
+     * @p maskBits bits of the PRNG state are zero (1 => ~50% taken,
+     * 2 => ~25%, 0 => always taken).
+     */
+    unsigned maskBits = 1;
+};
+
+/** A built branchy program plus the addresses of its result slots. */
+struct BranchyProgram
+{
+    Program program;
+    Addr accSlot = 0;   //!< final accumulator is stored here
+    Addr stateSlot = 0; //!< final PRNG state is stored here
+};
+
+/** Generate the program for @p spec. */
+BranchyProgram buildBranchyProgram(const BranchySpec &spec);
+
+/** Host-model results for @p spec. */
+struct BranchyReference
+{
+    std::uint32_t acc = 0;
+    std::uint32_t state = 0;
+    std::uint64_t takenBranches = 0;
+    std::uint64_t notTakenBranches = 0;
+};
+
+/** Execute the same computation on the host. */
+BranchyReference runBranchyReference(const BranchySpec &spec);
+
+} // namespace pipesim::workloads
+
+#endif // PIPESIM_WORKLOADS_SYNTHETIC_HH

@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include "queue/arch_queues.hh"
+
+using namespace pipesim;
+
+TEST(ArchQueues, CapacitiesAsConfigured)
+{
+    ArchQueues q(2, 3, 4, 5);
+    EXPECT_EQ(q.laq().capacity(), 2u);
+    EXPECT_EQ(q.ldq().capacity(), 3u);
+    EXPECT_EQ(q.saq().capacity(), 4u);
+    EXPECT_EQ(q.sdq().capacity(), 5u);
+}
+
+TEST(ArchQueues, IndependentQueues)
+{
+    ArchQueues q(4, 4, 4, 4);
+    q.laq().push(PendingAccess{0, 0x10});
+    q.saq().push(PendingAccess{1, 0x20});
+    q.ldq().push(0xaaaa);
+    q.sdq().push(0xbbbb);
+    EXPECT_EQ(q.laq().front().addr, 0x10u);
+    EXPECT_EQ(q.saq().front().seq, 1u);
+    EXPECT_EQ(q.ldq().pop(), 0xaaaau);
+    EXPECT_EQ(q.sdq().pop(), 0xbbbbu);
+    EXPECT_EQ(q.laq().size(), 1u);
+}
+
+TEST(ArchQueues, OccupancyStatsRegisterAndSample)
+{
+    ArchQueues q(4, 4, 4, 4);
+    StatGroup stats;
+    q.regStats(stats, "q");
+    q.ldq().push(1);
+    q.ldq().push(2);
+    q.sampleOccupancy();
+    q.sampleOccupancy();
+    const std::string dump = stats.dump();
+    EXPECT_NE(dump.find("q.ldq_occupancy"), std::string::npos);
+    EXPECT_NE(dump.find("count=2"), std::string::npos);
+}

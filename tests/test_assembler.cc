@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include <bit>
+
+#include "assembler/assembler.hh"
+#include "assembler/lexer.hh"
+
+using namespace pipesim;
+using namespace pipesim::assembler;
+using isa::FormatMode;
+using isa::Opcode;
+
+TEST(Lexer, BasicTokens)
+{
+    const auto toks = tokenizeLine("add r1, r2, r3 ; comment", 1);
+    ASSERT_EQ(toks.size(), 7u); // add r1 , r2 , r3 EOL
+    EXPECT_EQ(toks[0].kind, TokenKind::Ident);
+    EXPECT_EQ(toks[0].text, "add");
+    EXPECT_EQ(toks[1].kind, TokenKind::Reg);
+    EXPECT_EQ(toks[1].value, 1);
+    EXPECT_EQ(toks[2].kind, TokenKind::Comma);
+    EXPECT_EQ(toks.back().kind, TokenKind::EndOfLine);
+}
+
+TEST(Lexer, MemoryOperandTokens)
+{
+    const auto toks = tokenizeLine("ld [r1 + 0x10]", 1);
+    EXPECT_EQ(toks[1].kind, TokenKind::LBracket);
+    EXPECT_EQ(toks[2].kind, TokenKind::Reg);
+    EXPECT_EQ(toks[3].kind, TokenKind::Plus);
+    EXPECT_EQ(toks[4].kind, TokenKind::Int);
+    EXPECT_EQ(toks[4].value, 16);
+    EXPECT_EQ(toks[5].kind, TokenKind::RBracket);
+}
+
+TEST(Lexer, NegativeLiteralsAndMinus)
+{
+    const auto toks = tokenizeLine("li r1, -42", 1);
+    EXPECT_EQ(toks[3].kind, TokenKind::Int);
+    EXPECT_EQ(toks[3].value, -42);
+}
+
+TEST(Lexer, BranchRegistersAndDirectives)
+{
+    const auto toks = tokenizeLine(".equ foo, 7", 1);
+    EXPECT_EQ(toks[0].kind, TokenKind::Directive);
+    EXPECT_EQ(toks[0].text, ".equ");
+    const auto toks2 = tokenizeLine("lbr b3, loop", 1);
+    EXPECT_EQ(toks2[1].kind, TokenKind::BReg);
+    EXPECT_EQ(toks2[1].value, 3);
+    EXPECT_EQ(toks2[3].kind, TokenKind::Ident);
+}
+
+TEST(Lexer, HashCommentsAndBadChar)
+{
+    const auto toks = tokenizeLine("nop # trailing", 1);
+    ASSERT_EQ(toks.size(), 2u);
+    EXPECT_THROW(tokenizeLine("nop @", 1), FatalError);
+}
+
+TEST(Assembler, LabelsResolveForwardAndBackward)
+{
+    const char *src = R"(
+        lbr b0, fwd
+    back:
+        nop
+    fwd:
+        lbr b1, back
+        halt
+    )";
+    Program p = assemble(src, FormatMode::Compact);
+    // lbr(4) nop(2) => fwd at 6, back at 4
+    const auto i0 = *p.decodeAt(0);
+    EXPECT_EQ(i0.op, Opcode::Lbr);
+    EXPECT_EQ(i0.imm, 6);
+    const auto i2 = *p.decodeAt(6);
+    EXPECT_EQ(i2.imm, 4);
+}
+
+TEST(Assembler, EquAndSymbolImmediates)
+{
+    Program p = assemble(".equ N, 100\n li r1, N\n halt");
+    EXPECT_EQ(p.decodeAt(0)->imm, 100);
+    EXPECT_EQ(p.symbol("N"), Addr(100));
+}
+
+TEST(Assembler, DataSegmentsWordsFloatsSpace)
+{
+    const char *src = R"(
+        halt
+    .data 0x4000
+    tab: .word 1, 2, deadcode
+         .float 1.5, -0.25
+         .space 8
+    end:
+    .text
+    deadcode:
+        nop
+    )";
+    Program p = assemble(src);
+    ASSERT_EQ(p.dataSegments().size(), 1u);
+    const auto &seg = p.dataSegments()[0];
+    EXPECT_EQ(seg.base, 0x4000u);
+    // 3 words + 2 floats + 8 bytes of space
+    EXPECT_EQ(seg.bytes.size(), 3 * 4 + 2 * 4 + 8u);
+    EXPECT_EQ(*p.symbol("tab"), 0x4000u);
+    EXPECT_EQ(*p.symbol("end"), 0x4000u + 28u);
+    // .word symbol reference resolved to the label's address.
+    const Word third = Word(seg.bytes[8]) | Word(seg.bytes[9]) << 8 |
+                       Word(seg.bytes[10]) << 16 |
+                       Word(seg.bytes[11]) << 24;
+    EXPECT_EQ(third, *p.symbol("deadcode"));
+    // .float encodes IEEE-754 single.
+    const Word f = Word(seg.bytes[12]) | Word(seg.bytes[13]) << 8 |
+                   Word(seg.bytes[14]) << 16 | Word(seg.bytes[15]) << 24;
+    EXPECT_EQ(f, std::bit_cast<Word>(1.5f));
+    const Word g = Word(seg.bytes[16]) | Word(seg.bytes[17]) << 8 |
+                   Word(seg.bytes[18]) << 16 | Word(seg.bytes[19]) << 24;
+    EXPECT_EQ(g, std::bit_cast<Word>(-0.25f));
+}
+
+TEST(Assembler, EntryDirective)
+{
+    Program p =
+        assemble("nop\nstart: halt\n.entry start", FormatMode::Compact);
+    EXPECT_EQ(p.entry(), 2u);
+    Program p32 = assemble("nop\nstart: halt\n.entry start");
+    EXPECT_EQ(p32.entry(), 4u); // fixed-32 default format
+}
+
+TEST(Assembler, OrgPadsWithZeroParcels)
+{
+    Program p = assemble("nop\n.org 8\nhalt", FormatMode::Compact);
+    EXPECT_EQ(p.decodeAt(8)->op, Opcode::Halt);
+    EXPECT_EQ(p.codeSize(), 10u);
+}
+
+TEST(Assembler, AlignDirective)
+{
+    Program p = assemble("nop\n.align 8\nhalt", FormatMode::Compact);
+    EXPECT_EQ(p.decodeAt(8)->op, Opcode::Halt);
+}
+
+TEST(Assembler, CompactAndFixedSizesDiffer)
+{
+    const char *src = "add r1, r2, r3\nhalt";
+    EXPECT_EQ(assemble(src, FormatMode::Compact).codeSize(), 4u);
+    EXPECT_EQ(assemble(src, FormatMode::Fixed32).codeSize(), 8u);
+}
+
+TEST(Assembler, MemoryOperandForms)
+{
+    Program p = assemble(
+        "ld [r1]\nld [r2 + 4]\nld [r3 - 4]\nld [r4 + r5]\nhalt",
+        FormatMode::Compact);
+    auto i0 = *p.decodeAt(0);
+    EXPECT_EQ(i0.op, Opcode::Ld);
+    EXPECT_EQ(i0.imm, 0);
+    auto i1 = *p.decodeAt(4);
+    EXPECT_EQ(i1.imm, 4);
+    auto i2 = *p.decodeAt(8);
+    EXPECT_EQ(i2.imm, -4);
+    auto i3 = *p.decodeAt(12);
+    EXPECT_EQ(i3.op, Opcode::LdX);
+    EXPECT_EQ(i3.rs1, 4);
+    EXPECT_EQ(i3.rs2, 5);
+}
+
+TEST(Assembler, PbrForms)
+{
+    Program p = assemble(
+        "x: pbr b1, 3, always\n pbr b2, 0, eqz, r5\n halt",
+        FormatMode::Compact);
+    auto i0 = *p.decodeAt(0);
+    EXPECT_EQ(i0.op, Opcode::Pbr);
+    EXPECT_EQ(i0.br, 1);
+    EXPECT_EQ(i0.count, 3);
+    EXPECT_EQ(i0.cond, isa::Cond::Always);
+    auto i1 = *p.decodeAt(2);
+    EXPECT_EQ(i1.cond, isa::Cond::Eqz);
+    EXPECT_EQ(i1.rs1, 5);
+}
+
+TEST(AssemblerErrors, UndefinedSymbol)
+{
+    EXPECT_THROW(assemble("li r1, nothere\nhalt"), FatalError);
+}
+
+TEST(AssemblerErrors, RedefinedLabel)
+{
+    EXPECT_THROW(assemble("a: nop\na: nop"), FatalError);
+}
+
+TEST(AssemblerErrors, UnknownMnemonic)
+{
+    EXPECT_THROW(assemble("frobnicate r1"), FatalError);
+}
+
+TEST(AssemblerErrors, WrongOperandCount)
+{
+    EXPECT_THROW(assemble("add r1, r2"), FatalError);
+    EXPECT_THROW(assemble("nop r1"), FatalError);
+}
+
+TEST(AssemblerErrors, PbrCountRange)
+{
+    EXPECT_THROW(assemble("pbr b0, 8, always"), FatalError);
+}
+
+TEST(AssemblerErrors, WordOutsideData)
+{
+    EXPECT_THROW(assemble(".word 1"), FatalError);
+}
+
+TEST(AssemblerErrors, InstructionInsideData)
+{
+    EXPECT_THROW(assemble(".data 0x100\nnop"), FatalError);
+}
+
+TEST(AssemblerErrors, AllErrorsReported)
+{
+    try {
+        assemble("bogus1\nbogus2\nbogus3");
+        FAIL() << "assemble succeeded";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("3 error(s)"), std::string::npos) << msg;
+    }
+}
+
+TEST(Assembler, MissingFileIsFatal)
+{
+    EXPECT_THROW(assembleFile("/nonexistent/path.s"), FatalError);
+}

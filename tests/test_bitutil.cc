@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include "common/bitutil.hh"
+
+using namespace pipesim;
+
+TEST(BitUtil, MaskWidths)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(4), 0xfu);
+    EXPECT_EQ(mask(16), 0xffffu);
+    EXPECT_EQ(mask(32), 0xffffffffu);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+    EXPECT_EQ(mask(70), ~std::uint64_t{0});
+}
+
+TEST(BitUtil, BitsExtract)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 0, 4), 0xfu);
+    EXPECT_EQ(bits(0xdeadbeef, 4, 4), 0xeu);
+    EXPECT_EQ(bits(0xdeadbeef, 16, 16), 0xdeadu);
+    EXPECT_EQ(bits(0xdeadbeef, 31, 1), 1u);
+    EXPECT_EQ(bits(0x8000, 15, 1), 1u);
+}
+
+TEST(BitUtil, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 4, 4, 0xf), 0xf0u);
+    EXPECT_EQ(insertBits(0xffff, 4, 8, 0), 0xf00fu);
+    // Inserted field is masked to the width.
+    EXPECT_EQ(insertBits(0, 0, 4, 0x1ff), 0xfu);
+}
+
+TEST(BitUtil, SignExtend)
+{
+    EXPECT_EQ(sext(0x7fff, 16), 0x7fff);
+    EXPECT_EQ(sext(0x8000, 16), -32768);
+    EXPECT_EQ(sext(0xffff, 16), -1);
+    EXPECT_EQ(sext(0xff, 8), -1);
+    EXPECT_EQ(sext(0x7f, 8), 127);
+    EXPECT_EQ(sext(0, 16), 0);
+}
+
+TEST(BitUtil, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1024));
+    EXPECT_FALSE(isPowerOf2(1023));
+    EXPECT_TRUE(isPowerOf2(std::uint64_t{1} << 63));
+}
+
+TEST(BitUtil, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+}
+
+TEST(BitUtil, Alignment)
+{
+    EXPECT_EQ(alignDown(0x1234, 16), 0x1230u);
+    EXPECT_EQ(alignDown(0x1230, 16), 0x1230u);
+    EXPECT_EQ(alignUp(0x1234, 16), 0x1240u);
+    EXPECT_EQ(alignUp(0x1240, 16), 0x1240u);
+    EXPECT_EQ(alignUp(0, 16), 0u);
+}
+
+TEST(BitUtil, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+    EXPECT_EQ(divCeil(32, 8), 4u);
+}

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "sim/cli.hh"
+
+using namespace pipesim;
+
+namespace
+{
+
+bool
+parseArgs(CliParser &cli, std::initializer_list<const char *> args)
+{
+    std::vector<const char *> argv{"tool"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return cli.parse(int(argv.size()), argv.data());
+}
+
+} // namespace
+
+TEST(CliTest, DefaultsApply)
+{
+    CliParser cli("test tool");
+    cli.addOption("size", "128", "cache size");
+    ASSERT_TRUE(parseArgs(cli, {}));
+    EXPECT_EQ(cli.get("size"), "128");
+    EXPECT_EQ(cli.getInt("size"), 128);
+}
+
+TEST(CliTest, OptionsOverrideDefaults)
+{
+    CliParser cli("t");
+    cli.addOption("size", "128", "");
+    ASSERT_TRUE(parseArgs(cli, {"--size", "256"}));
+    EXPECT_EQ(cli.getInt("size"), 256);
+}
+
+TEST(CliTest, EqualsSyntax)
+{
+    CliParser cli("t");
+    cli.addOption("scale", "1.0", "");
+    ASSERT_TRUE(parseArgs(cli, {"--scale=0.5"}));
+    EXPECT_DOUBLE_EQ(cli.getDouble("scale"), 0.5);
+}
+
+TEST(CliTest, Flags)
+{
+    CliParser cli("t");
+    cli.addFlag("verbose", "");
+    ASSERT_TRUE(parseArgs(cli, {"--verbose"}));
+    EXPECT_TRUE(cli.getFlag("verbose"));
+
+    CliParser cli2("t");
+    cli2.addFlag("verbose", "");
+    ASSERT_TRUE(parseArgs(cli2, {}));
+    EXPECT_FALSE(cli2.getFlag("verbose"));
+}
+
+TEST(CliTest, PositionalArguments)
+{
+    CliParser cli("t");
+    cli.addOption("x", "1", "");
+    ASSERT_TRUE(parseArgs(cli, {"file1.s", "--x", "2", "file2.s"}));
+    ASSERT_EQ(cli.positional().size(), 2u);
+    EXPECT_EQ(cli.positional()[0], "file1.s");
+    EXPECT_EQ(cli.positional()[1], "file2.s");
+}
+
+TEST(CliTest, HelpReturnsFalse)
+{
+    CliParser cli("t");
+    cli.addOption("x", "1", "the x value");
+    EXPECT_FALSE(parseArgs(cli, {"--help"}));
+    EXPECT_NE(cli.usage().find("the x value"), std::string::npos);
+}
+
+TEST(CliTest, UnknownOptionIsFatal)
+{
+    CliParser cli("t");
+    EXPECT_THROW(parseArgs(cli, {"--bogus"}), FatalError);
+}
+
+TEST(CliTest, MissingValueIsFatal)
+{
+    CliParser cli("t");
+    cli.addOption("x", "1", "");
+    EXPECT_THROW(parseArgs(cli, {"--x"}), FatalError);
+}
+
+TEST(CliTest, BadNumbersAreFatal)
+{
+    CliParser cli("t");
+    cli.addOption("n", "1", "");
+    ASSERT_TRUE(parseArgs(cli, {"--n", "abc"}));
+    EXPECT_THROW(cli.getInt("n"), FatalError);
+    EXPECT_THROW(cli.getDouble("n"), FatalError);
+}
+
+TEST(CliTest, FlagWithValueIsFatal)
+{
+    CliParser cli("t");
+    cli.addFlag("v", "");
+    EXPECT_THROW(parseArgs(cli, {"--v=1"}), FatalError);
+}

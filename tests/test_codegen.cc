@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include "codegen/codegen.hh"
+#include "isa/fields.hh"
+#include "sim/simulator.hh"
+#include "workloads/reference.hh"
+
+using namespace pipesim;
+using namespace pipesim::codegen;
+using isa::Opcode;
+
+namespace
+{
+
+Kernel
+simpleKernel(unsigned trips = 4)
+{
+    Kernel k;
+    k.id = 1;
+    k.name = "simple";
+    k.tripCount = trips;
+    k.arrays = {{"x", trips}, {"a", trips + 2}};
+    k.scalars = {{"s", 0.5f, true}, {"m", 0.25f, false}};
+    k.body = {assign({"x", 1, 0},
+                     add(mul(scalar("s"), ref("a", 1)),
+                         mul(scalar("m"), ref("a", 0))))};
+    return k;
+}
+
+/** Decode a generated program into a linear instruction list. */
+std::vector<isa::Instruction>
+decodeAll(const Program &p)
+{
+    std::vector<isa::Instruction> out;
+    Addr a = p.codeBase();
+    while (p.inCode(a)) {
+        const auto inst = *p.decodeAt(a);
+        out.push_back(inst);
+        a += inst.sizeBytes();
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(CodeGen, ProgramStartsWithZeroRegAndEndsWithHalt)
+{
+    CodeGenerator gen;
+    gen.emitKernel(simpleKernel());
+    Program p = gen.finish();
+    const auto insts = decodeAll(p);
+    ASSERT_GE(insts.size(), 2u);
+    EXPECT_EQ(insts.front().op, Opcode::Li);
+    EXPECT_EQ(insts.front().rd, 0);
+    EXPECT_EQ(insts.front().imm, 0);
+    EXPECT_EQ(insts.back().op, Opcode::Halt);
+}
+
+TEST(CodeGen, InnerLoopHasPbrWithDelaySlots)
+{
+    CodeGenerator gen;
+    const auto info = gen.emitKernel(simpleKernel());
+    Program p = gen.finish();
+
+    // Find the inner-loop PBR and check the delay-slot count matches
+    // the reported value and that the slots follow it.
+    unsigned pbrs = 0;
+    Addr a = info.innerLoopStart;
+    std::optional<isa::Instruction> pbr;
+    while (a < info.innerLoopStart + info.innerLoopBytes) {
+        const auto inst = *p.decodeAt(a);
+        if (inst.op == Opcode::Pbr) {
+            ++pbrs;
+            pbr = inst;
+        }
+        a += inst.sizeBytes();
+    }
+    EXPECT_EQ(pbrs, 1u);
+    ASSERT_TRUE(pbr);
+    EXPECT_EQ(pbr->count, info.delaySlots);
+    EXPECT_GT(info.delaySlots, 0u);
+    EXPECT_LE(info.delaySlots, 7u);
+    EXPECT_EQ(pbr->cond, isa::Cond::Nez);
+}
+
+TEST(CodeGen, LbrTargetsInnerLoopStart)
+{
+    CodeGenerator gen;
+    const auto info = gen.emitKernel(simpleKernel());
+    Program p = gen.finish();
+    bool found = false;
+    for (Addr a = p.codeBase(); p.inCode(a);) {
+        const auto inst = *p.decodeAt(a);
+        if (inst.op == Opcode::Lbr &&
+            Addr(inst.imm) == info.innerLoopStart)
+            found = true;
+        a += inst.sizeBytes();
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(CodeGen, LdqFifoDisciplineHolds)
+{
+    // Static check of the fundamental queue discipline: walking the
+    // generated code, the number of r7 pops never exceeds the number
+    // of loads issued, and all loads are eventually consumed within
+    // the loop body.
+    CodeGenerator gen;
+    const auto info = gen.emitKernel(simpleKernel());
+    Program p = gen.finish();
+    long outstanding = 0;
+    for (Addr a = info.innerLoopStart;
+         a < info.innerLoopStart + info.innerLoopBytes;) {
+        const auto inst = *p.decodeAt(a);
+        if (inst.isLoad())
+            ++outstanding;
+        outstanding -= long(inst.ldqPops());
+        EXPECT_GE(outstanding, 0) << "pop before load at " << a;
+        a += inst.sizeBytes();
+    }
+    EXPECT_EQ(outstanding, 0) << "loads never consumed";
+}
+
+TEST(CodeGen, LdqWindowBoundsOutstandingLoads)
+{
+    for (unsigned window : {1u, 2u, 4u, 7u}) {
+        CodeGenOptions opts;
+        opts.ldqWindow = window;
+        CodeGenerator gen(opts);
+        const auto info = gen.emitKernel(simpleKernel());
+        Program p = gen.finish();
+        long outstanding = 0;
+        long max_outstanding = 0;
+        for (Addr a = info.innerLoopStart;
+             a < info.innerLoopStart + info.innerLoopBytes;) {
+            const auto inst = *p.decodeAt(a);
+            if (inst.isLoad())
+                ++outstanding;
+            outstanding -= long(inst.ldqPops());
+            max_outstanding = std::max(max_outstanding, outstanding);
+            a += inst.sizeBytes();
+        }
+        EXPECT_LE(max_outstanding, long(window)) << "window " << window;
+    }
+}
+
+TEST(CodeGen, StoresPairWithDataPushes)
+{
+    // Every SAQ push must be matched by exactly one SDQ push in
+    // program order (st then a r7-destination op), kernel-wide.
+    CodeGenerator gen;
+    gen.emitKernel(simpleKernel());
+    Program p = gen.finish();
+    long pending_addrs = 0;
+    for (Addr a = p.codeBase(); p.inCode(a);) {
+        const auto inst = *p.decodeAt(a);
+        if (inst.isStore())
+            ++pending_addrs;
+        if (inst.pushesSdq())
+            --pending_addrs;
+        EXPECT_GE(pending_addrs, -1);
+        a += inst.sizeBytes();
+    }
+    EXPECT_EQ(pending_addrs, 0);
+}
+
+TEST(CodeGen, OuterLoopRepeatsInnerLoop)
+{
+    Kernel k = simpleKernel(3);
+    k.outerReps = 4;
+    CodeGenerator gen;
+    const auto info = gen.emitKernel(k);
+    Program p = gen.finish();
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("16-16", 128);
+    Simulator sim(cfg, p);
+    sim.run();
+    std::string diag;
+    EXPECT_TRUE(workloads::verifyAgainstReference(sim.dataMemory(), k,
+                                                  info, &diag))
+        << diag;
+    // Outer loop multiplies the PBR count: 3 trips x 4 reps.
+    EXPECT_EQ(sim.stats().counterValue("cpu.pbr_taken") +
+                  sim.stats().counterValue("cpu.pbr_not_taken"),
+              3u * 4u + 4u);
+}
+
+TEST(CodeGen, CompactModeShrinksCode)
+{
+    CodeGenOptions fixed;
+    fixed.mode = isa::FormatMode::Fixed32;
+    CodeGenOptions compact;
+    compact.mode = isa::FormatMode::Compact;
+
+    CodeGenerator g1(fixed);
+    g1.emitKernel(simpleKernel());
+    const auto size_fixed = g1.finish().codeSize();
+
+    CodeGenerator g2(compact);
+    g2.emitKernel(simpleKernel());
+    const auto size_compact = g2.finish().codeSize();
+
+    EXPECT_LT(size_compact, size_fixed);
+}
+
+TEST(CodeGen, CompactModeStillComputesCorrectly)
+{
+    CodeGenOptions opts;
+    opts.mode = isa::FormatMode::Compact;
+    CodeGenerator gen(opts);
+    Kernel k = simpleKernel(6);
+    const auto info = gen.emitKernel(k);
+    Program p = gen.finish();
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("16-16", 128);
+    Simulator sim(cfg, p);
+    sim.run();
+    std::string diag;
+    EXPECT_TRUE(workloads::verifyAgainstReference(sim.dataMemory(), k,
+                                                  info, &diag))
+        << diag;
+}
+
+TEST(CodeGen, MultipleKernelsShareOneProgram)
+{
+    CodeGenerator gen;
+    Kernel k1 = simpleKernel();
+    Kernel k2 = simpleKernel();
+    k2.id = 2;
+    k2.name = "simple2";
+    const auto i1 = gen.emitKernel(k1);
+    const auto i2 = gen.emitKernel(k2);
+    EXPECT_LT(i1.kernelStart, i2.kernelStart);
+    // Arrays must not overlap.
+    EXPECT_NE(i1.arrayAddrs.at("x"), i2.arrayAddrs.at("x"));
+    Program p = gen.finish();
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("8-8", 64);
+    Simulator sim(cfg, p);
+    sim.run();
+    std::string diag;
+    EXPECT_TRUE(
+        workloads::verifyAgainstReference(sim.dataMemory(), k1, i1, &diag))
+        << diag;
+    EXPECT_TRUE(
+        workloads::verifyAgainstReference(sim.dataMemory(), k2, i2, &diag))
+        << diag;
+}
+
+TEST(CodeGen, TooManyStrideClassesIsFatal)
+{
+    Kernel k;
+    k.id = 1;
+    k.name = "strides";
+    k.tripCount = 2;
+    k.arrays = {{"a", 20}};
+    k.body = {assign({"a", 1, 0},
+                     add(add(ref("a", 2, 0), ref("a", 3, 0)),
+                         ref("a", 4, 0)))};
+    CodeGenerator gen;
+    EXPECT_THROW(gen.emitKernel(k), FatalError);
+}
+
+TEST(CodeGen, BadTripCountIsFatal)
+{
+    Kernel k = simpleKernel();
+    k.tripCount = 0;
+    CodeGenerator gen;
+    EXPECT_THROW(gen.emitKernel(k), FatalError);
+}
+
+TEST(CodeGen, InnerLoopBytesMatchesReportedRange)
+{
+    CodeGenerator gen;
+    const auto info = gen.emitKernel(simpleKernel());
+    EXPECT_GT(info.innerLoopBytes, 0u);
+    EXPECT_EQ(info.innerLoopBytes % 4, 0u); // fixed-32 instructions
+}

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include "assembler/assembler.hh"
+#include "mem/data_memory.hh"
+
+using namespace pipesim;
+
+TEST(DataMemoryTest, WordReadWriteLittleEndian)
+{
+    DataMemory mem(64);
+    mem.writeWord(0, 0x11223344);
+    EXPECT_EQ(mem.readWord(0), 0x11223344u);
+    EXPECT_EQ(mem.readByte(0), 0x44);
+    EXPECT_EQ(mem.readByte(3), 0x11);
+}
+
+TEST(DataMemoryTest, ByteWritesComposeWords)
+{
+    DataMemory mem(64);
+    mem.writeByte(4, 0xef);
+    mem.writeByte(5, 0xbe);
+    mem.writeByte(6, 0xad);
+    mem.writeByte(7, 0xde);
+    EXPECT_EQ(mem.readWord(4), 0xdeadbeefu);
+}
+
+TEST(DataMemoryTest, InitiallyZero)
+{
+    DataMemory mem(16);
+    EXPECT_EQ(mem.readWord(0), 0u);
+    EXPECT_EQ(mem.readWord(12), 0u);
+}
+
+TEST(DataMemoryTest, OutOfRangePanics)
+{
+    DataMemory mem(16);
+    EXPECT_THROW(mem.readWord(13), PanicError);
+    EXPECT_THROW(mem.writeWord(16, 0), PanicError);
+    EXPECT_THROW(mem.readByte(16), PanicError);
+    EXPECT_NO_THROW(mem.readWord(12));
+}
+
+TEST(DataMemoryTest, LoadProgramCopiesCodeAndData)
+{
+    Program p = assembler::assemble(R"(
+        li r1, 1
+        halt
+    .data 0x100
+        .word 0xcafe, 77
+    )");
+    DataMemory mem(0x200);
+    mem.loadProgram(p);
+    // Code bytes land at the code base.
+    EXPECT_EQ(mem.readByte(0), p.code()[0]);
+    EXPECT_EQ(mem.readWord(0x100), 0xcafeu);
+    EXPECT_EQ(mem.readWord(0x104), 77u);
+}
+
+TEST(DataMemoryTest, LoadProgramOutOfRangePanics)
+{
+    Program p = assembler::assemble("halt\n.data 0x1000\n.word 1");
+    DataMemory mem(0x100);
+    EXPECT_THROW(mem.loadProgram(p), PanicError);
+}

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include "assembler/assembler.hh"
+#include "isa/disasm.hh"
+
+using namespace pipesim;
+using namespace pipesim::isa;
+
+namespace
+{
+
+Instruction
+asmOne(const std::string &line)
+{
+    Program p = assembler::assemble(line, FormatMode::Compact);
+    return *p.decodeAt(0);
+}
+
+} // namespace
+
+TEST(Disasm, AluForms)
+{
+    EXPECT_EQ(disassemble(asmOne("add r1, r2, r3")), "add r1, r2, r3");
+    EXPECT_EQ(disassemble(asmOne("sra r7, r0, r1")), "sra r7, r0, r1");
+    EXPECT_EQ(disassemble(asmOne("addi r1, r2, -5")), "addi r1, r2, -5");
+    EXPECT_EQ(disassemble(asmOne("xori r4, r4, 255")),
+              "xori r4, r4, 255");
+}
+
+TEST(Disasm, Immediates)
+{
+    EXPECT_EQ(disassemble(asmOne("li r3, 1000")), "li r3, 1000");
+    EXPECT_EQ(disassemble(asmOne("lui r3, 15")), "lui r3, 15");
+}
+
+TEST(Disasm, MemoryForms)
+{
+    EXPECT_EQ(disassemble(asmOne("ld [r1 + 8]")), "ld [r1 + 8]");
+    EXPECT_EQ(disassemble(asmOne("ld [r1 + r2]")), "ldx [r1 + r2]");
+    EXPECT_EQ(disassemble(asmOne("st [r6 + -4]")), "st [r6 + -4]");
+    EXPECT_EQ(disassemble(asmOne("stx [r6 + r0]")), "stx [r6 + r0]");
+}
+
+TEST(Disasm, ControlForms)
+{
+    EXPECT_EQ(disassemble(asmOne("lbr b2, 64")), "lbr b2, 64");
+    EXPECT_EQ(disassemble(asmOne("pbr b0, 4, nez, r2")),
+              "pbr b0, 4, nez, r2");
+    EXPECT_EQ(disassemble(asmOne("pbr b1, 0, always")),
+              "pbr b1, 0, always");
+}
+
+TEST(Disasm, MiscForms)
+{
+    EXPECT_EQ(disassemble(asmOne("mov r1, r2")), "mov r1, r2");
+    EXPECT_EQ(disassemble(asmOne("not r1, r2")), "not r1, r2");
+    EXPECT_EQ(disassemble(asmOne("neg r1, r2")), "neg r1, r2");
+    EXPECT_EQ(disassemble(asmOne("nop")), "nop");
+    EXPECT_EQ(disassemble(asmOne("rsw")), "rsw");
+    EXPECT_EQ(disassemble(asmOne("halt")), "halt");
+}
+
+TEST(Disasm, RoundTripsThroughAssembler)
+{
+    // Disassembly must reassemble to the same encoding.
+    const char *lines[] = {
+        "add r1, r2, r3", "subi r4, r4, 1",    "li r0, 0",
+        "ld [r1 + 12]",   "stx [r2 + r3]",     "lbr b0, 36",
+        "pbr b0, 7, gtz, r4", "mov r7, r7",    "halt",
+    };
+    for (const char *line : lines) {
+        const Instruction first = asmOne(line);
+        const Instruction second = asmOne(disassemble(first));
+        EXPECT_EQ(first, second) << line;
+    }
+}

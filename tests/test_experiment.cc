@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include "sim/experiment.hh"
+#include "workloads/benchmark_program.hh"
+
+using namespace pipesim;
+
+namespace
+{
+
+const workloads::Benchmark &
+tinyBenchmark()
+{
+    static const auto bench = workloads::buildLivermoreBenchmark(0.02);
+    return bench;
+}
+
+} // namespace
+
+TEST(ExperimentTest, SweepTableShape)
+{
+    SweepSpec spec;
+    spec.cacheSizes = {32, 64};
+    spec.strategies = {"conv", "16-16"};
+    const Table t = runCacheSweep(spec, tinyBenchmark().program);
+    EXPECT_EQ(t.numCols(), 3u);
+    EXPECT_EQ(t.numRows(), 2u);
+    EXPECT_EQ(t.at(0, 0), "32");
+    EXPECT_EQ(t.at(1, 0), "64");
+    // Cycle counts are positive integers.
+    EXPECT_GT(std::stoull(t.at(0, 1)), 0u);
+    EXPECT_GT(std::stoull(t.at(0, 2)), 0u);
+}
+
+TEST(ExperimentTest, InvalidPointsRenderDash)
+{
+    SweepSpec spec;
+    spec.cacheSizes = {16};
+    spec.strategies = {"32-32"}; // 32-byte line cannot fit 16-byte cache
+    const Table t = runCacheSweep(spec, tinyBenchmark().program);
+    EXPECT_EQ(t.at(0, 1), "-");
+}
+
+TEST(ExperimentTest, PointValidity)
+{
+    SweepSpec spec;
+    EXPECT_TRUE(sweepPointValid(spec, "conv", 16));
+    EXPECT_TRUE(sweepPointValid(spec, "8-8", 16));
+    EXPECT_FALSE(sweepPointValid(spec, "16-16", 8));
+    EXPECT_FALSE(sweepPointValid(spec, "32-32", 16));
+    EXPECT_TRUE(sweepPointValid(spec, "32-32", 32));
+}
+
+TEST(ExperimentTest, MakeSweepConfigAppliesParameters)
+{
+    SweepSpec spec;
+    spec.mem.accessTime = 6;
+    spec.mem.busWidthBytes = 8;
+    spec.mem.pipelined = true;
+    spec.policy = OffchipPolicy::GuaranteedOnly;
+    const SimConfig pipe = makeSweepConfig(spec, "16-16", 64);
+    EXPECT_EQ(pipe.mem.accessTime, 6u);
+    EXPECT_EQ(pipe.mem.busWidthBytes, 8u);
+    EXPECT_TRUE(pipe.mem.pipelined);
+    EXPECT_EQ(pipe.fetch.strategy, FetchStrategy::Pipe);
+    EXPECT_EQ(pipe.fetch.offchipPolicy, OffchipPolicy::GuaranteedOnly);
+    EXPECT_EQ(pipe.fetch.cacheBytes, 64u);
+
+    const SimConfig conv = makeSweepConfig(spec, "conv", 64);
+    EXPECT_EQ(conv.fetch.strategy, FetchStrategy::Conventional);
+}
+
+TEST(ExperimentTest, ObserverSeesEveryValidPoint)
+{
+    SweepSpec spec;
+    spec.cacheSizes = {16, 32};
+    spec.strategies = {"conv", "32-32"};
+    unsigned points = 0;
+    runCacheSweep(spec, tinyBenchmark().program,
+                  [&](const std::string &, unsigned, const SimResult &r) {
+                      ++points;
+                      EXPECT_GT(r.totalCycles, 0u);
+                  });
+    EXPECT_EQ(points, 3u); // 32-32 at 16 bytes is skipped
+}
+
+TEST(ExperimentTest, BiggerCacheNeverMuchWorse)
+{
+    // Sanity on the sweep trend: the largest cache should beat the
+    // smallest for both strategy families on this workload.
+    SweepSpec spec;
+    spec.cacheSizes = {16, 512};
+    spec.strategies = {"conv", "8-8"};
+    spec.mem.accessTime = 6;
+    const Table t = runCacheSweep(spec, tinyBenchmark().program);
+    EXPECT_GT(std::stoull(t.at(0, 1)), std::stoull(t.at(1, 1)));
+    EXPECT_GT(std::stoull(t.at(0, 2)), std::stoull(t.at(1, 2)));
+}

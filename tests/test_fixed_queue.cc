@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include <string>
+
+#include "queue/fixed_queue.hh"
+
+using namespace pipesim;
+
+TEST(FixedQueue, FifoOrder)
+{
+    FixedQueue<int> q(4);
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    q.push(4);
+    EXPECT_EQ(q.pop(), 3);
+    EXPECT_EQ(q.pop(), 4);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(FixedQueue, CapacityAndFull)
+{
+    FixedQueue<int> q(2);
+    EXPECT_EQ(q.capacity(), 2u);
+    EXPECT_EQ(q.freeSlots(), 2u);
+    q.push(1);
+    EXPECT_FALSE(q.full());
+    q.push(2);
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.freeSlots(), 0u);
+}
+
+TEST(FixedQueue, OverflowPanics)
+{
+    FixedQueue<int> q(1);
+    q.push(1);
+    EXPECT_THROW(q.push(2), PanicError);
+}
+
+TEST(FixedQueue, UnderflowPanics)
+{
+    FixedQueue<int> q(1);
+    EXPECT_THROW(q.pop(), PanicError);
+    EXPECT_THROW(q.front(), PanicError);
+}
+
+TEST(FixedQueue, FrontDoesNotPop)
+{
+    FixedQueue<std::string> q(2);
+    q.push("a");
+    EXPECT_EQ(q.front(), "a");
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.pop(), "a");
+}
+
+TEST(FixedQueue, RandomAccessFromHead)
+{
+    FixedQueue<int> q(4);
+    q.push(10);
+    q.push(20);
+    q.push(30);
+    EXPECT_EQ(q.at(0), 10);
+    EXPECT_EQ(q.at(2), 30);
+    EXPECT_THROW(q.at(3), PanicError);
+}
+
+TEST(FixedQueue, ClearEmpties)
+{
+    FixedQueue<int> q(4);
+    q.push(1);
+    q.push(2);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(FixedQueue, ZeroCapacityRejected)
+{
+    EXPECT_THROW(FixedQueue<int>(0), PanicError);
+}

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include "cache/icache.hh"
+
+using namespace pipesim;
+
+TEST(InstructionCacheTest, Geometry)
+{
+    InstructionCache c(128, 8);
+    EXPECT_EQ(c.numLines(), 16u);
+    EXPECT_EQ(c.lineBytes(), 8u);
+    EXPECT_EQ(c.lineBase(0x17), 0x10u);
+    EXPECT_EQ(c.lineBase(0x10), 0x10u);
+}
+
+TEST(InstructionCacheTest, ColdCacheMissesEverywhere)
+{
+    InstructionCache c(64, 16);
+    EXPECT_FALSE(c.linePresent(0));
+    EXPECT_FALSE(c.lineValid(0));
+    EXPECT_FALSE(c.bytesValid(0, 4));
+}
+
+TEST(InstructionCacheTest, StreamingFill)
+{
+    InstructionCache c(64, 16);
+    c.allocate(0x20);
+    EXPECT_TRUE(c.linePresent(0x20));
+    EXPECT_FALSE(c.lineValid(0x20));
+    c.fill(0x20, 8);
+    EXPECT_TRUE(c.bytesValid(0x20, 8));
+    EXPECT_FALSE(c.bytesValid(0x28, 4));
+    EXPECT_FALSE(c.lineValid(0x20));
+    c.fill(0x28, 8);
+    EXPECT_TRUE(c.lineValid(0x20));
+    EXPECT_TRUE(c.bytesValid(0x2c, 4));
+}
+
+TEST(InstructionCacheTest, NonStreamingFillPanics)
+{
+    InstructionCache c(64, 16);
+    c.allocate(0);
+    EXPECT_THROW(c.fill(8, 4), PanicError); // skips bytes 0..7
+}
+
+TEST(InstructionCacheTest, FillUnallocatedPanics)
+{
+    InstructionCache c(64, 16);
+    EXPECT_THROW(c.fill(0, 4), PanicError);
+}
+
+TEST(InstructionCacheTest, OverfillPanics)
+{
+    InstructionCache c(64, 16);
+    c.allocate(0);
+    c.fill(0, 16);
+    EXPECT_THROW(c.fill(16, 4), PanicError);
+}
+
+TEST(InstructionCacheTest, DirectMappedConflict)
+{
+    InstructionCache c(32, 16); // two lines: 0x00/0x20 share a frame
+    c.allocate(0x00);
+    c.fill(0x00, 16);
+    EXPECT_TRUE(c.lineValid(0x00));
+    c.allocate(0x40); // same index as 0x00
+    EXPECT_FALSE(c.linePresent(0x00));
+    EXPECT_TRUE(c.linePresent(0x40));
+    // The other frame is untouched.
+    c.allocate(0x10);
+    c.fill(0x10, 16);
+    EXPECT_TRUE(c.lineValid(0x10));
+    EXPECT_TRUE(c.linePresent(0x40));
+}
+
+TEST(InstructionCacheTest, SingleLineCache)
+{
+    InstructionCache c(16, 16);
+    c.allocate(0x30);
+    c.fill(0x30, 16);
+    EXPECT_TRUE(c.lineValid(0x30));
+    c.allocate(0x40);
+    EXPECT_FALSE(c.linePresent(0x30));
+}
+
+TEST(InstructionCacheTest, InvalidateAll)
+{
+    InstructionCache c(64, 16);
+    c.allocate(0);
+    c.fill(0, 16);
+    c.invalidateAll();
+    EXPECT_FALSE(c.linePresent(0));
+    EXPECT_FALSE(c.bytesValid(0, 4));
+}
+
+TEST(InstructionCacheTest, BadGeometryRejected)
+{
+    EXPECT_THROW(InstructionCache(100, 8), FatalError);
+    EXPECT_THROW(InstructionCache(64, 12), FatalError);
+    EXPECT_THROW(InstructionCache(8, 16), FatalError);
+}
+
+TEST(InstructionCacheTest, LookupStats)
+{
+    InstructionCache c(64, 16);
+    StatGroup stats;
+    c.regStats(stats, "ic");
+    c.recordLookup(true);
+    c.recordLookup(true);
+    c.recordLookup(false);
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_NEAR(stats.formulaValue("ic.miss_rate"), 1.0 / 3.0, 1e-9);
+}

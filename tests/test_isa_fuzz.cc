@@ -1,0 +1,136 @@
+/**
+ * Randomised ISA coverage: every randomly generated valid instruction
+ * must encode/decode to itself in both format modes, and arbitrary
+ * parcel bit patterns must either decode to something well-formed or
+ * raise a typed panic (never crash or yield out-of-range fields).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include <random>
+
+#include "isa/decode.hh"
+#include "isa/disasm.hh"
+#include "isa/encode.hh"
+
+using namespace pipesim;
+using namespace pipesim::isa;
+
+namespace
+{
+
+Instruction
+randomInstruction(std::mt19937 &rng)
+{
+    Instruction inst;
+    inst.op = Opcode(rng() % unsigned(Opcode::NumOpcodes));
+    const OpcodeInfo &info = opcodeInfo(inst.op);
+    if (info.hasRd)
+        inst.rd = std::uint8_t(rng() % 8);
+    if (info.hasRs1)
+        inst.rs1 = std::uint8_t(rng() % 8);
+    if (info.hasRs2)
+        inst.rs2 = std::uint8_t(rng() % 8);
+    if (info.hasImm) {
+        if (inst.op == Opcode::Lbr) {
+            // Branch targets decode as unsigned 16-bit addresses.
+            inst.imm = std::int32_t(rng() % 0x10000);
+        } else {
+            inst.imm = std::int32_t(rng() % 0x10000) - 0x8000;
+        }
+    }
+    if (inst.op == Opcode::Pbr) {
+        inst.br = std::uint8_t(rng() % 8);
+        inst.count = std::uint8_t(rng() % 8);
+        inst.cond = Cond(rng() % 7);
+        inst.rs1 = std::uint8_t(rng() % 8);
+    }
+    if (inst.op == Opcode::Lbr)
+        inst.br = std::uint8_t(rng() % 8);
+    return inst;
+}
+
+} // namespace
+
+class IsaFuzz : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(IsaFuzz, EncodeDecodeRoundTrip)
+{
+    std::mt19937 rng(GetParam());
+    for (int i = 0; i < 500; ++i) {
+        Instruction inst = randomInstruction(rng);
+        for (FormatMode mode :
+             {FormatMode::Compact, FormatMode::Fixed32}) {
+            const auto parcels = encode(inst, mode);
+            const Parcel p2 =
+                parcels.size() > 1 ? parcels[1] : Parcel(0);
+            Instruction out = decode(parcels[0], p2, mode);
+            // Normalise the size field for comparison.
+            Instruction expect = inst;
+            expect.parcels = out.parcels;
+            EXPECT_EQ(out, expect)
+                << disassemble(inst) << " via mode " << int(mode);
+        }
+    }
+}
+
+TEST_P(IsaFuzz, DisassembleReencode)
+{
+    std::mt19937 rng(GetParam() ^ 0xabcd);
+    for (int i = 0; i < 200; ++i) {
+        Instruction inst = randomInstruction(rng);
+        // Disassembly must never throw for valid instructions.
+        EXPECT_FALSE(disassemble(inst).empty());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsaFuzz, ::testing::Range(0u, 8u));
+
+TEST(IsaFuzzRaw, ArbitraryParcelsDecodeOrPanic)
+{
+    std::mt19937 rng(7);
+    unsigned decoded = 0;
+    unsigned panicked = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const Parcel p1 = Parcel(rng());
+        const Parcel p2 = Parcel(rng());
+        try {
+            const Instruction inst =
+                decode(p1, p2, FormatMode::Compact);
+            ++decoded;
+            // Decoded fields are always in range.
+            EXPECT_LT(unsigned(inst.op), unsigned(Opcode::NumOpcodes));
+            EXPECT_LT(inst.rd, 8);
+            EXPECT_LT(inst.rs1, 8);
+            EXPECT_LT(inst.rs2, 8);
+            EXPECT_LT(inst.br, 8);
+            EXPECT_LE(inst.count, 7);
+            EXPECT_GE(inst.parcels, 1);
+            EXPECT_LE(inst.parcels, 2);
+        } catch (const PanicError &) {
+            ++panicked; // undefined major/function encodings
+        }
+    }
+    // Both outcomes occur over the random space.
+    EXPECT_GT(decoded, 0u);
+    EXPECT_GT(panicked, 0u);
+}
+
+TEST(IsaFuzzRaw, BranchBitOnlyOnPbr)
+{
+    std::mt19937 rng(11);
+    for (int i = 0; i < 2000; ++i) {
+        const Parcel p1 = Parcel(rng());
+        try {
+            const Instruction inst =
+                decode(p1, 0, FormatMode::Compact);
+            EXPECT_EQ(inst.isPbr(), (p1 & 0x8000) != 0);
+        } catch (const PanicError &) {
+            // invalid encodings exempt
+        }
+    }
+}

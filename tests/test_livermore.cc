@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include <cmath>
+#include <set>
+
+#include "workloads/livermore.hh"
+#include "workloads/reference.hh"
+
+using namespace pipesim;
+using namespace pipesim::workloads;
+using namespace pipesim::codegen;
+
+TEST(Livermore, FourteenKernelsWithDistinctIds)
+{
+    const auto kernels = livermoreKernels(0.1);
+    ASSERT_EQ(kernels.size(), 14u);
+    std::set<int> ids;
+    for (const auto &k : kernels) {
+        ids.insert(k.id);
+        EXPECT_FALSE(k.name.empty());
+        EXPECT_GE(k.tripCount, 2u);
+        EXPECT_FALSE(k.body.empty());
+        EXPECT_FALSE(k.arrays.empty());
+    }
+    EXPECT_EQ(ids.size(), 14u);
+}
+
+TEST(Livermore, InvalidIdIsFatal)
+{
+    EXPECT_THROW(livermoreKernel(0), FatalError);
+    EXPECT_THROW(livermoreKernel(15), FatalError);
+}
+
+TEST(Livermore, ScaleControlsTripCount)
+{
+    const auto small = livermoreKernel(1, 0.1);
+    const auto big = livermoreKernel(1, 1.0);
+    EXPECT_LT(small.tripCount, big.tripCount);
+    // Minimum trip count floor.
+    EXPECT_GE(livermoreKernel(1, 0.0001).tripCount, 2u);
+}
+
+TEST(Livermore, ArraysCoverAllReferencedElements)
+{
+    // Every array reference across every iteration must be in bounds;
+    // the reference interpreter asserts this internally.
+    for (int id = 1; id <= numLivermoreKernels; ++id)
+        EXPECT_NO_THROW(runReference(livermoreKernel(id, 0.2))) << id;
+}
+
+TEST(Livermore, InitValuesAreDeterministicAndNameKeyed)
+{
+    const float a0 = ArrayDecl::initValue("x", 0);
+    EXPECT_EQ(a0, ArrayDecl::initValue("x", 0));
+    EXPECT_NE(ArrayDecl::initValue("x", 0), ArrayDecl::initValue("y", 0));
+    for (unsigned i = 0; i < 100; ++i) {
+        const float v = ArrayDecl::initValue("z", i);
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_GT(v, 0.0f);
+        EXPECT_LT(v, 1.0f);
+    }
+}
+
+TEST(ReferenceInterp, InnerProductMatchesClosedForm)
+{
+    // Kernel 3 is q += z[k]*x[k]: check against a direct host loop.
+    const auto k = livermoreKernel(3, 0.05);
+    const auto result = runReference(k);
+    float q = 0.0f;
+    for (unsigned i = 0; i < k.tripCount; ++i)
+        q += ArrayDecl::initValue("z", i) * ArrayDecl::initValue("x", i);
+    EXPECT_EQ(result.scalars.at("q"), q);
+}
+
+TEST(ReferenceInterp, FirstDifferenceMatchesClosedForm)
+{
+    const auto k = livermoreKernel(12, 0.05);
+    const auto result = runReference(k);
+    for (unsigned i = 0; i < k.tripCount; ++i) {
+        const float expect = ArrayDecl::initValue("y", i + 1) -
+                             ArrayDecl::initValue("y", i);
+        EXPECT_EQ(result.arrays.at("x")[i], expect) << i;
+    }
+}
+
+TEST(ReferenceInterp, RecurrenceIsSequential)
+{
+    // Kernel 11: x[k+1] = x[k] + y[k+1] is a running sum.
+    const auto k = livermoreKernel(11, 0.05);
+    const auto result = runReference(k);
+    float acc = ArrayDecl::initValue("x", 0);
+    for (unsigned i = 0; i < k.tripCount; ++i) {
+        acc = acc + ArrayDecl::initValue("y", i + 1);
+        EXPECT_EQ(result.arrays.at("x")[i + 1], acc) << i;
+    }
+}
+
+TEST(ReferenceInterp, ResultsAreFinite)
+{
+    for (int id = 1; id <= numLivermoreKernels; ++id) {
+        const auto result = runReference(livermoreKernel(id, 0.3));
+        for (const auto &[name, arr] : result.arrays)
+            for (float v : arr)
+                EXPECT_TRUE(std::isfinite(v))
+                    << "kernel " << id << " array " << name;
+        for (const auto &[name, v] : result.scalars)
+            EXPECT_TRUE(std::isfinite(v))
+                << "kernel " << id << " scalar " << name;
+    }
+}
+
+TEST(ReferenceInterp, OuterRepsCompose)
+{
+    auto k = livermoreKernel(3, 0.05);
+    k.outerReps = 2;
+    const auto twice = runReference(k);
+    k.outerReps = 1;
+    const auto once = runReference(k);
+    // The accumulator keeps growing across passes.
+    EXPECT_GT(twice.scalars.at("q"), once.scalars.at("q"));
+}

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+using namespace pipesim;
+
+TEST(Log, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("boom ", 42), PanicError);
+}
+
+TEST(Log, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config: ", "x"), FatalError);
+}
+
+TEST(Log, MessagesAreComposed)
+{
+    try {
+        panic("value=", 7, " name=", "abc");
+        FAIL() << "panic returned";
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "panic: value=7 name=abc");
+    }
+}
+
+TEST(Log, FatalMessagePrefix)
+{
+    try {
+        fatal("oops");
+        FAIL() << "fatal returned";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "fatal: oops");
+    }
+}
+
+TEST(Log, AssertMacroPassesAndFails)
+{
+    EXPECT_NO_THROW(PIPESIM_ASSERT(1 + 1 == 2, "fine"));
+    EXPECT_THROW(PIPESIM_ASSERT(1 + 1 == 3, "broken"), PanicError);
+}
+
+TEST(Log, PanicIsLogicErrorFatalIsRuntimeError)
+{
+    EXPECT_THROW(panic("x"), std::logic_error);
+    EXPECT_THROW(fatal("x"), std::runtime_error);
+}
+
+TEST(Log, QuietFlagRoundTrip)
+{
+    const bool before = logQuiet();
+    setLogQuiet(true);
+    EXPECT_TRUE(logQuiet());
+    EXPECT_NO_THROW(warn("suppressed"));
+    EXPECT_NO_THROW(inform("suppressed"));
+    setLogQuiet(before);
+}

@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include <bit>
+#include <deque>
+
+#include "mem/memory_system.hh"
+
+using namespace pipesim;
+
+namespace
+{
+
+/** A scriptable memory client for driving the arbitration logic. */
+class FakeClient : public MemClient
+{
+  public:
+    std::deque<MemRequest> queue;
+    unsigned acceptedCount = 0;
+
+    std::optional<MemRequest>
+    peek() override
+    {
+        if (queue.empty())
+            return std::nullopt;
+        return queue.front();
+    }
+
+    void
+    accepted() override
+    {
+        queue.pop_front();
+        ++acceptedCount;
+    }
+};
+
+struct Harness
+{
+    explicit Harness(MemSystemConfig cfg = {})
+        : mem(dataMem), sys(cfg, dataMem)
+    {
+        sys.setDataClient(&data);
+        sys.setDemandClient(&demand);
+        sys.setPrefetchClient(&prefetch);
+    }
+
+    void
+    run(Cycle cycles)
+    {
+        for (Cycle i = 0; i < cycles; ++i)
+            sys.tick(now++);
+    }
+
+    DataMemory dataMem{1 << 16};
+    DataMemory &mem;
+    MemorySystem sys;
+    FakeClient data, demand, prefetch;
+    Cycle now = 0;
+};
+
+MemRequest
+makeLoad(Addr addr, std::uint64_t seq, std::vector<Word> *sink)
+{
+    MemRequest req;
+    req.addr = addr;
+    req.bytes = wordBytes;
+    req.cls = ReqClass::Data;
+    req.dataSeq = seq;
+    req.onData = [sink](Word w) { sink->push_back(w); };
+    return req;
+}
+
+MemRequest
+makeStore(Addr addr, Word value)
+{
+    MemRequest req;
+    req.addr = addr;
+    req.bytes = wordBytes;
+    req.isStore = true;
+    req.storeData = value;
+    req.cls = ReqClass::Data;
+    return req;
+}
+
+MemRequest
+makeIFetch(Addr addr, unsigned bytes, ReqClass cls,
+           std::vector<std::pair<Addr, unsigned>> *beats)
+{
+    MemRequest req;
+    req.addr = addr;
+    req.bytes = bytes;
+    req.cls = cls;
+    req.onBeat = [beats](Addr a, unsigned n) {
+        beats->push_back({a, n});
+    };
+    return req;
+}
+
+} // namespace
+
+TEST(MemorySystemTest, LoadRoundTripLatency)
+{
+    MemSystemConfig cfg;
+    cfg.accessTime = 3;
+    Harness h(cfg);
+    h.dataMem.writeWord(0x100, 0xabcd);
+    std::vector<Word> got;
+    h.data.queue.push_back(makeLoad(0x100, 0, &got));
+
+    h.run(3); // accepted at cycle 0, ready at 3, delivered at tick 3
+    EXPECT_TRUE(got.empty());
+    h.run(1);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], 0xabcdu);
+}
+
+TEST(MemorySystemTest, StoreThenLoadSeesNewValue)
+{
+    Harness h;
+    h.data.queue.push_back(makeStore(0x40, 123));
+    std::vector<Word> got;
+    h.data.queue.push_back(makeLoad(0x40, 0, &got));
+    h.run(10);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], 123u);
+}
+
+TEST(MemorySystemTest, LoadBeforeStoreSeesOldValue)
+{
+    // Program order: load first, then a store to the same address.
+    MemSystemConfig cfg;
+    cfg.accessTime = 4;
+    cfg.pipelined = true;
+    Harness h(cfg);
+    h.dataMem.writeWord(0x40, 7);
+    std::vector<Word> got;
+    h.data.queue.push_back(makeLoad(0x40, 0, &got));
+    h.data.queue.push_back(makeStore(0x40, 99));
+    h.run(12);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], 7u); // captured at acceptance, not delivery
+    EXPECT_EQ(h.dataMem.readWord(0x40), 99u);
+}
+
+TEST(MemorySystemTest, LineFetchBeatsMatchBusWidth)
+{
+    MemSystemConfig cfg;
+    cfg.accessTime = 1;
+    cfg.busWidthBytes = 8;
+    Harness h(cfg);
+    std::vector<std::pair<Addr, unsigned>> beats;
+    h.demand.queue.push_back(
+        makeIFetch(0x200, 32, ReqClass::IFetchDemand, &beats));
+    h.run(10);
+    ASSERT_EQ(beats.size(), 4u);
+    EXPECT_EQ(beats[0], (std::pair<Addr, unsigned>{0x200, 8}));
+    EXPECT_EQ(beats[3], (std::pair<Addr, unsigned>{0x218, 8}));
+}
+
+TEST(MemorySystemTest, NarrowBusTakesTwiceTheBeats)
+{
+    MemSystemConfig cfg;
+    cfg.busWidthBytes = 4;
+    Harness h(cfg);
+    std::vector<std::pair<Addr, unsigned>> beats;
+    h.demand.queue.push_back(
+        makeIFetch(0x200, 32, ReqClass::IFetchDemand, &beats));
+    h.run(12);
+    EXPECT_EQ(beats.size(), 8u);
+}
+
+TEST(MemorySystemTest, InstructionPriorityConfigurable)
+{
+    for (bool ipriority : {true, false}) {
+        MemSystemConfig cfg;
+        cfg.instructionPriority = ipriority;
+        Harness h(cfg);
+        std::vector<Word> got;
+        std::vector<std::pair<Addr, unsigned>> beats;
+        h.data.queue.push_back(makeLoad(0x10, 0, &got));
+        h.demand.queue.push_back(
+            makeIFetch(0x100, 4, ReqClass::IFetchDemand, &beats));
+        // One tick: exactly one of the two is accepted.
+        h.sys.tick(h.now++);
+        if (ipriority) {
+            EXPECT_EQ(h.demand.acceptedCount, 1u);
+            EXPECT_EQ(h.data.acceptedCount, 0u);
+        } else {
+            EXPECT_EQ(h.demand.acceptedCount, 0u);
+            EXPECT_EQ(h.data.acceptedCount, 1u);
+        }
+    }
+}
+
+TEST(MemorySystemTest, PrefetchAlwaysLoses)
+{
+    MemSystemConfig cfg;
+    cfg.pipelined = true;
+    Harness h(cfg);
+    std::vector<std::pair<Addr, unsigned>> beats;
+    h.prefetch.queue.push_back(
+        makeIFetch(0x300, 4, ReqClass::IPrefetch, &beats));
+    std::vector<Word> got;
+    h.data.queue.push_back(makeLoad(0x10, 0, &got));
+    h.sys.tick(h.now++);
+    EXPECT_EQ(h.data.acceptedCount, 1u);
+    EXPECT_EQ(h.prefetch.acceptedCount, 0u);
+    h.sys.tick(h.now++);
+    EXPECT_EQ(h.prefetch.acceptedCount, 1u);
+}
+
+TEST(MemorySystemTest, NonPipelinedSerialisesRequests)
+{
+    MemSystemConfig cfg;
+    cfg.accessTime = 4;
+    cfg.pipelined = false;
+    Harness h(cfg);
+    std::vector<Word> got;
+    h.data.queue.push_back(makeLoad(0x10, 0, &got));
+    h.data.queue.push_back(makeLoad(0x14, 1, &got));
+    h.run(2);
+    EXPECT_EQ(h.data.acceptedCount, 1u); // second waits
+    h.run(10);
+    EXPECT_EQ(h.data.acceptedCount, 2u);
+    EXPECT_EQ(got.size(), 2u);
+}
+
+TEST(MemorySystemTest, PipelinedAcceptsEveryCycle)
+{
+    MemSystemConfig cfg;
+    cfg.accessTime = 4;
+    cfg.pipelined = true;
+    Harness h(cfg);
+    std::vector<Word> got;
+    for (unsigned i = 0; i < 4; ++i)
+        h.data.queue.push_back(makeLoad(0x10 + 4 * i, i, &got));
+    h.run(4);
+    EXPECT_EQ(h.data.acceptedCount, 4u);
+    h.run(8);
+    EXPECT_EQ(got.size(), 4u);
+}
+
+TEST(MemorySystemTest, DataLoadsDeliverInProgramOrderAcrossFpu)
+{
+    // Load 0 goes to the FPU (blocking on a result); load 1 to the
+    // external memory.  Even with the memory pipelined, load 1 must
+    // not enter the LDQ before load 0.
+    MemSystemConfig cfg;
+    cfg.accessTime = 1;
+    cfg.pipelined = true;
+    cfg.fpuLatency = 6;
+    Harness h(cfg);
+    h.dataMem.writeWord(0x20, 55);
+
+    std::vector<Word> order;
+    MemRequest fpu_read;
+    fpu_read.addr = FpuDevice::opResult(FpuOp::Add);
+    fpu_read.bytes = wordBytes;
+    fpu_read.cls = ReqClass::Data;
+    fpu_read.dataSeq = 0;
+    fpu_read.onData = [&](Word) { order.push_back(0); };
+    h.data.queue.push_back(fpu_read);
+    MemRequest mem_load = makeLoad(0x20, 1, nullptr);
+    mem_load.onData = [&](Word) { order.push_back(1); };
+    h.data.queue.push_back(mem_load);
+    // Operand stores that start the FPU op (after the loads in
+    // program order).
+    h.data.queue.push_back(
+        makeStore(FpuDevice::opA(FpuOp::Add), std::bit_cast<Word>(1.0f)));
+    h.data.queue.push_back(
+        makeStore(FpuDevice::opB(FpuOp::Add), std::bit_cast<Word>(2.0f)));
+
+    h.run(30);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 0u);
+    EXPECT_EQ(order[1], 1u);
+}
+
+TEST(MemorySystemTest, FpuStoreDoesNotOccupyExternalMemory)
+{
+    MemSystemConfig cfg;
+    cfg.accessTime = 6;
+    cfg.pipelined = false;
+    Harness h(cfg);
+    // A long external load in flight...
+    std::vector<Word> got;
+    h.data.queue.push_back(makeLoad(0x10, 0, &got));
+    h.sys.tick(h.now++);
+    EXPECT_EQ(h.data.acceptedCount, 1u);
+    // ...must not block a store routed to the FPU.
+    h.data.queue.push_back(
+        makeStore(FpuDevice::opA(FpuOp::Mul), std::bit_cast<Word>(2.f)));
+    h.sys.tick(h.now++);
+    EXPECT_EQ(h.data.acceptedCount, 2u);
+}
+
+TEST(MemorySystemTest, QuiescentTracksOutstandingWork)
+{
+    Harness h;
+    EXPECT_TRUE(h.sys.quiescent());
+    std::vector<Word> got;
+    h.data.queue.push_back(makeLoad(0x10, 0, &got));
+    h.sys.tick(h.now++);
+    EXPECT_FALSE(h.sys.quiescent());
+    h.run(5);
+    EXPECT_TRUE(h.sys.quiescent());
+}
+
+TEST(MemorySystemTest, BusNarrowerThanWordRejected)
+{
+    MemSystemConfig cfg;
+    cfg.busWidthBytes = 2;
+    DataMemory mem(64);
+    EXPECT_THROW(MemorySystem(cfg, mem), PanicError);
+}
+
+TEST(MemorySystemTest, AccessTimeOneDeliversNextCycle)
+{
+    MemSystemConfig cfg;
+    cfg.accessTime = 1;
+    Harness h(cfg);
+    h.dataMem.writeWord(0x10, 9);
+    std::vector<Word> got;
+    h.data.queue.push_back(makeLoad(0x10, 0, &got));
+    h.sys.tick(0); // accepted
+    EXPECT_TRUE(got.empty());
+    h.sys.tick(1); // delivered
+    ASSERT_EQ(got.size(), 1u);
+}
+
+TEST(MemorySystemTest, NonPipelinedSingleBeatSustainsOnePerTwoCycles)
+{
+    // With access time 1 a 4-byte load stream completes one request
+    // every other cycle in the strict non-pipelined model: accept at
+    // t, deliver at t+1 (memory busy), accept next at t+1 after the
+    // transfer finishes within the same tick.
+    MemSystemConfig cfg;
+    cfg.accessTime = 1;
+    cfg.pipelined = false;
+    Harness h(cfg);
+    std::vector<Word> got;
+    for (unsigned i = 0; i < 4; ++i)
+        h.data.queue.push_back(makeLoad(0x10 + 4 * i, i, &got));
+    h.run(9);
+    EXPECT_EQ(got.size(), 4u);
+}

@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include <bit>
+
+#include "assembler/assembler.hh"
+#include "sim/simulator.hh"
+
+using namespace pipesim;
+
+namespace
+{
+
+/** Assemble, run to completion, return the simulator for inspection. */
+std::unique_ptr<Simulator>
+runAsm(const std::string &src, SimConfig cfg = {})
+{
+    cfg.progressWindow = 100000;
+    Program prog = assembler::assemble(src);
+    auto sim = std::make_unique<Simulator>(cfg, prog);
+    sim->run();
+    return sim;
+}
+
+Word
+resultWord(Simulator &sim, Addr addr = 0x4000)
+{
+    return sim.dataMemory().readWord(addr);
+}
+
+/** Wrap a compute snippet so it stores r1 to 0x4000 and halts. */
+std::string
+computeR1(const std::string &body)
+{
+    return body + R"(
+        li   r6, 0x4000
+        st   [r6 + 0]
+        mov  r7, r1
+        halt
+    )";
+}
+
+} // namespace
+
+TEST(PipelineExec, ArithmeticAndLogic)
+{
+    struct Case { const char *body; Word expect; };
+    const Case cases[] = {
+        {"li r2, 7\nli r3, 5\nadd r1, r2, r3", 12},
+        {"li r2, 7\nli r3, 5\nsub r1, r2, r3", 2},
+        {"li r2, 5\nli r3, 7\nsub r1, r2, r3", Word(-2)},
+        {"li r2, 12\nli r3, 10\nand r1, r2, r3", 8},
+        {"li r2, 12\nli r3, 10\nor r1, r2, r3", 14},
+        {"li r2, 12\nli r3, 10\nxor r1, r2, r3", 6},
+        {"li r2, 3\nli r3, 4\nsll r1, r2, r3", 48},
+        {"li r2, 48\nli r3, 4\nsrl r1, r2, r3", 3},
+        {"li r2, -16\nli r3, 2\nsra r1, r2, r3", Word(-4)},
+        {"li r2, -16\nli r3, 2\nsrl r1, r2, r3", 0x3ffffffc},
+        {"li r2, 7\naddi r1, r2, -3", 4},
+        {"li r2, 7\nsubi r1, r2, 10", Word(-3)},
+        {"li r2, 0xff\nandi r1, r2, 0x0f", 0x0f},
+        {"li r2, 1\nslli r1, r2, 10", 1024},
+        {"li r2, -1\nsrai r1, r2, 4", Word(-1)},
+        {"li r2, 5\nmov r1, r2", 5},
+        {"li r2, 0\nnot r1, r2", 0xffffffff},
+        {"li r2, 5\nneg r1, r2", Word(-5)},
+        {"lui r1, 0x12", 0x120000},
+        {"lui r1, 0x12\nori r1, r1, 0x8000", 0x128000},
+    };
+    for (const Case &c : cases) {
+        auto sim = runAsm(computeR1(c.body));
+        EXPECT_EQ(resultWord(*sim), c.expect) << c.body;
+    }
+}
+
+TEST(PipelineExec, LoadDataQueuePopsInOrder)
+{
+    const char *src = R"(
+        li  r1, 0x4000
+        ld  [r1 + 0]      ; 11
+        ld  [r1 + 4]      ; 22
+        sub r2, r7, r7    ; 11 - 22 = -11
+        st  [r1 + 8]
+        mov r7, r2
+        halt
+    .data 0x4000
+        .word 11, 22, 0
+    )";
+    auto sim = runAsm(src);
+    EXPECT_EQ(resultWord(*sim, 0x4008), Word(-11));
+}
+
+TEST(PipelineExec, StoreAddressAndDataPairFifo)
+{
+    const char *src = R"(
+        li  r1, 0x4000
+        st  [r1 + 0]
+        st  [r1 + 4]
+        li  r2, 111
+        mov r7, r2
+        li  r3, 222
+        mov r7, r3
+        halt
+    .data 0x4000
+        .word 0, 0
+    )";
+    auto sim = runAsm(src);
+    EXPECT_EQ(resultWord(*sim, 0x4000), 111u);
+    EXPECT_EQ(resultWord(*sim, 0x4004), 222u);
+}
+
+TEST(PipelineExec, IndexedAddressing)
+{
+    const char *src = R"(
+        li  r1, 0x4000
+        li  r2, 8
+        ldx [r1 + r2]     ; load word at 0x4008
+        li  r3, 4
+        stx [r1 + r3]     ; store it at 0x4004
+        mov r7, r7
+        halt
+    .data 0x4000
+        .word 1, 2, 33
+    )";
+    auto sim = runAsm(src);
+    EXPECT_EQ(resultWord(*sim, 0x4004), 33u);
+}
+
+TEST(PipelineExec, PbrConditionSemantics)
+{
+    // For each condition, branch over a "marker" store when taken.
+    struct Case { const char *cond; int value; bool taken; };
+    const Case cases[] = {
+        {"always", 0, true},   {"eqz", 0, true},   {"eqz", 1, false},
+        {"nez", 0, false},     {"nez", 5, true},   {"ltz", -1, true},
+        {"ltz", 0, false},     {"gez", 0, true},   {"gez", -2, false},
+        {"gtz", 1, true},      {"gtz", 0, false},  {"lez", 0, true},
+        {"lez", 3, false},
+    };
+    for (const Case &c : cases) {
+        std::string src = std::string(R"(
+            li  r2, )") + std::to_string(c.value) + R"(
+            li  r6, 0x4000
+            lbr b0, skipped
+            pbr b0, 0, )" + c.cond +
+                          (std::string(c.cond) == "always" ? "" : ", r2") +
+                          R"(
+            st  [r6 + 0]     ; only on the fall-through path
+            li  r3, 1
+            mov r7, r3
+        skipped:
+            halt
+        .data 0x4000
+            .word 0
+        )";
+        auto sim = runAsm(src);
+        EXPECT_EQ(resultWord(*sim), c.taken ? 0u : 1u)
+            << c.cond << " " << c.value;
+    }
+}
+
+TEST(PipelineExec, DelaySlotsExecuteOnTakenBranch)
+{
+    const char *src = R"(
+        li  r6, 0x4000
+        li  r1, 0
+        lbr b0, out
+        pbr b0, 2, always
+        addi r1, r1, 1     ; slot 1
+        addi r1, r1, 1     ; slot 2
+        addi r1, r1, 100   ; skipped
+    out:
+        st  [r6 + 0]
+        mov r7, r1
+        halt
+    .data 0x4000
+        .word 0
+    )";
+    auto sim = runAsm(src);
+    EXPECT_EQ(resultWord(*sim), 2u);
+}
+
+TEST(PipelineExec, LoopWithCounterRunsExactTripCount)
+{
+    const char *src = R"(
+        li  r1, 0         ; sum
+        li  r2, 10        ; counter
+        lbr b0, loop
+    loop:
+        addi r1, r1, 3
+        subi r2, r2, 1
+        pbr b0, 0, nez, r2
+        li  r6, 0x4000
+        st  [r6 + 0]
+        mov r7, r1
+        halt
+    .data 0x4000
+        .word 0
+    )";
+    auto sim = runAsm(src);
+    EXPECT_EQ(resultWord(*sim), 30u);
+}
+
+TEST(PipelineExec, RswSwitchesRegisterBanks)
+{
+    const char *src = R"(
+        li  r1, 42
+        rsw
+        li  r1, 7
+        rsw
+        li  r6, 0x4000
+        st  [r6 + 0]
+        mov r7, r1
+        halt
+    .data 0x4000
+        .word 0
+    )";
+    auto sim = runAsm(src);
+    EXPECT_EQ(resultWord(*sim), 42u);
+}
+
+TEST(PipelineExec, FpuThroughQueues)
+{
+    // 2.5 * 4.0 = 10.0 through the memory-mapped FPU.
+    const char *src = R"(
+        li  r6, 0x4000
+        ld  [r6 + 0]       ; 2.5
+        ld  [r6 + 4]       ; 4.0
+        li  r1, 0x7f00     ; FPU base
+        st  [r1 + 32]      ; mul A
+        mov r7, r7
+        st  [r1 + 36]      ; mul B
+        mov r7, r7
+        ld  [r1 + 40]      ; mul result
+        st  [r6 + 8]
+        mov r7, r7
+        halt
+    .data 0x4000
+        .float 2.5, 4.0
+        .word 0
+    )";
+    auto sim = runAsm(src);
+    EXPECT_EQ(resultWord(*sim, 0x4008), std::bit_cast<Word>(10.0f));
+}
+
+TEST(PipelineExec, IssueStallsOnEmptyLdq)
+{
+    SimConfig cfg;
+    cfg.mem.accessTime = 6;
+    const char *src = R"(
+        li  r1, 0x4000
+        ld  [r1 + 0]
+        mov r2, r7
+        halt
+    .data 0x4000
+        .word 5
+    )";
+    auto sim = runAsm(src, cfg);
+    EXPECT_GT(sim->stats().counterValue("cpu.stall_ldq_empty"), 0u);
+}
+
+TEST(PipelineExec, HaltStopsIssueAndDrains)
+{
+    const char *src = R"(
+        li  r1, 0x4000
+        st  [r1 + 0]
+        li  r2, 9
+        mov r7, r2
+        halt
+        li  r3, 1        ; must never issue
+    .data 0x4000
+        .word 0
+    )";
+    auto sim = runAsm(src);
+    EXPECT_TRUE(sim->pipeline().halted());
+    EXPECT_TRUE(sim->pipeline().drained());
+    EXPECT_EQ(resultWord(*sim), 9u); // store drained after halt
+    EXPECT_EQ(sim->pipeline().instructionsRetired(), 5u);
+}
+
+TEST(PipelineExec, RetiredCountAndCpi)
+{
+    auto sim = runAsm("nop\nnop\nnop\nhalt");
+    const auto res = sim->result();
+    EXPECT_EQ(res.instructions, 4u);
+    EXPECT_GT(res.totalCycles, 0u);
+    EXPECT_GT(res.cpi(), 0.0);
+}
+
+TEST(PipelineExec, QueueBackpressureDoesNotDeadlock)
+{
+    // More stores than SAQ/SDQ entries, slow memory: issue must
+    // stall and resume correctly.
+    SimConfig cfg;
+    cfg.mem.accessTime = 6;
+    cfg.cpu.saqEntries = 2;
+    cfg.cpu.sdqEntries = 2;
+    std::string src = "li r1, 0x4000\n";
+    for (int i = 0; i < 8; ++i) {
+        src += "st [r1 + " + std::to_string(4 * i) + "]\n";
+        src += "li r2, " + std::to_string(i + 1) + "\n";
+        src += "mov r7, r2\n";
+    }
+    src += "halt\n.data 0x4000\n.space 32\n";
+    auto sim = runAsm(src, cfg);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(resultWord(*sim, 0x4000 + 4 * i), Word(i + 1));
+}

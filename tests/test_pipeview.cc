@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include "assembler/assembler.hh"
+#include "trace/pipeview.hh"
+
+using namespace pipesim;
+
+namespace
+{
+
+std::unique_ptr<Simulator>
+makeSim(const char *src, unsigned access_time = 1)
+{
+    static std::vector<std::unique_ptr<Program>> keep_alive;
+    keep_alive.push_back(
+        std::make_unique<Program>(assembler::assemble(src)));
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("16-16", 128);
+    cfg.mem.accessTime = access_time;
+    return std::make_unique<Simulator>(cfg, *keep_alive.back());
+}
+
+} // namespace
+
+TEST(PipeViewer, SamplesEveryCycle)
+{
+    auto sim = makeSim("nop\nnop\nnop\nhalt");
+    PipeViewer view;
+    view.run(*sim);
+    EXPECT_TRUE(sim->done());
+    EXPECT_EQ(view.samples().size(), std::size_t(sim->now()));
+    // Exactly 4 issue cycles.
+    unsigned issued = 0;
+    for (const auto &s : view.samples())
+        issued += s.issued;
+    EXPECT_EQ(issued, 4u);
+}
+
+TEST(PipeViewer, ClassifiesFetchStarvation)
+{
+    auto sim = makeSim("nop\nnop\nhalt", 6);
+    PipeViewer view;
+    view.run(*sim);
+    bool saw_starve = false;
+    for (const auto &s : view.samples())
+        saw_starve |= s.cause == 'f';
+    EXPECT_TRUE(saw_starve); // cold-start misses starve the decoder
+}
+
+TEST(PipeViewer, ClassifiesLoadDataWait)
+{
+    const char *src = R"(
+        li  r1, 0x4000
+        ld  [r1 + 0]
+        mov r2, r7
+        halt
+    .data 0x4000
+        .word 1
+    )";
+    auto sim = makeSim(src, 6);
+    PipeViewer view;
+    view.run(*sim);
+    bool saw_data_wait = false;
+    for (const auto &s : view.samples())
+        saw_data_wait |= s.cause == 'd';
+    EXPECT_TRUE(saw_data_wait);
+}
+
+TEST(PipeViewer, TimelineRendersAllCycles)
+{
+    auto sim = makeSim("nop\nnop\nnop\nnop\nhalt");
+    PipeViewer view;
+    view.run(*sim);
+    const std::string tl = view.timeline(8);
+    // Contains one 'I' per issue and wraps into rows of 8 columns.
+    unsigned issues = 0;
+    for (char c : tl)
+        issues += c == 'I';
+    EXPECT_EQ(issues, 5u);
+    EXPECT_NE(tl.find('\n'), std::string::npos);
+}
+
+TEST(PipeViewer, SummaryPercentagesAddUp)
+{
+    auto sim = makeSim("nop\nnop\nhalt", 3);
+    PipeViewer view;
+    view.run(*sim);
+    const std::string s = view.summary();
+    EXPECT_NE(s.find("issue="), std::string::npos);
+    EXPECT_NE(s.find("fetch-starve="), std::string::npos);
+}
+
+TEST(PipeViewer, RespectsMaxCycles)
+{
+    const char *src = R"(
+        lbr b0, loop
+    loop:
+        nop
+        pbr b0, 1, always
+        nop
+    )";
+    auto sim = makeSim(src);
+    PipeViewer view;
+    view.run(*sim, 50);
+    EXPECT_LE(view.samples().size(), 50u);
+    EXPECT_FALSE(sim->done());
+}

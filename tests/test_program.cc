@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include "assembler/program.hh"
+
+using namespace pipesim;
+using isa::FormatMode;
+using isa::Instruction;
+using isa::Opcode;
+
+namespace
+{
+
+Instruction
+nopInst()
+{
+    Instruction i;
+    i.op = Opcode::Nop;
+    return i;
+}
+
+Instruction
+liInst(unsigned rd, int imm)
+{
+    Instruction i;
+    i.op = Opcode::Li;
+    i.rd = std::uint8_t(rd);
+    i.imm = imm;
+    return i;
+}
+
+} // namespace
+
+TEST(ProgramTest, AppendAdvancesAddresses)
+{
+    Program p(FormatMode::Compact);
+    EXPECT_EQ(p.append(nopInst()), 0u);   // 1 parcel
+    EXPECT_EQ(p.append(liInst(1, 5)), 2u); // 2 parcels
+    EXPECT_EQ(p.nextCodeAddr(), 6u);
+    EXPECT_EQ(p.codeSize(), 6u);
+}
+
+TEST(ProgramTest, Fixed32EveryInstructionFourBytes)
+{
+    Program p(FormatMode::Fixed32);
+    p.append(nopInst());
+    p.append(nopInst());
+    EXPECT_EQ(p.codeSize(), 8u);
+    EXPECT_EQ(p.decodeAt(4)->op, Opcode::Nop);
+}
+
+TEST(ProgramTest, DecodeAtRoundTrips)
+{
+    Program p(FormatMode::Compact);
+    p.append(liInst(3, -77));
+    const auto inst = p.decodeAt(0);
+    ASSERT_TRUE(inst);
+    EXPECT_EQ(inst->op, Opcode::Li);
+    EXPECT_EQ(inst->rd, 3);
+    EXPECT_EQ(inst->imm, -77);
+}
+
+TEST(ProgramTest, DecodeOutsideCodeIsNullopt)
+{
+    Program p(FormatMode::Compact);
+    p.append(nopInst());
+    EXPECT_FALSE(p.decodeAt(100));
+    EXPECT_TRUE(p.decodeAt(0));
+}
+
+TEST(ProgramTest, ParcelAtOutsideCodeReadsZero)
+{
+    Program p(FormatMode::Compact);
+    p.append(nopInst());
+    EXPECT_EQ(p.parcelAt(50), 0u);
+}
+
+TEST(ProgramTest, ParcelAtUnalignedPanics)
+{
+    Program p(FormatMode::Compact);
+    p.append(nopInst());
+    EXPECT_THROW(p.parcelAt(1), PanicError);
+}
+
+TEST(ProgramTest, PatchParcel)
+{
+    Program p(FormatMode::Compact);
+    p.append(nopInst());
+    p.patchParcel(0, 0x1234);
+    EXPECT_EQ(p.parcelAt(0), 0x1234);
+    EXPECT_THROW(p.patchParcel(100, 0), PanicError);
+}
+
+TEST(ProgramTest, SymbolsDefineAndLookup)
+{
+    Program p;
+    p.defineSymbol("loop", 0x40);
+    EXPECT_EQ(p.symbol("loop"), Addr(0x40));
+    EXPECT_FALSE(p.symbol("nothere"));
+    EXPECT_THROW(p.defineSymbol("loop", 0x80), FatalError);
+}
+
+TEST(ProgramTest, DataSegments)
+{
+    Program p;
+    p.addDataWords(0x1000, {0xdeadbeef, 0x12345678});
+    ASSERT_EQ(p.dataSegments().size(), 1u);
+    const auto &seg = p.dataSegments()[0];
+    EXPECT_EQ(seg.base, 0x1000u);
+    ASSERT_EQ(seg.bytes.size(), 8u);
+    EXPECT_EQ(seg.bytes[0], 0xef);
+    EXPECT_EQ(seg.bytes[3], 0xde);
+    EXPECT_EQ(seg.bytes[4], 0x78);
+}
+
+TEST(ProgramTest, EntryDefaultsToCodeBase)
+{
+    Program p(FormatMode::Compact, 0x100);
+    EXPECT_EQ(p.entry(), 0x100u);
+    p.setEntry(0x104);
+    EXPECT_EQ(p.entry(), 0x104u);
+}
+
+TEST(ProgramTest, CodeBaseOffsetsAddresses)
+{
+    Program p(FormatMode::Compact, 0x200);
+    EXPECT_EQ(p.append(nopInst()), 0x200u);
+    EXPECT_TRUE(p.inCode(0x200));
+    EXPECT_FALSE(p.inCode(0x1ff));
+    EXPECT_TRUE(p.decodeAt(0x200));
+    EXPECT_FALSE(p.decodeAt(0));
+}
+
+TEST(ProgramTest, UnalignedCodeBasePanics)
+{
+    EXPECT_THROW(Program(FormatMode::Compact, 1), PanicError);
+}

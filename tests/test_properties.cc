@@ -1,0 +1,301 @@
+/**
+ * Property-style tests: invariants that must hold across the whole
+ * simulation parameter space, checked with parameterised sweeps.
+ *
+ * The central invariant of an execution-driven timing simulator is
+ * that *timing parameters never change architectural results*: any
+ * combination of fetch strategy, cache geometry, memory latency, bus
+ * width and queue sizes must produce bit-identical memory contents
+ * and dynamic instruction counts, differing only in cycles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include <tuple>
+
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+#include "workloads/benchmark_program.hh"
+#include "workloads/reference.hh"
+
+using namespace pipesim;
+
+namespace
+{
+
+const workloads::Benchmark &
+bench()
+{
+    static const auto b = workloads::buildLivermoreBenchmark(0.03);
+    return b;
+}
+
+struct RunOutcome
+{
+    SimResult result;
+    std::vector<Word> finalData;
+};
+
+RunOutcome
+runConfig(const SimConfig &cfg)
+{
+    Simulator sim(cfg, bench().program);
+    RunOutcome out;
+    out.result = sim.run();
+    // Snapshot the interesting data range (arrays + scalar slots).
+    for (Addr a = 0x6000; a < 0x7f00; a += wordBytes)
+        out.finalData.push_back(sim.dataMemory().readWord(a));
+    for (const auto &info : bench().codeInfo)
+        for (const auto &[name, base] : info.arrayAddrs)
+            out.finalData.push_back(sim.dataMemory().readWord(base));
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Architectural results are invariant across timing parameters.
+// ---------------------------------------------------------------------
+
+using TimingParams =
+    std::tuple<std::string /*strategy*/, unsigned /*cache*/,
+               unsigned /*accessTime*/, unsigned /*busWidth*/,
+               bool /*pipelined*/>;
+
+class TimingInvariance : public ::testing::TestWithParam<TimingParams>
+{
+  public:
+    static const RunOutcome &
+    baseline()
+    {
+        static const RunOutcome out = [] {
+            SimConfig cfg;
+            cfg.fetch = pipeConfigFor("16-16", 128);
+            return runConfig(cfg);
+        }();
+        return out;
+    }
+};
+
+TEST_P(TimingInvariance, SameResultsDifferentTiming)
+{
+    const auto &[strategy, cache, access, bus, pipelined] = GetParam();
+    SimConfig cfg;
+    cfg.fetch = strategy == "conv" ? conventionalConfigFor(cache, 16)
+                                   : pipeConfigFor(strategy, cache);
+    cfg.mem.accessTime = access;
+    cfg.mem.busWidthBytes = bus;
+    cfg.mem.pipelined = pipelined;
+    const RunOutcome out = runConfig(cfg);
+    EXPECT_EQ(out.result.instructions, baseline().result.instructions);
+    EXPECT_EQ(out.finalData, baseline().finalData);
+}
+
+namespace
+{
+
+std::string
+timingParamName(const ::testing::TestParamInfo<TimingParams> &info)
+{
+    std::string name =
+        std::get<0>(info.param) + "_c" +
+        std::to_string(std::get<1>(info.param)) + "_t" +
+        std::to_string(std::get<2>(info.param)) + "_b" +
+        std::to_string(std::get<3>(info.param)) +
+        (std::get<4>(info.param) ? "_pipe" : "_nonpipe");
+    for (char &ch : name)
+        if (ch == '-')
+            ch = 'x';
+    return name;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TimingInvariance,
+    ::testing::Combine(::testing::Values("conv", "8-8", "16-32"),
+                       ::testing::Values(32u, 128u),
+                       ::testing::Values(1u, 6u),
+                       ::testing::Values(4u, 8u),
+                       ::testing::Values(false, true)),
+    timingParamName);
+
+// ---------------------------------------------------------------------
+// Queue sizes change timing but never results (and never deadlock).
+// ---------------------------------------------------------------------
+
+class QueueSizeInvariance
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(QueueSizeInvariance, SameResultsDifferentQueues)
+{
+    const auto &[ldq, sdq] = GetParam();
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("16-16", 64);
+    cfg.cpu.ldqEntries = ldq;
+    cfg.cpu.laqEntries = ldq;
+    cfg.cpu.sdqEntries = sdq;
+    cfg.cpu.saqEntries = sdq;
+    cfg.mem.accessTime = 3;
+    const RunOutcome out = runConfig(cfg);
+    EXPECT_EQ(out.finalData, TimingInvariance::baseline().finalData);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QueueSizeInvariance,
+                         ::testing::Combine(::testing::Values(8u, 12u,
+                                                              16u),
+                                            ::testing::Values(2u, 4u,
+                                                              8u)));
+
+// ---------------------------------------------------------------------
+// Determinism: identical configs give identical cycle counts.
+// ---------------------------------------------------------------------
+
+TEST(Determinism, RepeatedRunsIdentical)
+{
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("32-32", 64);
+    cfg.mem.accessTime = 6;
+    cfg.mem.pipelined = true;
+    const auto a = runConfig(cfg);
+    const auto b = runConfig(cfg);
+    EXPECT_EQ(a.result.totalCycles, b.result.totalCycles);
+    EXPECT_EQ(a.result.counters, b.result.counters);
+    EXPECT_EQ(a.finalData, b.finalData);
+}
+
+// ---------------------------------------------------------------------
+// Timing sanity properties on the paper's parameters.
+// ---------------------------------------------------------------------
+
+class MemSpeedMonotonic : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(MemSpeedMonotonic, SlowerMemoryNeverFaster)
+{
+    SimConfig cfg;
+    const std::string strategy = GetParam();
+    cfg.fetch = strategy == "conv" ? conventionalConfigFor(64, 16)
+                                   : pipeConfigFor(strategy, 64);
+    Cycle last = 0;
+    for (unsigned access : {1u, 2u, 3u, 6u}) {
+        cfg.mem.accessTime = access;
+        const auto res = runSimulation(cfg, bench().program);
+        EXPECT_GE(res.totalCycles, last) << "access " << access;
+        last = res.totalCycles;
+    }
+}
+
+namespace
+{
+
+std::string
+strategyName(const ::testing::TestParamInfo<std::string> &info)
+{
+    std::string name = info.param;
+    for (char &c : name)
+        if (c == '-')
+            c = 'x';
+    return name;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Strategies, MemSpeedMonotonic,
+                         ::testing::Values("conv", "8-8", "16-16",
+                                           "16-32", "32-32"),
+                         strategyName);
+
+TEST(TimingSanity, WiderBusNeverSlower)
+{
+    for (const char *strategy : {"conv", "16-16"}) {
+        SimConfig cfg;
+        cfg.fetch = std::string(strategy) == "conv"
+                        ? conventionalConfigFor(64, 16)
+                        : pipeConfigFor(strategy, 64);
+        cfg.mem.accessTime = 6;
+        cfg.mem.busWidthBytes = 4;
+        const auto narrow = runSimulation(cfg, bench().program);
+        cfg.mem.busWidthBytes = 8;
+        const auto wide = runSimulation(cfg, bench().program);
+        EXPECT_LE(wide.totalCycles, narrow.totalCycles) << strategy;
+    }
+}
+
+TEST(TimingSanity, CyclesAtLeastInstructions)
+{
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("16-16", 1024);
+    const auto res = runSimulation(cfg, bench().program);
+    EXPECT_GE(res.totalCycles, res.instructions);
+}
+
+TEST(TimingSanity, TruePrefetchNeverSlowerThanGuaranteedOnly)
+{
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("16-16", 32);
+    cfg.mem.accessTime = 6;
+    cfg.fetch.offchipPolicy = OffchipPolicy::GuaranteedOnly;
+    const auto guarded = runSimulation(cfg, bench().program);
+    cfg.fetch.offchipPolicy = OffchipPolicy::TruePrefetch;
+    const auto free_run = runSimulation(cfg, bench().program);
+    EXPECT_LE(free_run.totalCycles, guarded.totalCycles);
+}
+
+TEST(TimingSanity, FetchStarveCyclesBoundedByTotal)
+{
+    SimConfig cfg;
+    cfg.fetch = conventionalConfigFor(16, 16);
+    cfg.mem.accessTime = 6;
+    const auto res = runSimulation(cfg, bench().program);
+    EXPECT_LT(res.counter("cpu.fetch_starve_cycles"), res.totalCycles);
+}
+
+// ---------------------------------------------------------------------
+// Off-chip traffic properties.
+// ---------------------------------------------------------------------
+
+TEST(TrafficProperties, LargerCacheReducesOffchipIFetches)
+{
+    SimConfig small;
+    small.fetch = pipeConfigFor("8-8", 16);
+    SimConfig large;
+    large.fetch = pipeConfigFor("8-8", 1024);
+    const auto s = runSimulation(small, bench().program);
+    const auto l = runSimulation(large, bench().program);
+    const auto traffic = [](const SimResult &r) {
+        return r.counter("fetch.offchip_demand_lines") +
+               r.counter("fetch.offchip_prefetch_lines");
+    };
+    EXPECT_GT(traffic(s), traffic(l));
+}
+
+TEST(TrafficProperties, DataRequestCountIndependentOfICache)
+{
+    // Loads/stores depend only on the program, not on I-fetch.
+    SimConfig a;
+    a.fetch = pipeConfigFor("8-8", 16);
+    SimConfig b;
+    b.fetch = conventionalConfigFor(512, 16);
+    const auto ra = runSimulation(a, bench().program);
+    const auto rb = runSimulation(b, bench().program);
+    EXPECT_EQ(ra.counter("cpu.loads"), rb.counter("cpu.loads"));
+    EXPECT_EQ(ra.counter("cpu.stores"), rb.counter("cpu.stores"));
+}
+
+TEST(TrafficProperties, PbrCountsMatchLoopStructure)
+{
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("16-16", 128);
+    const auto res = runSimulation(cfg, bench().program);
+    // One not-taken PBR per inner loop exit; kernels without outer
+    // loops have exactly one exit each.
+    EXPECT_GE(res.counter("cpu.pbr_not_taken"), 14u);
+    EXPECT_GT(res.counter("cpu.pbr_taken"),
+              res.counter("cpu.pbr_not_taken"));
+}

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include "cpu/regfile.hh"
+
+using namespace pipesim;
+
+TEST(RegFileTest, ReadWriteDataRegisters)
+{
+    RegFile rf;
+    rf.write(0, 11);
+    rf.write(6, 66);
+    EXPECT_EQ(rf.read(0), 11u);
+    EXPECT_EQ(rf.read(6), 66u);
+    EXPECT_EQ(rf.read(3), 0u);
+}
+
+TEST(RegFileTest, BankSwitchIsolatesValues)
+{
+    RegFile rf;
+    rf.write(2, 100);
+    rf.switchBanks();
+    EXPECT_EQ(rf.read(2), 0u);
+    rf.write(2, 200);
+    rf.switchBanks();
+    EXPECT_EQ(rf.read(2), 100u);
+    rf.switchBanks();
+    EXPECT_EQ(rf.read(2), 200u);
+}
+
+TEST(RegFileTest, BusyTracking)
+{
+    RegFile rf;
+    EXPECT_EQ(rf.busyUntil(1), 0u);
+    rf.setBusyUntil(1, 42);
+    EXPECT_EQ(rf.busyUntil(1), 42u);
+    // Busy state is per bank too.
+    rf.switchBanks();
+    EXPECT_EQ(rf.busyUntil(1), 0u);
+}
+
+TEST(RegFileTest, BranchRegisters)
+{
+    RegFile rf;
+    rf.writeBranch(0, 0x40);
+    rf.writeBranch(7, 0x80);
+    EXPECT_EQ(rf.readBranch(0), 0x40u);
+    EXPECT_EQ(rf.readBranch(7), 0x80u);
+    // Branch registers are not banked.
+    rf.switchBanks();
+    EXPECT_EQ(rf.readBranch(0), 0x40u);
+}
+
+TEST(RegFileTest, ResetClearsEverything)
+{
+    RegFile rf;
+    rf.write(1, 5);
+    rf.writeBranch(1, 9);
+    rf.setBusyUntil(1, 100);
+    rf.switchBanks();
+    rf.reset();
+    EXPECT_EQ(rf.read(1), 0u);
+    EXPECT_EQ(rf.readBranch(1), 0u);
+    EXPECT_EQ(rf.busyUntil(1), 0u);
+    EXPECT_EQ(rf.currentBank(), 0u);
+}
+
+TEST(RegFileTest, BadRegisterPanics)
+{
+    RegFile rf;
+    EXPECT_THROW(rf.read(8), PanicError);
+    EXPECT_THROW(rf.write(9, 0), PanicError);
+    EXPECT_THROW(rf.readBranch(8), PanicError);
+}

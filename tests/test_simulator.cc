@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include "assembler/assembler.hh"
+#include "sim/simulator.hh"
+
+using namespace pipesim;
+
+namespace
+{
+
+const char *tinyProgram = R"(
+    li r1, 1
+    li r2, 2
+    add r3, r1, r2
+    halt
+)";
+
+} // namespace
+
+TEST(SimulatorTest, RunsToCompletion)
+{
+    Program p = assembler::assemble(tinyProgram);
+    SimConfig cfg;
+    Simulator sim(cfg, p);
+    EXPECT_FALSE(sim.done());
+    const auto res = sim.run();
+    EXPECT_TRUE(sim.done());
+    EXPECT_EQ(res.instructions, 4u);
+    EXPECT_GT(res.totalCycles, 0u);
+}
+
+TEST(SimulatorTest, StepAdvancesOneCycle)
+{
+    Program p = assembler::assemble(tinyProgram);
+    SimConfig cfg;
+    Simulator sim(cfg, p);
+    EXPECT_EQ(sim.now(), 0u);
+    sim.step();
+    EXPECT_EQ(sim.now(), 1u);
+}
+
+TEST(SimulatorTest, ConfigNamesBothStrategies)
+{
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("16-32", 64);
+    EXPECT_EQ(cfg.fetchName(), "16-32");
+    cfg.fetch = conventionalConfigFor(64);
+    EXPECT_EQ(cfg.fetchName(), "conv");
+}
+
+TEST(SimulatorTest, TableIIConfigParameters)
+{
+    const auto c88 = pipeConfigFor("8-8", 128);
+    EXPECT_EQ(c88.lineBytes, 8u);
+    EXPECT_EQ(c88.iqBytes, 8u);
+    EXPECT_EQ(c88.iqbBytes, 8u);
+    const auto c1632 = pipeConfigFor("16-32", 128);
+    EXPECT_EQ(c1632.lineBytes, 32u);
+    EXPECT_EQ(c1632.iqBytes, 16u);
+    EXPECT_EQ(c1632.iqbBytes, 32u);
+    const auto c3232 = pipeConfigFor("32-32", 128);
+    EXPECT_EQ(c3232.lineBytes, 32u);
+    EXPECT_EQ(c3232.iqBytes, 32u);
+    EXPECT_THROW(pipeConfigFor("64-64", 128), FatalError);
+    EXPECT_EQ(tableIIConfigNames().size(), 4u);
+}
+
+TEST(SimulatorTest, ConventionalLineClampedToCacheSize)
+{
+    const auto cfg = conventionalConfigFor(8, 16);
+    EXPECT_EQ(cfg.lineBytes, 8u);
+}
+
+TEST(SimulatorTest, ResultCountersSnapshot)
+{
+    Program p = assembler::assemble(tinyProgram);
+    SimConfig cfg;
+    const auto res = runSimulation(cfg, p);
+    EXPECT_EQ(res.counter("cpu.retired"), 4u);
+    EXPECT_EQ(res.counter("not.a.counter"), 0u);
+    EXPECT_GT(res.counters.size(), 10u);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns)
+{
+    Program p = assembler::assemble(tinyProgram);
+    SimConfig cfg;
+    const auto a = runSimulation(cfg, p);
+    const auto b = runSimulation(cfg, p);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.counters, b.counters);
+}
+
+TEST(SimulatorTest, DeadlockDetected)
+{
+    // A store whose data never arrives wedges the machine; the
+    // progress watchdog must fire rather than spin forever.
+    const char *src = R"(
+        li r1, 0x4000
+        ld [r1 + 0]
+        mov r2, r7
+        mov r2, r7     ; LDQ empty forever
+        halt
+    .data 0x4000
+        .word 1
+    )";
+    Program p = assembler::assemble(src);
+    SimConfig cfg;
+    cfg.progressWindow = 5000;
+    Simulator sim(cfg, p);
+    EXPECT_THROW(sim.run(), FatalError);
+}
+
+TEST(SimulatorTest, MaxCyclesEnforced)
+{
+    const char *src = R"(
+        lbr b0, loop
+    loop:
+        nop
+        pbr b0, 1, always
+        nop
+    )";
+    Program p = assembler::assemble(src);
+    SimConfig cfg;
+    cfg.maxCycles = 2000;
+    Simulator sim(cfg, p);
+    EXPECT_THROW(sim.run(), FatalError);
+}
+
+TEST(SimulatorTest, StatsDumpIsPopulated)
+{
+    Program p = assembler::assemble(tinyProgram);
+    SimConfig cfg;
+    Simulator sim(cfg, p);
+    sim.run();
+    const std::string dump = sim.stats().dump();
+    EXPECT_NE(dump.find("cpu.retired"), std::string::npos);
+    EXPECT_NE(dump.find("fetch."), std::string::npos);
+    EXPECT_NE(dump.find("mem."), std::string::npos);
+}

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include "core/stream_follower.hh"
+
+using namespace pipesim;
+using isa::Instruction;
+using isa::Opcode;
+
+namespace
+{
+
+Instruction
+plain(unsigned parcels = 2)
+{
+    Instruction i;
+    i.op = Opcode::Nop;
+    i.parcels = std::uint8_t(parcels);
+    return i;
+}
+
+Instruction
+pbr(unsigned count, unsigned parcels = 2)
+{
+    Instruction i;
+    i.op = Opcode::Pbr;
+    i.count = std::uint8_t(count);
+    i.parcels = std::uint8_t(parcels);
+    return i;
+}
+
+} // namespace
+
+TEST(StreamFollower, SequentialAdvance)
+{
+    StreamFollower f;
+    f.reset(0x100);
+    EXPECT_EQ(f.nextAddr(), Addr(0x100));
+    f.delivered(plain());
+    EXPECT_EQ(f.nextAddr(), Addr(0x104));
+    f.delivered(plain(1));
+    EXPECT_EQ(f.nextAddr(), Addr(0x106));
+    EXPECT_FALSE(f.blocked());
+}
+
+TEST(StreamFollower, TakenBranchAfterDelaySlots)
+{
+    StreamFollower f;
+    f.reset(0);
+    f.delivered(pbr(2));
+    EXPECT_TRUE(f.hasPending());
+    EXPECT_EQ(f.frontSlotsLeft(), 2u);
+    f.resolved(true, 0x80);
+    // Two delay slots still deliver sequentially.
+    f.delivered(plain());
+    EXPECT_EQ(f.nextAddr(), Addr(8));
+    f.delivered(plain());
+    // Redirect applies at the end of the slots.
+    EXPECT_EQ(f.nextAddr(), Addr(0x80));
+    EXPECT_FALSE(f.hasPending());
+}
+
+TEST(StreamFollower, NotTakenFallsThrough)
+{
+    StreamFollower f;
+    f.reset(0);
+    f.delivered(pbr(1));
+    f.resolved(false, 0x80);
+    f.delivered(plain());
+    EXPECT_EQ(f.nextAddr(), Addr(8));
+    EXPECT_FALSE(f.hasPending());
+}
+
+TEST(StreamFollower, BlocksAtUnresolvedRedirectPoint)
+{
+    StreamFollower f;
+    f.reset(0);
+    f.delivered(pbr(1));
+    f.delivered(plain());
+    EXPECT_TRUE(f.blocked());
+    EXPECT_FALSE(f.nextAddr());
+    EXPECT_EQ(f.frontRedirectAddr(), Addr(8));
+    f.resolved(true, 0x40);
+    EXPECT_EQ(f.nextAddr(), Addr(0x40));
+}
+
+TEST(StreamFollower, ZeroDelaySlotsBlocksImmediately)
+{
+    StreamFollower f;
+    f.reset(0);
+    f.delivered(pbr(0));
+    EXPECT_TRUE(f.blocked());
+    f.resolved(true, 0x20);
+    EXPECT_EQ(f.nextAddr(), Addr(0x20));
+}
+
+TEST(StreamFollower, ResolutionBeforeSlotsDrainDoesNotJumpEarly)
+{
+    StreamFollower f;
+    f.reset(0);
+    f.delivered(pbr(3));
+    f.resolved(true, 0x100);
+    EXPECT_EQ(f.nextAddr(), Addr(4)); // still in delay slots
+    f.delivered(plain());
+    f.delivered(plain());
+    EXPECT_EQ(f.nextAddr(), Addr(12));
+    f.delivered(plain());
+    EXPECT_EQ(f.nextAddr(), Addr(0x100));
+}
+
+TEST(StreamFollower, DeliveryWhileBlockedPanics)
+{
+    StreamFollower f;
+    f.reset(0);
+    f.delivered(pbr(0));
+    EXPECT_THROW(f.delivered(plain()), PanicError);
+}
+
+TEST(StreamFollower, ResolutionWithNothingPendingPanics)
+{
+    StreamFollower f;
+    f.reset(0);
+    EXPECT_THROW(f.resolved(true, 0), PanicError);
+}
+
+TEST(StreamFollower, TwoPendingBranchesResolveInOrder)
+{
+    StreamFollower f;
+    f.reset(0);
+    f.delivered(pbr(2)); // PBR1 at 0
+    f.delivered(plain());   // slot 1 of PBR1
+    f.delivered(pbr(4)); // PBR2: consumes slot 2 of PBR1 (not taken path)
+    // PBR1 has 0 slots left -> blocked until resolution.
+    EXPECT_TRUE(f.blocked());
+    f.resolved(false, 0); // PBR1 falls through
+    EXPECT_EQ(f.nextAddr(), Addr(12));
+    EXPECT_TRUE(f.hasPending()); // PBR2 still pending
+    // PBR2's countdown began when it reached the front.
+    f.delivered(plain());
+    f.delivered(plain());
+    f.delivered(plain());
+    f.delivered(plain());
+    EXPECT_TRUE(f.blocked());
+    f.resolved(true, 0x400);
+    EXPECT_EQ(f.nextAddr(), Addr(0x400));
+}
+
+TEST(StreamFollower, FrontIdsAreDistinct)
+{
+    StreamFollower f;
+    f.reset(0);
+    f.delivered(pbr(1));
+    const auto id1 = f.frontId();
+    f.resolved(false, 0);
+    f.delivered(plain());
+    f.delivered(pbr(1));
+    EXPECT_NE(f.frontId(), id1);
+}
+
+TEST(StreamFollower, StreamPosTracksDeliveries)
+{
+    StreamFollower f;
+    f.reset(0x10);
+    EXPECT_EQ(f.streamPos(), Addr(0x10));
+    f.delivered(plain());
+    EXPECT_EQ(f.streamPos(), Addr(0x14));
+}
+
+TEST(StreamFollower, ResetClearsPending)
+{
+    StreamFollower f;
+    f.reset(0);
+    f.delivered(pbr(0));
+    f.reset(0x50);
+    EXPECT_FALSE(f.hasPending());
+    EXPECT_EQ(f.nextAddr(), Addr(0x50));
+}
+
+TEST(StreamFollower, FrontResolvedAccessors)
+{
+    StreamFollower f;
+    f.reset(0);
+    f.delivered(pbr(2));
+    EXPECT_FALSE(f.frontResolved());
+    EXPECT_FALSE(f.frontTaken());
+    f.resolved(true, 0x88);
+    EXPECT_TRUE(f.frontResolved());
+    EXPECT_TRUE(f.frontTaken());
+    EXPECT_EQ(f.frontTarget(), Addr(0x88));
+}

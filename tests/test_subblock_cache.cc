@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include "cache/subblock_cache.hh"
+
+using namespace pipesim;
+
+TEST(SubblockCacheTest, Geometry)
+{
+    SubblockCache c(128, 16, 4);
+    EXPECT_EQ(c.subblocksPerLine(), 4u);
+    EXPECT_EQ(c.subblockBase(0x17), 0x14u);
+    EXPECT_EQ(c.lineBase(0x17), 0x10u);
+}
+
+TEST(SubblockCacheTest, PerSubblockValidity)
+{
+    SubblockCache c(64, 16, 4);
+    c.allocate(0x10);
+    EXPECT_TRUE(c.linePresent(0x10));
+    EXPECT_FALSE(c.subblockValid(0x10));
+    c.fill(0x14, 4); // middle sub-block only
+    EXPECT_FALSE(c.subblockValid(0x10));
+    EXPECT_TRUE(c.subblockValid(0x14));
+    EXPECT_TRUE(c.subblockValid(0x16)); // same sub-block
+    EXPECT_FALSE(c.subblockValid(0x18));
+}
+
+TEST(SubblockCacheTest, ArbitraryFillPatternAllowed)
+{
+    // Unlike the PIPE line cache, sub-blocks may fill in any order.
+    SubblockCache c(64, 16, 4);
+    c.allocate(0);
+    c.fill(0xc, 4);
+    c.fill(0x0, 4);
+    EXPECT_TRUE(c.subblockValid(0x0));
+    EXPECT_TRUE(c.subblockValid(0xc));
+    EXPECT_FALSE(c.subblockValid(0x4));
+}
+
+TEST(SubblockCacheTest, BytesValidSpansSubblocks)
+{
+    SubblockCache c(64, 16, 4);
+    c.allocate(0);
+    c.fill(0, 8);
+    EXPECT_TRUE(c.bytesValid(0, 8));
+    EXPECT_TRUE(c.bytesValid(2, 4)); // straddles two valid sub-blocks
+    EXPECT_FALSE(c.bytesValid(6, 4)); // reaches an invalid one
+}
+
+TEST(SubblockCacheTest, BytesValidAcrossLineBoundary)
+{
+    SubblockCache c(64, 16, 4);
+    c.allocate(0x00);
+    c.fill(0x0c, 4);
+    c.allocate(0x10);
+    c.fill(0x10, 4);
+    EXPECT_TRUE(c.bytesValid(0x0c, 8)); // last of line 0 + first of 1
+}
+
+TEST(SubblockCacheTest, AllocationClearsValidBits)
+{
+    SubblockCache c(32, 16, 4); // two frames
+    c.allocate(0x00);
+    c.fill(0x00, 16);
+    c.allocate(0x40); // evicts 0x00 (same frame)
+    EXPECT_FALSE(c.linePresent(0x00));
+    EXPECT_FALSE(c.subblockValid(0x40));
+}
+
+TEST(SubblockCacheTest, MisalignedFillPanics)
+{
+    SubblockCache c(64, 16, 4);
+    c.allocate(0);
+    EXPECT_THROW(c.fill(2, 4), PanicError);
+}
+
+TEST(SubblockCacheTest, FillUnallocatedPanics)
+{
+    SubblockCache c(64, 16, 4);
+    EXPECT_THROW(c.fill(0, 4), PanicError);
+}
+
+TEST(SubblockCacheTest, FillAcrossLinePanics)
+{
+    SubblockCache c(64, 16, 4);
+    c.allocate(0);
+    EXPECT_THROW(c.fill(0xc, 8), PanicError);
+}
+
+TEST(SubblockCacheTest, TwoByteSubblocks)
+{
+    // Compact-format mode uses parcel-sized sub-blocks.
+    SubblockCache c(64, 8, 2);
+    EXPECT_EQ(c.subblocksPerLine(), 4u);
+    c.allocate(0);
+    c.fill(0, 2);
+    EXPECT_TRUE(c.bytesValid(0, 2));
+    EXPECT_FALSE(c.bytesValid(0, 4));
+}
+
+TEST(SubblockCacheTest, InvalidateAll)
+{
+    SubblockCache c(64, 16, 4);
+    c.allocate(0x20);
+    c.fill(0x20, 16);
+    c.invalidateAll();
+    EXPECT_FALSE(c.linePresent(0x20));
+}
+
+TEST(SubblockCacheTest, BadGeometryRejected)
+{
+    EXPECT_THROW(SubblockCache(100, 16, 4), FatalError);
+    EXPECT_THROW(SubblockCache(64, 16, 32), FatalError);
+    EXPECT_THROW(SubblockCache(32, 64, 4), FatalError);
+}

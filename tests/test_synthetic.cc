@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+#include "sim/simulator.hh"
+#include "workloads/synthetic.hh"
+
+using namespace pipesim;
+using workloads::BranchyReference;
+using workloads::BranchySpec;
+using workloads::buildBranchyProgram;
+using workloads::runBranchyReference;
+
+namespace
+{
+
+/** Run @p spec under @p cfg and compare against the host model. */
+void
+runAndVerify(const BranchySpec &spec, SimConfig cfg,
+             SimResult *out = nullptr)
+{
+    const auto built = buildBranchyProgram(spec);
+    const BranchyReference ref = runBranchyReference(spec);
+    cfg.progressWindow = 200000;
+    Simulator sim(cfg, built.program);
+    const auto res = sim.run();
+    EXPECT_EQ(sim.dataMemory().readWord(built.accSlot), ref.acc);
+    EXPECT_EQ(sim.dataMemory().readWord(built.stateSlot), ref.state);
+    // PBR accounting: block branches plus the outer loop's.
+    EXPECT_EQ(res.counter("cpu.pbr_taken"),
+              ref.takenBranches + spec.iterations - 1);
+    EXPECT_EQ(res.counter("cpu.pbr_not_taken"),
+              ref.notTakenBranches + 1);
+    if (out)
+        *out = res;
+}
+
+} // namespace
+
+TEST(Synthetic, ReferenceIsDeterministic)
+{
+    BranchySpec spec;
+    const auto a = runBranchyReference(spec);
+    const auto b = runBranchyReference(spec);
+    EXPECT_EQ(a.acc, b.acc);
+    EXPECT_EQ(a.state, b.state);
+    EXPECT_GT(a.takenBranches, 0u);
+    EXPECT_GT(a.notTakenBranches, 0u);
+}
+
+TEST(Synthetic, MaskBitsControlSelectivity)
+{
+    BranchySpec even;
+    even.maskBits = 1;
+    even.iterations = 200;
+    const auto r1 = runBranchyReference(even);
+    const double frac1 = double(r1.takenBranches) /
+                         double(r1.takenBranches + r1.notTakenBranches);
+    EXPECT_NEAR(frac1, 0.5, 0.1);
+
+    BranchySpec rare = even;
+    rare.maskBits = 3;
+    const auto r3 = runBranchyReference(rare);
+    const double frac3 = double(r3.takenBranches) /
+                         double(r3.takenBranches + r3.notTakenBranches);
+    EXPECT_NEAR(frac3, 0.125, 0.06);
+
+    BranchySpec always = even;
+    always.maskBits = 0;
+    const auto r0 = runBranchyReference(always);
+    EXPECT_EQ(r0.notTakenBranches, 0u);
+}
+
+TEST(Synthetic, MachineMatchesHostOnDefaultSpec)
+{
+    BranchySpec spec;
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("16-16", 128);
+    runAndVerify(spec, cfg);
+}
+
+class SyntheticStrategies : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SyntheticStrategies, MatchesHostModel)
+{
+    BranchySpec spec;
+    spec.blocks = 6;
+    spec.iterations = 40;
+    spec.delaySlots = 3;
+    SimConfig cfg;
+    const std::string strategy = GetParam();
+    if (strategy == "conv")
+        cfg.fetch = conventionalConfigFor(64, 16);
+    else if (strategy == "tib")
+        cfg.fetch = tibConfigFor(64, 16);
+    else
+        cfg.fetch = pipeConfigFor(strategy, 64);
+    cfg.mem.accessTime = 6;
+    cfg.mem.busWidthBytes = 4;
+    runAndVerify(spec, cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, SyntheticStrategies,
+                         ::testing::Values("conv", "tib", "8-8",
+                                           "16-16", "16-32", "32-32"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name)
+                                 if (c == '-')
+                                     c = 'x';
+                             return name;
+                         });
+
+class SyntheticShapes
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(SyntheticShapes, MatchesHostModel)
+{
+    const auto &[slots, mask] = GetParam();
+    BranchySpec spec;
+    spec.blocks = 5;
+    spec.iterations = 30;
+    spec.delaySlots = slots;
+    spec.maskBits = mask;
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("16-16", 64);
+    cfg.mem.accessTime = 3;
+    runAndVerify(spec, cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SyntheticShapes,
+                         ::testing::Combine(::testing::Values(0u, 1u,
+                                                              4u, 7u),
+                                            ::testing::Values(0u, 1u,
+                                                              2u)));
+
+TEST(Synthetic, GuaranteedOnlyPolicyCorrectOnBranchyCode)
+{
+    BranchySpec spec;
+    spec.delaySlots = 1;
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("16-16", 64);
+    cfg.fetch.offchipPolicy = OffchipPolicy::GuaranteedOnly;
+    cfg.mem.accessTime = 6;
+    SimResult res;
+    runAndVerify(spec, cfg, &res);
+    // Branchy code with shallow slots actually exercises the gate.
+    EXPECT_GT(res.counter("fetch.blocked_on_guarantee"), 0u);
+}
+
+TEST(Synthetic, SpecValidation)
+{
+    BranchySpec bad;
+    bad.blocks = 0;
+    EXPECT_THROW(buildBranchyProgram(bad), FatalError);
+    bad = BranchySpec{};
+    bad.delaySlots = 8;
+    EXPECT_THROW(buildBranchyProgram(bad), FatalError);
+    bad = BranchySpec{};
+    bad.seed = 0;
+    EXPECT_THROW(runBranchyReference(bad), FatalError);
+}
+
+TEST(Synthetic, MoreBlocksMeanMoreInstructions)
+{
+    BranchySpec small;
+    small.blocks = 2;
+    BranchySpec big;
+    big.blocks = 12;
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("16-16", 512);
+    const auto built_small = buildBranchyProgram(small);
+    const auto built_big = buildBranchyProgram(big);
+    const auto rs = runSimulation(cfg, built_small.program);
+    const auto rb = runSimulation(cfg, built_big.program);
+    EXPECT_GT(rb.instructions, rs.instructions);
+}

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "common/table.hh"
+
+using namespace pipesim;
+
+namespace
+{
+
+Table
+sampleTable()
+{
+    Table t({"size", "conv", "pipe"});
+    t.beginRow();
+    t.cell(16u);
+    t.cell(std::uint64_t{100});
+    t.cell(std::uint64_t{80});
+    t.beginRow();
+    t.cell(32u);
+    t.cell("-");
+    t.cell(2.5, 1);
+    return t;
+}
+
+} // namespace
+
+TEST(TableTest, DimensionsAndAccess)
+{
+    Table t = sampleTable();
+    EXPECT_EQ(t.numCols(), 3u);
+    EXPECT_EQ(t.at(0, 0), "16");
+    EXPECT_EQ(t.at(0, 2), "80");
+    EXPECT_EQ(t.at(1, 1), "-");
+    EXPECT_EQ(t.at(1, 2), "2.5");
+}
+
+TEST(TableTest, TextRenderingAligned)
+{
+    const std::string text = sampleTable().toText();
+    EXPECT_NE(text.find("size"), std::string::npos);
+    EXPECT_NE(text.find("conv"), std::string::npos);
+    EXPECT_NE(text.find("100"), std::string::npos);
+    // Header separator rule exists.
+    EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(TableTest, MarkdownRendering)
+{
+    const std::string md = sampleTable().toMarkdown();
+    EXPECT_NE(md.find("| size | conv | pipe |"), std::string::npos);
+    EXPECT_NE(md.find("|---|---|---|"), std::string::npos);
+    EXPECT_NE(md.find("| 16 | 100 | 80 |"), std::string::npos);
+}
+
+TEST(TableTest, CsvRendering)
+{
+    const std::string csv = sampleTable().toCsv();
+    EXPECT_NE(csv.find("size,conv,pipe"), std::string::npos);
+    EXPECT_NE(csv.find("16,100,80"), std::string::npos);
+}
+
+TEST(TableTest, CsvQuotesCommasAndQuotes)
+{
+    Table t({"a"});
+    t.beginRow();
+    t.cell("x,y");
+    const std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+
+    Table t2({"a"});
+    t2.beginRow();
+    t2.cell("say \"hi\"");
+    EXPECT_NE(t2.toCsv().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, CellBeforeBeginRowPanics)
+{
+    Table t({"a"});
+    EXPECT_THROW(t.cell("x"), PanicError);
+}
+
+TEST(TableTest, TooManyCellsPanics)
+{
+    Table t({"a"});
+    t.beginRow();
+    t.cell("1");
+    EXPECT_THROW(t.cell("2"), PanicError);
+}
+
+TEST(TableTest, ShortRowDetectedAtNextBeginRow)
+{
+    Table t({"a", "b"});
+    t.beginRow();
+    t.cell("only-one");
+    EXPECT_THROW(t.beginRow(), PanicError);
+}
+
+TEST(TableTest, EmptyHeadersRejected)
+{
+    EXPECT_THROW(Table({}), PanicError);
+}
+
+TEST(TableTest, NegativeAndDoubleCells)
+{
+    Table t({"v"});
+    t.beginRow();
+    t.cell(std::int64_t{-5});
+    EXPECT_EQ(t.at(0, 0), "-5");
+    Table t2({"v"});
+    t2.beginRow();
+    t2.cell(3.14159, 3);
+    EXPECT_EQ(t2.at(0, 0), "3.142");
+}
