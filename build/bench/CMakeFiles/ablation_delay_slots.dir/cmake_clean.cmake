@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_delay_slots.dir/ablation_delay_slots.cc.o"
+  "CMakeFiles/ablation_delay_slots.dir/ablation_delay_slots.cc.o.d"
+  "ablation_delay_slots"
+  "ablation_delay_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delay_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

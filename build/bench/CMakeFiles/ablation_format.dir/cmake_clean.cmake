@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_format.dir/ablation_format.cc.o"
+  "CMakeFiles/ablation_format.dir/ablation_format.cc.o.d"
+  "ablation_format"
+  "ablation_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

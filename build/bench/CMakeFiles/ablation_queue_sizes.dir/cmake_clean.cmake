@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_queue_sizes.dir/ablation_queue_sizes.cc.o"
+  "CMakeFiles/ablation_queue_sizes.dir/ablation_queue_sizes.cc.o.d"
+  "ablation_queue_sizes"
+  "ablation_queue_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_queue_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_branchy.dir/extension_branchy.cc.o"
+  "CMakeFiles/extension_branchy.dir/extension_branchy.cc.o.d"
+  "extension_branchy"
+  "extension_branchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_branchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_dcache.dir/extension_dcache.cc.o"
+  "CMakeFiles/extension_dcache.dir/extension_dcache.cc.o.d"
+  "extension_dcache"
+  "extension_dcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_dcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

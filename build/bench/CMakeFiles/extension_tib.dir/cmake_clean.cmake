@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_tib.dir/extension_tib.cc.o"
+  "CMakeFiles/extension_tib.dir/extension_tib.cc.o.d"
+  "extension_tib"
+  "extension_tib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_tib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_memspeed1.dir/fig4_memspeed1.cc.o"
+  "CMakeFiles/fig4_memspeed1.dir/fig4_memspeed1.cc.o.d"
+  "fig4_memspeed1"
+  "fig4_memspeed1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_memspeed1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

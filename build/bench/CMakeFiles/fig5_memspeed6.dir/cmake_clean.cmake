@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_memspeed6.dir/fig5_memspeed6.cc.o"
+  "CMakeFiles/fig5_memspeed6.dir/fig5_memspeed6.cc.o.d"
+  "fig5_memspeed6"
+  "fig5_memspeed6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_memspeed6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_simspeed.dir/micro_simspeed.cc.o"
+  "CMakeFiles/micro_simspeed.dir/micro_simspeed.cc.o.d"
+  "micro_simspeed"
+  "micro_simspeed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_simspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

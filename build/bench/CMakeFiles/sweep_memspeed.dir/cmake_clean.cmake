@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_memspeed.dir/sweep_memspeed.cc.o"
+  "CMakeFiles/sweep_memspeed.dir/sweep_memspeed.cc.o.d"
+  "sweep_memspeed"
+  "sweep_memspeed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_memspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branchy_playground.dir/branchy_playground.cpp.o"
+  "CMakeFiles/branchy_playground.dir/branchy_playground.cpp.o.d"
+  "branchy_playground"
+  "branchy_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branchy_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livermore_explorer.dir/livermore_explorer.cpp.o"
+  "CMakeFiles/livermore_explorer.dir/livermore_explorer.cpp.o.d"
+  "livermore_explorer"
+  "livermore_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livermore_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

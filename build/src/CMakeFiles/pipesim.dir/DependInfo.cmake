@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assembler/assembler.cc" "src/CMakeFiles/pipesim.dir/assembler/assembler.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/assembler/assembler.cc.o.d"
+  "/root/repo/src/assembler/lexer.cc" "src/CMakeFiles/pipesim.dir/assembler/lexer.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/assembler/lexer.cc.o.d"
+  "/root/repo/src/assembler/program.cc" "src/CMakeFiles/pipesim.dir/assembler/program.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/assembler/program.cc.o.d"
+  "/root/repo/src/cache/icache.cc" "src/CMakeFiles/pipesim.dir/cache/icache.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/cache/icache.cc.o.d"
+  "/root/repo/src/cache/subblock_cache.cc" "src/CMakeFiles/pipesim.dir/cache/subblock_cache.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/cache/subblock_cache.cc.o.d"
+  "/root/repo/src/codegen/codegen.cc" "src/CMakeFiles/pipesim.dir/codegen/codegen.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/codegen/codegen.cc.o.d"
+  "/root/repo/src/codegen/ir.cc" "src/CMakeFiles/pipesim.dir/codegen/ir.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/codegen/ir.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/pipesim.dir/common/log.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/pipesim.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/strutil.cc" "src/CMakeFiles/pipesim.dir/common/strutil.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/common/strutil.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/pipesim.dir/common/table.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/common/table.cc.o.d"
+  "/root/repo/src/core/conventional_fetch.cc" "src/CMakeFiles/pipesim.dir/core/conventional_fetch.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/core/conventional_fetch.cc.o.d"
+  "/root/repo/src/core/fetch_unit.cc" "src/CMakeFiles/pipesim.dir/core/fetch_unit.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/core/fetch_unit.cc.o.d"
+  "/root/repo/src/core/pipe_fetch.cc" "src/CMakeFiles/pipesim.dir/core/pipe_fetch.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/core/pipe_fetch.cc.o.d"
+  "/root/repo/src/core/stream_follower.cc" "src/CMakeFiles/pipesim.dir/core/stream_follower.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/core/stream_follower.cc.o.d"
+  "/root/repo/src/core/tib_fetch.cc" "src/CMakeFiles/pipesim.dir/core/tib_fetch.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/core/tib_fetch.cc.o.d"
+  "/root/repo/src/cpu/pipeline.cc" "src/CMakeFiles/pipesim.dir/cpu/pipeline.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/cpu/pipeline.cc.o.d"
+  "/root/repo/src/cpu/regfile.cc" "src/CMakeFiles/pipesim.dir/cpu/regfile.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/cpu/regfile.cc.o.d"
+  "/root/repo/src/isa/decode.cc" "src/CMakeFiles/pipesim.dir/isa/decode.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/isa/decode.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/pipesim.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/encode.cc" "src/CMakeFiles/pipesim.dir/isa/encode.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/isa/encode.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/CMakeFiles/pipesim.dir/isa/instruction.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/isa/instruction.cc.o.d"
+  "/root/repo/src/isa/opcodes.cc" "src/CMakeFiles/pipesim.dir/isa/opcodes.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/isa/opcodes.cc.o.d"
+  "/root/repo/src/mem/data_memory.cc" "src/CMakeFiles/pipesim.dir/mem/data_memory.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/mem/data_memory.cc.o.d"
+  "/root/repo/src/mem/external_memory.cc" "src/CMakeFiles/pipesim.dir/mem/external_memory.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/mem/external_memory.cc.o.d"
+  "/root/repo/src/mem/fpu.cc" "src/CMakeFiles/pipesim.dir/mem/fpu.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/mem/fpu.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/CMakeFiles/pipesim.dir/mem/memory_system.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/mem/memory_system.cc.o.d"
+  "/root/repo/src/queue/arch_queues.cc" "src/CMakeFiles/pipesim.dir/queue/arch_queues.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/queue/arch_queues.cc.o.d"
+  "/root/repo/src/sim/cli.cc" "src/CMakeFiles/pipesim.dir/sim/cli.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/sim/cli.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/pipesim.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/pipesim.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/pipesim.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/trace/pipeview.cc" "src/CMakeFiles/pipesim.dir/trace/pipeview.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/trace/pipeview.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/pipesim.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/trace/trace.cc.o.d"
+  "/root/repo/src/workloads/benchmark_program.cc" "src/CMakeFiles/pipesim.dir/workloads/benchmark_program.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/workloads/benchmark_program.cc.o.d"
+  "/root/repo/src/workloads/livermore.cc" "src/CMakeFiles/pipesim.dir/workloads/livermore.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/workloads/livermore.cc.o.d"
+  "/root/repo/src/workloads/reference.cc" "src/CMakeFiles/pipesim.dir/workloads/reference.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/workloads/reference.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/CMakeFiles/pipesim.dir/workloads/synthetic.cc.o" "gcc" "src/CMakeFiles/pipesim.dir/workloads/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_queues.dir/test_arch_queues.cc.o"
+  "CMakeFiles/test_arch_queues.dir/test_arch_queues.cc.o.d"
+  "test_arch_queues"
+  "test_arch_queues.pdb"
+  "test_arch_queues[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conventional_fetch.dir/test_conventional_fetch.cc.o"
+  "CMakeFiles/test_conventional_fetch.dir/test_conventional_fetch.cc.o.d"
+  "test_conventional_fetch"
+  "test_conventional_fetch.pdb"
+  "test_conventional_fetch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conventional_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

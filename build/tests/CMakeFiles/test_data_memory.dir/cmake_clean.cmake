@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_memory.dir/test_data_memory.cc.o"
+  "CMakeFiles/test_data_memory.dir/test_data_memory.cc.o.d"
+  "test_data_memory"
+  "test_data_memory.pdb"
+  "test_data_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

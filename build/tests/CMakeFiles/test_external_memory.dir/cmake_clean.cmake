@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_external_memory.dir/test_external_memory.cc.o"
+  "CMakeFiles/test_external_memory.dir/test_external_memory.cc.o.d"
+  "test_external_memory"
+  "test_external_memory.pdb"
+  "test_external_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_external_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

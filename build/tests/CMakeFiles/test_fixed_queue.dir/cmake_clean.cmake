@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixed_queue.dir/test_fixed_queue.cc.o"
+  "CMakeFiles/test_fixed_queue.dir/test_fixed_queue.cc.o.d"
+  "test_fixed_queue"
+  "test_fixed_queue.pdb"
+  "test_fixed_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixed_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

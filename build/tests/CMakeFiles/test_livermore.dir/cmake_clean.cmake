@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_livermore.dir/test_livermore.cc.o"
+  "CMakeFiles/test_livermore.dir/test_livermore.cc.o.d"
+  "test_livermore"
+  "test_livermore.pdb"
+  "test_livermore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_livermore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

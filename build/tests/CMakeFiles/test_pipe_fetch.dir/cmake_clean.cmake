@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipe_fetch.dir/test_pipe_fetch.cc.o"
+  "CMakeFiles/test_pipe_fetch.dir/test_pipe_fetch.cc.o.d"
+  "test_pipe_fetch"
+  "test_pipe_fetch.pdb"
+  "test_pipe_fetch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipe_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeview.dir/test_pipeview.cc.o"
+  "CMakeFiles/test_pipeview.dir/test_pipeview.cc.o.d"
+  "test_pipeview"
+  "test_pipeview.pdb"
+  "test_pipeview[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

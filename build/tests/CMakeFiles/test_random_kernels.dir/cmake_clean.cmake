@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_kernels.dir/test_random_kernels.cc.o"
+  "CMakeFiles/test_random_kernels.dir/test_random_kernels.cc.o.d"
+  "test_random_kernels"
+  "test_random_kernels.pdb"
+  "test_random_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

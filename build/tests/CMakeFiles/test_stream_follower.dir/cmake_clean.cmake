@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_follower.dir/test_stream_follower.cc.o"
+  "CMakeFiles/test_stream_follower.dir/test_stream_follower.cc.o.d"
+  "test_stream_follower"
+  "test_stream_follower.pdb"
+  "test_stream_follower[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_follower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subblock_cache.dir/test_subblock_cache.cc.o"
+  "CMakeFiles/test_subblock_cache.dir/test_subblock_cache.cc.o.d"
+  "test_subblock_cache"
+  "test_subblock_cache.pdb"
+  "test_subblock_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subblock_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_subblock_cache.
+# This may be replaced when dependencies are built.

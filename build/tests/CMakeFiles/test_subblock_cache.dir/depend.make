@@ -1,0 +1,2 @@
+# Empty dependencies file for test_subblock_cache.
+# This may be replaced when dependencies are built.

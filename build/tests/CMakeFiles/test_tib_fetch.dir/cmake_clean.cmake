@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tib_fetch.dir/test_tib_fetch.cc.o"
+  "CMakeFiles/test_tib_fetch.dir/test_tib_fetch.cc.o.d"
+  "test_tib_fetch"
+  "test_tib_fetch.pdb"
+  "test_tib_fetch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tib_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
