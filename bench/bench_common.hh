@@ -5,16 +5,21 @@
  * Every bench accepts:
  *     --scale <f>   workload scale (1.0 = the paper's ~150k insts)
  *     --csv         CSV output instead of aligned text
- * and prints one table per figure panel with the same axes the paper
- * uses (total execution cycles vs. cache size, one column per fetch
- * strategy).
+ * plus the shared observability options (--cpi-stack, --trace-json,
+ * --stats-json; see obs/obs_cli.hh) together with
+ *     --obs-point <strategy:cachebytes>
+ * selecting which sweep point those outputs observe, and prints one
+ * table per figure panel with the same axes the paper uses (total
+ * execution cycles vs. cache size, one column per fetch strategy).
  */
 
 #ifndef PIPESIM_BENCH_COMMON_HH
 #define PIPESIM_BENCH_COMMON_HH
 
 #include <iostream>
+#include <memory>
 
+#include "obs/obs_cli.hh"
 #include "sim/cli.hh"
 #include "sim/experiment.hh"
 #include "workloads/benchmark_program.hh"
@@ -27,6 +32,8 @@ struct BenchSetup
     workloads::Benchmark benchmark;
     bool csv = false;
     double scale = 1.0;
+    obs::ObsOptions obs;
+    std::string obsPoint; //!< "strategy:cachebytes" the outputs observe
 };
 
 /** Parse standard options and build the workload. @return nullopt on
@@ -39,14 +46,55 @@ setup(int argc, char **argv, const std::string &description,
     CliParser &cli = extra ? *extra : own;
     cli.addOption("scale", "1.0", "workload scale (1.0 = paper size)");
     cli.addFlag("csv", "CSV output");
+    obs::ObsOptions::addOptions(cli);
+    cli.addOption("obs-point", "16-16:128",
+                  "sweep point (strategy:cachebytes) the observability "
+                  "outputs apply to");
     if (!cli.parse(argc, argv))
         return std::nullopt;
 
     BenchSetup s;
     s.scale = cli.getDouble("scale");
     s.csv = cli.getFlag("csv");
+    s.obs = obs::ObsOptions::fromCli(cli);
+    s.obsPoint = cli.get("obs-point");
     s.benchmark = workloads::buildLivermoreBenchmark(s.scale);
     return s;
+}
+
+/**
+ * Install the observability hooks on @p spec: when the sweep reaches
+ * the point named by --obs-point, the requested outputs (trace JSON,
+ * stats JSON, CPI-stack breakdown) are produced for that run.  A
+ * no-op when no observability output was requested.
+ */
+inline void
+installObs(SweepSpec &spec, const BenchSetup &s)
+{
+    if (!s.obs.any())
+        return;
+    const obs::ObsOptions opts = s.obs;
+    const std::string point = s.obsPoint;
+    auto session = std::make_shared<std::optional<obs::ObsSession>>();
+    auto matches = [point](const std::string &strategy, unsigned cache) {
+        return strategy + ":" + std::to_string(cache) == point;
+    };
+    spec.preRun = [session, opts, matches](Simulator &sim,
+                                           const std::string &strategy,
+                                           unsigned cache) {
+        if (matches(strategy, cache))
+            session->emplace(opts, sim);
+    };
+    spec.postRun = [session, matches](Simulator &sim [[maybe_unused]],
+                                      const std::string &strategy,
+                                      unsigned cache,
+                                      const SimResult &result) {
+        if (!matches(strategy, cache) || !session->has_value())
+            return;
+        (*session)->finish(result,
+                           strategy + ":" + std::to_string(cache));
+        session->reset();
+    };
 }
 
 /** The paper's evaluation sweeps caches from tiny to comfortably

@@ -3,11 +3,21 @@
  * cycles-per-second of the cycle model for both fetch strategies,
  * plus the cost of program generation and assembly.  These measure
  * the simulator itself, not the simulated machine.
+ *
+ * The probe-overhead pairs guard the observability layer's "free when
+ * detached" property: BM_SimulatePipe/BM_SimulateConventional run
+ * with every listener detached (cpiStack off) and must stay within a
+ * few percent of the pre-probe-bus simulation rate;
+ * BM_SimulatePipeCpiStack and BM_SimulatePipeTraced show what the
+ * attached consumers cost.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "assembler/assembler.hh"
+#include "obs/trace_export.hh"
 #include "sim/simulator.hh"
 #include "workloads/benchmark_program.hh"
 
@@ -29,6 +39,7 @@ BM_SimulatePipe(benchmark::State &state)
     SimConfig cfg;
     cfg.fetch = pipeConfigFor("16-16", 128);
     cfg.mem.accessTime = unsigned(state.range(0));
+    cfg.cpiStack = false; // raw rate: no probe listener attached
     std::uint64_t cycles = 0;
     for (auto _ : state) {
         const auto res = runSimulation(cfg, smallBench().program);
@@ -45,6 +56,7 @@ BM_SimulateConventional(benchmark::State &state)
     SimConfig cfg;
     cfg.fetch = conventionalConfigFor(128, 16);
     cfg.mem.accessTime = unsigned(state.range(0));
+    cfg.cpiStack = false; // raw rate: no probe listener attached
     std::uint64_t cycles = 0;
     for (auto _ : state) {
         const auto res = runSimulation(cfg, smallBench().program);
@@ -54,6 +66,48 @@ BM_SimulateConventional(benchmark::State &state)
         double(cycles), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimulateConventional)->Arg(1)->Arg(6);
+
+void
+BM_SimulatePipeCpiStack(benchmark::State &state)
+{
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("16-16", 128);
+    cfg.mem.accessTime = unsigned(state.range(0));
+    cfg.cpiStack = true; // the default: cycle accountant attached
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        const auto res = runSimulation(cfg, smallBench().program);
+        cycles += res.totalCycles;
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        double(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatePipeCpiStack)->Arg(1)->Arg(6);
+
+void
+BM_SimulatePipeTraced(benchmark::State &state)
+{
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("16-16", 128);
+    cfg.mem.accessTime = unsigned(state.range(0));
+    std::uint64_t cycles = 0;
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        Simulator sim(cfg, smallBench().program);
+        obs::ChromeTraceWriter trace;
+        trace.attach(sim.probes());
+        const auto res = sim.run();
+        trace.detach();
+        cycles += res.totalCycles;
+        events += trace.eventCount();
+        benchmark::DoNotOptimize(events);
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        double(cycles), benchmark::Counter::kIsRate);
+    state.counters["trace_events_per_run"] =
+        double(events) / double(state.iterations());
+}
+BENCHMARK(BM_SimulatePipeTraced)->Arg(1)->Arg(6);
 
 void
 BM_BuildBenchmark(benchmark::State &state)

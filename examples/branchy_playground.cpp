@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "obs/obs_cli.hh"
 #include "sim/cli.hh"
 #include "sim/simulator.hh"
 #include "workloads/synthetic.hh"
@@ -32,8 +33,10 @@ main(int argc, char **argv)
     cli.addOption("iterations", "128", "outer loop trips");
     cli.addOption("mem", "6", "memory access time");
     cli.addOption("bus", "8", "bus width bytes");
+    obs::ObsOptions::addOptions(cli);
     if (!cli.parse(argc, argv))
         return 0;
+    const auto obs_opts = obs::ObsOptions::fromCli(cli);
 
     workloads::BranchySpec spec;
     spec.blocks = unsigned(cli.getInt("blocks"));
@@ -58,7 +61,9 @@ main(int argc, char **argv)
     cfg.mem.busWidthBytes = unsigned(cli.getInt("bus"));
 
     Simulator sim(cfg, built.program);
+    obs::ObsSession obs_session(obs_opts, sim);
     const SimResult res = sim.run();
+    obs_session.finish(res, "branchy:" + strategy);
 
     const Word acc = sim.dataMemory().readWord(built.accSlot);
     const bool ok = acc == ref.acc &&

@@ -10,6 +10,7 @@
 
 #include "assembler/assembler.hh"
 #include "isa/disasm.hh"
+#include "obs/obs_cli.hh"
 #include "sim/cli.hh"
 #include "sim/simulator.hh"
 #include "trace/trace.hh"
@@ -59,8 +60,10 @@ main(int argc, char **argv)
     cli.addOption("mem", "1", "memory access time");
     cli.addFlag("trace", "print every retired instruction");
     cli.addFlag("list", "print the assembled program and exit");
+    obs::ObsOptions::addOptions(cli);
     if (!cli.parse(argc, argv))
         return 0;
+    const auto obs_opts = obs::ObsOptions::fromCli(cli);
 
     Program program =
         cli.positional().empty()
@@ -85,13 +88,15 @@ main(int argc, char **argv)
     cfg.mem.accessTime = unsigned(cli.getInt("mem"));
 
     Simulator sim(cfg, program);
+    obs::ObsSession obs_session(obs_opts, sim);
     InstructionTracer tracer(std::cout);
     if (cli.getFlag("trace"))
-        tracer.attach(sim.pipeline());
+        tracer.attach(sim.probes());
 
     const SimResult res = sim.run();
     std::cout << "\nhalted after " << res.totalCycles << " cycles, "
               << res.instructions << " instructions\n";
+    obs_session.finish(res, strategy);
 
     // For the demo program, show the results it computed.
     if (cli.positional().empty()) {

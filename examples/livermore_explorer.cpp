@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "obs/obs_cli.hh"
 #include "sim/cli.hh"
 #include "sim/simulator.hh"
 #include "workloads/benchmark_program.hh"
@@ -32,8 +33,10 @@ main(int argc, char **argv)
     cli.addFlag("pipelined", "pipelined external memory");
     cli.addFlag("data-priority", "data beats demand I-fetch");
     cli.addFlag("timeline", "print a cycle-by-cycle issue timeline");
+    obs::ObsOptions::addOptions(cli);
     if (!cli.parse(argc, argv))
         return 0;
+    const auto obs_opts = obs::ObsOptions::fromCli(cli);
 
     const auto kernel = workloads::livermoreKernel(
         int(cli.getInt("kernel")), cli.getDouble("scale"));
@@ -58,6 +61,7 @@ main(int argc, char **argv)
               << " delay slots\n\n";
 
     Simulator sim(cfg, bench.program);
+    obs::ObsSession obs_session(obs_opts, sim);
     PipeViewer viewer;
     SimResult res;
     if (cli.getFlag("timeline")) {
@@ -82,5 +86,7 @@ main(int argc, char **argv)
                      "d=ldq-wait q=queue-full) ---\n"
                   << viewer.timeline() << viewer.summary() << "\n";
     }
+    obs_session.finish(res, "k" + std::to_string(kernel.id) + ":" +
+                                strategy);
     return ok ? 0 : 1;
 }

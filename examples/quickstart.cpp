@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "obs/obs_cli.hh"
 #include "sim/cli.hh"
 #include "sim/simulator.hh"
 #include "workloads/benchmark_program.hh"
@@ -24,8 +25,10 @@ main(int argc, char **argv)
     cli.addOption("mem", "6", "memory access time in cycles");
     cli.addOption("bus", "8", "input bus width in bytes (4 or 8)");
     cli.addOption("scale", "0.2", "workload scale (1.0 = paper size)");
+    obs::ObsOptions::addOptions(cli);
     if (!cli.parse(argc, argv))
         return 0;
+    const auto obs_opts = obs::ObsOptions::fromCli(cli);
 
     // 1. Generate the benchmark program (the 14 Livermore loops
     //    compiled back to back, as in the paper).
@@ -45,6 +48,14 @@ main(int argc, char **argv)
                 : pipeConfigFor(strategy, unsigned(cli.getInt("cache")));
 
         Simulator sim(cfg, bench.program);
+        // The file-producing outputs observe the PIPE run (the second
+        // pass would otherwise overwrite the conventional one's).
+        obs::ObsOptions pass_opts = obs_opts;
+        if (std::string(strategy) == "conv") {
+            pass_opts.traceJson.clear();
+            pass_opts.statsJson.clear();
+        }
+        obs::ObsSession obs_session(pass_opts, sim);
         const SimResult res = sim.run();
 
         // 3. Check the computation really happened (bit-exact vs a
@@ -61,6 +72,7 @@ main(int argc, char **argv)
                   << res.instructions << " instructions, CPI "
                   << res.cpi() << (bad ? "  [VERIFY FAILED]" : "  [ok]")
                   << "\n";
+        obs_session.finish(res, strategy);
     }
     return 0;
 }

@@ -7,8 +7,10 @@
  */
 
 #include <iostream>
+#include <memory>
 
 #include "common/strutil.hh"
+#include "obs/obs_cli.hh"
 #include "sim/cli.hh"
 #include "sim/experiment.hh"
 #include "workloads/benchmark_program.hh"
@@ -27,8 +29,13 @@ main(int argc, char **argv)
     cli.addFlag("pipelined", "pipelined external memory");
     cli.addFlag("tib", "include the target-instruction-buffer strategy");
     cli.addFlag("csv", "emit CSV instead of a text table");
+    obs::ObsOptions::addOptions(cli);
+    cli.addOption("obs-point", "16-16:128",
+                  "sweep point (strategy:cachebytes) the observability "
+                  "outputs apply to");
     if (!cli.parse(argc, argv))
         return 0;
+    const auto obs_opts = obs::ObsOptions::fromCli(cli);
 
     const auto bench =
         workloads::buildLivermoreBenchmark(cli.getDouble("scale"));
@@ -48,6 +55,25 @@ main(int argc, char **argv)
               << " bus=" << spec.mem.busWidthBytes
               << (spec.mem.pipelined ? " pipelined" : " non-pipelined")
               << "\n\n";
+
+    if (obs_opts.any()) {
+        const std::string point = cli.get("obs-point");
+        auto session =
+            std::make_shared<std::optional<obs::ObsSession>>();
+        spec.preRun = [session, obs_opts, point](
+                          Simulator &sim, const std::string &strategy,
+                          unsigned cache) {
+            if (strategy + ":" + std::to_string(cache) == point)
+                session->emplace(obs_opts, sim);
+        };
+        spec.postRun = [session](Simulator &, const std::string &,
+                                 unsigned, const SimResult &result) {
+            if (session->has_value()) {
+                (*session)->finish(result);
+                session->reset();
+            }
+        };
+    }
 
     const Table table = runCacheSweep(spec, bench.program);
     std::cout << (cli.getFlag("csv") ? table.toCsv() : table.toText());

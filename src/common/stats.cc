@@ -153,4 +153,14 @@ StatGroup::counterNames() const
     return names;
 }
 
+std::vector<std::string>
+StatGroup::formulaNames() const
+{
+    std::vector<std::string> names;
+    for (const auto &name : _order)
+        if (_formulas.count(name))
+            names.push_back(name);
+    return names;
+}
+
 } // namespace pipesim

@@ -118,6 +118,9 @@ class StatGroup
     /** All registered counter names, in registration order. */
     std::vector<std::string> counterNames() const;
 
+    /** All registered formula names, in registration order. */
+    std::vector<std::string> formulaNames() const;
+
   private:
     struct CounterEntry
     {

@@ -81,7 +81,13 @@ ConventionalFetchUnit::makeRequest(Addr addr, ReqClass cls)
     req.isStore = false;
     req.cls = cls;
     req.onBeat = [this](Addr a, unsigned n) { onBeatArrived(a, n); };
-    req.onComplete = [this]() { _outstanding = false; };
+    req.onComplete = [this]() {
+        if (_probes && _probes->fetchFill.active()) {
+            _probes->fetchFill.notify(obs::FetchEvent{
+                _obsNow, _outstandingAddr, _outstandingBytes, false});
+        }
+        _outstanding = false;
+    };
     return req;
 }
 
@@ -99,7 +105,7 @@ ConventionalFetchUnit::onBeatArrived(Addr addr, unsigned bytes)
 void
 ConventionalFetchUnit::tick(Cycle now)
 {
-    (void)now;
+    _obsNow = now;
 
     // Always-prefetch: the reference made last cycle launches a
     // prefetch of the next sequential location (lowest priority at
@@ -128,6 +134,9 @@ ConventionalFetchUnit::tick(Cycle now)
     }
     if (_missRecordedFor != *next) {
         _cache.recordLookup(false);
+        if (_probes && _probes->icacheAccess.active())
+            _probes->icacheAccess.notify(
+                obs::CacheEvent{_obsNow, *next, false});
         _missRecordedFor = *next;
     }
     if (inflightCovers(*missing))
@@ -170,6 +179,8 @@ ConventionalFetchUnit::take()
     const Addr pc = *_follower.nextAddr();
     const isa::Instruction inst = decodeAt(pc);
     _cache.recordLookup(true);
+    if (_probes && _probes->icacheAccess.active())
+        _probes->icacheAccess.notify(obs::CacheEvent{_obsNow, pc, true});
     _missRecordedFor.reset();
     _follower.delivered(inst);
     ++_deliveredInsts;
@@ -197,6 +208,11 @@ void
 ConventionalFetchUnit::offchipAccepted()
 {
     PIPESIM_ASSERT(_want, "acceptance with no request outstanding");
+    if (_probes && _probes->fetchRequest.active()) {
+        _probes->fetchRequest.notify(obs::FetchEvent{
+            _obsNow, _want->addr, _want->bytes,
+            _want->cls == ReqClass::IFetchDemand});
+    }
     _outstanding = true;
     _outstandingAddr = _want->addr;
     _outstandingBytes = _want->bytes;

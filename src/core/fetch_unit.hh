@@ -22,6 +22,7 @@
 #include "isa/instruction.hh"
 #include "mem/memory_system.hh"
 #include "mem/request.hh"
+#include "obs/probe.hh"
 
 namespace pipesim
 {
@@ -104,6 +105,14 @@ class FetchUnit
     /** Register statistics under @p prefix. */
     virtual void regStats(StatGroup &stats, const std::string &prefix) = 0;
 
+    /**
+     * Attach the probe bus the unit emits into: icacheAccess on every
+     * cache/buffer lookup, fetchRequest when an off-chip line request
+     * wins the bus, fetchFill when its last beat arrives.  Pass
+     * nullptr to detach.
+     */
+    void setProbes(obs::ProbeBus *probes) { _probes = probes; }
+
   protected:
     /**
      * MemClient adapter: routes the memory system's pull requests to
@@ -146,6 +155,13 @@ class FetchUnit
     MemorySystem &_mem;
     ClientPort _demandPort;
     ClientPort _prefetchPort;
+    obs::ProbeBus *_probes = nullptr;
+    /**
+     * Cycle of the most recent tick().  Acceptance and fill callbacks
+     * fire from the memory system's tick, which runs after the fetch
+     * tick in the same cycle, so stamping events with this is exact.
+     */
+    Cycle _obsNow = 0;
 };
 
 } // namespace pipesim

@@ -248,6 +248,8 @@ PipeFetchUnit::startFillIfNeeded()
 
     const bool hit = _cache.lineValid(line);
     _cache.recordLookup(hit);
+    if (_probes && _probes->icacheAccess.active())
+        _probes->icacheAccess.notify(obs::CacheEvent{_obsNow, line, hit});
     if (hit) {
         _fill = Fill{line, plan->start, buffer_cap, false,
                      plan->newSegment};
@@ -323,6 +325,10 @@ PipeFetchUnit::onBeatArrived(Addr addr, unsigned bytes)
 void
 PipeFetchUnit::onFillComplete()
 {
+    if (_probes && _probes->fetchFill.active() && _fill) {
+        _probes->fetchFill.notify(obs::FetchEvent{
+            _obsNow, _fill->lineBase, _cfg.lineBytes, false});
+    }
     _offchipInFlight = false;
     _fill.reset();
 }
@@ -339,6 +345,11 @@ void
 PipeFetchUnit::offchipAccepted()
 {
     PIPESIM_ASSERT(_want, "acceptance with no request outstanding");
+    if (_probes && _probes->fetchRequest.active()) {
+        _probes->fetchRequest.notify(obs::FetchEvent{
+            _obsNow, _want->addr, _want->bytes,
+            _want->cls == ReqClass::IFetchDemand});
+    }
     _offchipInFlight = true;
     _want.reset();
 }
@@ -346,7 +357,7 @@ PipeFetchUnit::offchipAccepted()
 void
 PipeFetchUnit::tick(Cycle now)
 {
-    (void)now;
+    _obsNow = now;
     handleResolvedRedirect();
 
     // A prefetch-class request whose line the decoder now starves

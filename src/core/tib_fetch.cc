@@ -186,8 +186,12 @@ TibFetchUnit::startFetchIfNeeded()
 
     if (is_target) {
         TibEntry &entry = entryFor(start);
-        if (entry.valid && entry.target == start &&
-            entry.validBytes > 0) {
+        const bool tib_hit = entry.valid && entry.target == start &&
+                             entry.validBytes > 0;
+        if (_probes && _probes->icacheAccess.active())
+            _probes->icacheAccess.notify(
+                obs::CacheEvent{_obsNow, start, tib_hit});
+        if (tib_hit) {
             // TIB hit: the buffered target instructions supply the
             // decoder while the off-chip fetch for the instructions
             // past the entry is launched.
@@ -217,7 +221,10 @@ TibFetchUnit::startFetchIfNeeded()
     req.onBeat = [this](Addr addr, unsigned bytes) {
         onBeatArrived(addr, bytes);
     };
-    req.onComplete = [this]() {
+    req.onComplete = [this, start]() {
+        if (_probes && _probes->fetchFill.active())
+            _probes->fetchFill.notify(
+                obs::FetchEvent{_obsNow, start, _entryBytes, false});
         _offchipInFlight = false;
         _fetch.reset();
     };
@@ -260,6 +267,11 @@ void
 TibFetchUnit::offchipAccepted()
 {
     PIPESIM_ASSERT(_want, "acceptance with no request outstanding");
+    if (_probes && _probes->fetchRequest.active()) {
+        _probes->fetchRequest.notify(obs::FetchEvent{
+            _obsNow, _want->addr, _want->bytes,
+            _want->cls == ReqClass::IFetchDemand});
+    }
     _offchipInFlight = true;
     _want.reset();
 }
@@ -267,7 +279,7 @@ TibFetchUnit::offchipAccepted()
 void
 TibFetchUnit::tick(Cycle now)
 {
-    (void)now;
+    _obsNow = now;
     handleResolvedRedirect();
     if (_want && _want->cls == ReqClass::IPrefetch &&
         (decoderStarving() || _buffer.empty()))

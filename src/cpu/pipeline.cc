@@ -255,24 +255,58 @@ Pipeline::tick(Cycle now)
     }
 
     _queues.sampleOccupancy();
+    if (_probes && _probes->queueSample.active()) {
+        _probes->queueSample.notify(obs::QueueSampleEvent{
+            now, std::uint8_t(_queues.laq().size()),
+            std::uint8_t(_queues.ldq().size()),
+            std::uint8_t(_queues.saq().size()),
+            std::uint8_t(_queues.sdq().size())});
+    }
+
+    // Cycle accounting: every tick is attributed to exactly one
+    // class.  The tick on which HALT issues starts the drain phase,
+    // so the non-Drain classes sum exactly to haltCycle().
+    obs::CycleClass cls = obs::CycleClass::FetchStarve;
 
     // 2. Issue at most one instruction.
-    if (!_halted && _issueLatch) {
+    if (_halted) {
+        cls = obs::CycleClass::Drain;
+    } else if (_issueLatch) {
         const StallReason hazard = issueHazard(_issueLatch->inst, now);
         switch (hazard) {
           case StallReason::None:
             execute(*_issueLatch, now);
             ++_retired;
-            if (_retireHook)
-                _retireHook(*_issueLatch, now);
+            cls = _halted ? obs::CycleClass::Drain
+                          : obs::CycleClass::Issue;
+            if (_probes && _probes->retire.active())
+                _probes->retire.notify(obs::RetireEvent{now, *_issueLatch});
             _issueLatch.reset();
             break;
-          case StallReason::RegBusy: ++_issueStallRegBusy; break;
-          case StallReason::LdqEmpty: ++_issueStallLdqEmpty; break;
-          case StallReason::SdqFull: ++_issueStallSdqFull; break;
-          case StallReason::LaqFull: ++_issueStallLaqFull; break;
-          case StallReason::LdqReserved: ++_issueStallLdqReserved; break;
-          case StallReason::SaqFull: ++_issueStallSaqFull; break;
+          case StallReason::RegBusy:
+            ++_issueStallRegBusy;
+            cls = obs::CycleClass::RegBusy;
+            break;
+          case StallReason::LdqEmpty:
+            ++_issueStallLdqEmpty;
+            cls = obs::CycleClass::LoadDataWait;
+            break;
+          case StallReason::SdqFull:
+            ++_issueStallSdqFull;
+            cls = obs::CycleClass::QueueFull;
+            break;
+          case StallReason::LaqFull:
+            ++_issueStallLaqFull;
+            cls = obs::CycleClass::QueueFull;
+            break;
+          case StallReason::LdqReserved:
+            ++_issueStallLdqReserved;
+            cls = obs::CycleClass::QueueFull;
+            break;
+          case StallReason::SaqFull:
+            ++_issueStallSaqFull;
+            cls = obs::CycleClass::QueueFull;
+            break;
         }
     }
 
@@ -289,6 +323,9 @@ Pipeline::tick(Cycle now)
         else
             ++_fetchStarveCycles;
     }
+
+    if (_probes)
+        _probes->cycleClass.notify(obs::CycleClassEvent{now, cls});
 }
 
 void

@@ -38,6 +38,7 @@
 #include "cpu/regfile.hh"
 #include "isa/instruction.hh"
 #include "mem/memory_system.hh"
+#include "obs/probe.hh"
 #include "queue/arch_queues.hh"
 
 namespace pipesim
@@ -81,10 +82,12 @@ class Pipeline
     const RegFile &regs() const { return _regs; }
     ArchQueues &queues() { return _queues; }
 
-    /** Observer invoked for every retiring instruction. */
-    using RetireHook =
-        std::function<void(const isa::FetchedInst &, Cycle)>;
-    void setRetireHook(RetireHook hook) { _retireHook = std::move(hook); }
+    /**
+     * Attach the probe bus the pipeline emits into: one CycleClass
+     * per tick, one RetireEvent per issued instruction, and per-cycle
+     * queue occupancy samples.  Pass nullptr to detach.
+     */
+    void setProbes(obs::ProbeBus *probes) { _probes = probes; }
 
     void regStats(StatGroup &stats, const std::string &prefix);
 
@@ -140,7 +143,7 @@ class Pipeline
 
     bool _halted = false;
     Cycle _haltCycle = 0;
-    RetireHook _retireHook;
+    obs::ProbeBus *_probes = nullptr;
 
     std::uint64_t _memOpSeq = 0;     //!< program order of ld/st ops
     std::uint64_t _loadsAccepted = 0; //!< loads sent to memory

@@ -175,11 +175,18 @@ MemorySystem::tryAccept(MemClient *client, Cycle now)
         return false;
 
     const bool to_fpu = FpuDevice::contains(req->addr);
-    if (!to_fpu && !_extMem.canAccept())
+    if (!to_fpu && !_extMem.canAccept()) {
+        if (_probes && _probes->busContention.active())
+            _probes->busContention.notify(
+                obs::BusContentionEvent{now, req->cls});
         return false;
+    }
 
     client->accepted();
     ++_outputBusBusyCycles;
+    if (_probes && _probes->busGrant.active())
+        _probes->busGrant.notify(
+            obs::BusGrantEvent{now, req->cls, req->addr, req->isStore});
     switch (req->cls) {
       case ReqClass::Data: ++_dataRequests; break;
       case ReqClass::IFetchDemand: ++_demandRequests; break;
@@ -229,9 +236,23 @@ MemorySystem::acceptOutputBus(Cycle now)
     else
         order = {_dataClient, _demandClient, _prefetchClient};
 
-    for (MemClient *client : order)
-        if (tryAccept(client, now))
-            return;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        if (!tryAccept(order[i], now))
+            continue;
+        // Lower-priority clients with a request pending this cycle
+        // lost arbitration; report them only when someone listens
+        // (the extra peeks cost nothing when the bus is detached).
+        if (_probes && _probes->busContention.active()) {
+            for (std::size_t j = i + 1; j < order.size(); ++j) {
+                if (!order[j])
+                    continue;
+                if (auto loser = order[j]->peek())
+                    _probes->busContention.notify(
+                        obs::BusContentionEvent{now, loser->cls});
+            }
+        }
+        return;
+    }
 }
 
 bool

@@ -30,6 +30,7 @@
 #include "mem/fpu.hh"
 #include "cache/subblock_cache.hh"
 #include "mem/request.hh"
+#include "obs/probe.hh"
 
 namespace pipesim
 {
@@ -65,6 +66,14 @@ class MemorySystem
     void setDemandClient(MemClient *client) { _demandClient = client; }
     /** Register the fetch unit's prefetch request source. */
     void setPrefetchClient(MemClient *client) { _prefetchClient = client; }
+
+    /**
+     * Attach the probe bus the memory system emits into: busGrant for
+     * every request accepted on the output bus, busContention when a
+     * presented request loses arbitration or finds the external
+     * memory busy.  Pass nullptr to detach.
+     */
+    void setProbes(obs::ProbeBus *probes) { _probes = probes; }
 
     /** Advance one cycle. */
     void tick(Cycle now);
@@ -117,6 +126,7 @@ class MemorySystem
     MemClient *_dataClient = nullptr;
     MemClient *_demandClient = nullptr;
     MemClient *_prefetchClient = nullptr;
+    obs::ProbeBus *_probes = nullptr;
 
     std::optional<Transfer> _transfer;
 

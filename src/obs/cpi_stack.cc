@@ -1,0 +1,103 @@
+#include "obs/cpi_stack.hh"
+
+#include <sstream>
+
+#include "common/strutil.hh"
+
+namespace pipesim::obs
+{
+
+CpiStack::~CpiStack()
+{
+    detach();
+}
+
+void
+CpiStack::attach(ProbeBus &bus)
+{
+    detach();
+    _bus = &bus;
+    _contentionId =
+        bus.busContention.connect([this](const BusContentionEvent &ev) {
+            if (ev.cls == ReqClass::IFetchDemand)
+                _fetchContended = true;
+        });
+    // The memory system ticks before the pipeline, so the contention
+    // flag for cycle N is always set before cycle N is classified.
+    _cycleId = bus.cycleClass.connect([this](const CycleClassEvent &ev) {
+        CycleClass cls = ev.cls;
+        if (cls == CycleClass::FetchStarve && _fetchContended)
+            cls = CycleClass::BusContention;
+        ++_components[unsigned(cls)];
+        _fetchContended = false;
+    });
+}
+
+void
+CpiStack::detach()
+{
+    if (!_bus)
+        return;
+    _bus->cycleClass.disconnect(_cycleId);
+    _bus->busContention.disconnect(_contentionId);
+    _bus = nullptr;
+}
+
+std::uint64_t
+CpiStack::component(CycleClass cls) const
+{
+    return _components[unsigned(cls)].value();
+}
+
+std::uint64_t
+CpiStack::accountedCycles() const
+{
+    return totalTicks() - component(CycleClass::Drain);
+}
+
+std::uint64_t
+CpiStack::totalTicks() const
+{
+    std::uint64_t sum = 0;
+    for (const Counter &c : _components)
+        sum += c.value();
+    return sum;
+}
+
+void
+CpiStack::regStats(StatGroup &stats, const std::string &prefix)
+{
+    static const char *descs[numCycleClasses] = {
+        "cycles an instruction issued",
+        "cycles the frontend had nothing to issue",
+        "cycles issue waited for load data (r7)",
+        "cycles issue blocked on a full architectural queue",
+        "cycles issue blocked on a busy register",
+        "fetch-starve cycles caused by memory-bus contention",
+        "cycles draining queues at/after HALT",
+    };
+    for (unsigned i = 0; i < numCycleClasses; ++i)
+        stats.regCounter(prefix + "." + cycleClassName(CycleClass(i)),
+                         &_components[i], descs[i]);
+}
+
+std::string
+CpiStack::table() const
+{
+    const std::uint64_t total = totalTicks();
+    const double denom = total ? double(total) : 1.0;
+    std::ostringstream os;
+    os << "CPI stack (cycles, % of all simulated ticks):\n";
+    for (unsigned i = 0; i < numCycleClasses; ++i) {
+        const std::uint64_t v = _components[i].value();
+        os << format("  %-16s %12llu  %5.1f%%\n",
+                     cycleClassName(CycleClass(i)),
+                     static_cast<unsigned long long>(v),
+                     100.0 * double(v) / denom);
+    }
+    os << format("  %-16s %12llu\n", "total",
+                 static_cast<unsigned long long>(total));
+    return os.str();
+}
+
+} // namespace pipesim::obs

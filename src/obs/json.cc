@@ -1,0 +1,408 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace pipesim::obs
+{
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::separate()
+{
+    if (_afterKey) {
+        _afterKey = false;
+        return;
+    }
+    if (_stack.empty())
+        return;
+    if (_nonEmpty.back())
+        _os << ',';
+    _nonEmpty.back() = true;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    _os << '{';
+    _stack.push_back(true);
+    _nonEmpty.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    PIPESIM_ASSERT(!_stack.empty() && _stack.back(),
+                   "endObject outside an object");
+    _os << '}';
+    _stack.pop_back();
+    _nonEmpty.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    _os << '[';
+    _stack.push_back(false);
+    _nonEmpty.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    PIPESIM_ASSERT(!_stack.empty() && !_stack.back(),
+                   "endArray outside an array");
+    _os << ']';
+    _stack.pop_back();
+    _nonEmpty.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    PIPESIM_ASSERT(!_stack.empty() && _stack.back(),
+                   "key() outside an object");
+    separate();
+    _os << '"' << jsonEscape(k) << "\":";
+    _afterKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    separate();
+    _os << '"' << jsonEscape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separate();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    _os << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    _os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    separate();
+    _os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    _os << (v ? "true" : "false");
+    return *this;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &k) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    auto it = object.find(k);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a string_view cursor. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : _text(text) {}
+
+    std::optional<JsonValue>
+    document()
+    {
+        auto v = value();
+        if (!v)
+            return std::nullopt;
+        skipWs();
+        if (_pos != _text.size())
+            return std::nullopt; // trailing garbage
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (_pos < _text.size() &&
+               std::isspace(static_cast<unsigned char>(_text[_pos])))
+            ++_pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (_pos < _text.size() && _text[_pos] == c) {
+            ++_pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (_text.substr(_pos, word.size()) != word)
+            return false;
+        _pos += word.size();
+        return true;
+    }
+
+    std::optional<std::string>
+    string()
+    {
+        if (!consume('"'))
+            return std::nullopt;
+        std::string out;
+        while (_pos < _text.size()) {
+            const char c = _text[_pos++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (_pos >= _text.size())
+                    return std::nullopt;
+                const char esc = _text[_pos++];
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (_pos + 4 > _text.size())
+                        return std::nullopt;
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = _text[_pos++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= unsigned(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= unsigned(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= unsigned(h - 'A' + 10);
+                        else
+                            return std::nullopt;
+                    }
+                    // Validation-oriented: keep BMP escapes as a
+                    // replacement byte sequence (UTF-8, unpaired
+                    // surrogates not handled).
+                    if (code < 0x80) {
+                        out += char(code);
+                    } else if (code < 0x800) {
+                        out += char(0xc0 | (code >> 6));
+                        out += char(0x80 | (code & 0x3f));
+                    } else {
+                        out += char(0xe0 | (code >> 12));
+                        out += char(0x80 | ((code >> 6) & 0x3f));
+                        out += char(0x80 | (code & 0x3f));
+                    }
+                    break;
+                  }
+                  default:
+                    return std::nullopt;
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return std::nullopt; // raw control character
+            } else {
+                out += c;
+            }
+        }
+        return std::nullopt; // unterminated
+    }
+
+    std::optional<JsonValue>
+    number()
+    {
+        const std::size_t start = _pos;
+        if (_pos < _text.size() && _text[_pos] == '-')
+            ++_pos;
+        auto digits = [this]() {
+            std::size_t n = 0;
+            while (_pos < _text.size() &&
+                   std::isdigit(static_cast<unsigned char>(_text[_pos]))) {
+                ++_pos;
+                ++n;
+            }
+            return n;
+        };
+        const std::size_t int_start = _pos;
+        if (digits() == 0)
+            return std::nullopt;
+        // RFC 8259: the integer part is "0" or starts with 1-9.
+        if (_text[int_start] == '0' && _pos - int_start > 1)
+            return std::nullopt;
+        if (_pos < _text.size() && _text[_pos] == '.') {
+            ++_pos;
+            if (digits() == 0)
+                return std::nullopt;
+        }
+        if (_pos < _text.size() &&
+            (_text[_pos] == 'e' || _text[_pos] == 'E')) {
+            ++_pos;
+            if (_pos < _text.size() &&
+                (_text[_pos] == '+' || _text[_pos] == '-'))
+                ++_pos;
+            if (digits() == 0)
+                return std::nullopt;
+        }
+        JsonValue v;
+        v.type = JsonValue::Type::Number;
+        v.number = std::strtod(
+            std::string(_text.substr(start, _pos - start)).c_str(),
+            nullptr);
+        return v;
+    }
+
+    std::optional<JsonValue>
+    value()
+    {
+        skipWs();
+        if (_pos >= _text.size())
+            return std::nullopt;
+        const char c = _text[_pos];
+        if (c == '{') {
+            ++_pos;
+            JsonValue v;
+            v.type = JsonValue::Type::Object;
+            skipWs();
+            if (consume('}'))
+                return v;
+            while (true) {
+                skipWs();
+                auto k = string();
+                if (!k || !consume(':'))
+                    return std::nullopt;
+                auto member = value();
+                if (!member)
+                    return std::nullopt;
+                v.object.emplace(std::move(*k), std::move(*member));
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return v;
+                return std::nullopt;
+            }
+        }
+        if (c == '[') {
+            ++_pos;
+            JsonValue v;
+            v.type = JsonValue::Type::Array;
+            skipWs();
+            if (consume(']'))
+                return v;
+            while (true) {
+                auto element = value();
+                if (!element)
+                    return std::nullopt;
+                v.array.push_back(std::move(*element));
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return v;
+                return std::nullopt;
+            }
+        }
+        if (c == '"') {
+            auto s = string();
+            if (!s)
+                return std::nullopt;
+            JsonValue v;
+            v.type = JsonValue::Type::String;
+            v.string = std::move(*s);
+            return v;
+        }
+        if (c == 't') {
+            if (!literal("true"))
+                return std::nullopt;
+            JsonValue v;
+            v.type = JsonValue::Type::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (c == 'f') {
+            if (!literal("false"))
+                return std::nullopt;
+            JsonValue v;
+            v.type = JsonValue::Type::Bool;
+            v.boolean = false;
+            return v;
+        }
+        if (c == 'n') {
+            if (!literal("null"))
+                return std::nullopt;
+            return JsonValue{};
+        }
+        return number();
+    }
+
+    std::string_view _text;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+parseJson(std::string_view text)
+{
+    return Parser(text).document();
+}
+
+} // namespace pipesim::obs

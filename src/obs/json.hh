@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Minimal JSON support for the observability exporters: an escaping
+ * stream writer with automatic comma/nesting management, and a small
+ * recursive-descent parser used by tests (and tools) to validate
+ * exported documents.  Deliberately tiny — no external dependency,
+ * just what machine-readable stats and Chrome trace files need.
+ */
+
+#ifndef PIPESIM_OBS_JSON_HH
+#define PIPESIM_OBS_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pipesim::obs
+{
+
+/** Escape @p s for inclusion in a JSON string literal (no quotes). */
+std::string jsonEscape(std::string_view s);
+
+/**
+ * Streaming JSON writer.  Handles commas and nesting; the caller
+ * supplies structure:
+ *
+ *     JsonWriter w(os);
+ *     w.beginObject();
+ *     w.key("cycles").value(std::uint64_t(42));
+ *     w.key("events").beginArray();
+ *     w.value("a").value(1.5);
+ *     w.endArray();
+ *     w.endObject();
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : _os(os) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Write an object key; must be followed by exactly one value. */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(unsigned v) { return value(std::uint64_t(v)); }
+    JsonWriter &value(int v) { return value(std::int64_t(v)); }
+    JsonWriter &value(bool v);
+
+  private:
+    void separate();
+
+    std::ostream &_os;
+    /** One entry per open container: true = object, false = array. */
+    std::vector<bool> _stack;
+    /** Whether the current container already holds an element. */
+    std::vector<bool> _nonEmpty;
+    bool _afterKey = false;
+};
+
+/** A parsed JSON value (validation-oriented; numbers are doubles). */
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &k) const;
+};
+
+/**
+ * Parse a complete JSON document.  @return nullopt on any syntax
+ * error or trailing garbage.
+ */
+std::optional<JsonValue> parseJson(std::string_view text);
+
+} // namespace pipesim::obs
+
+#endif // PIPESIM_OBS_JSON_HH

@@ -1,0 +1,70 @@
+#include "obs/obs_cli.hh"
+
+#include <fstream>
+
+#include "common/log.hh"
+#include "obs/stats_export.hh"
+
+namespace pipesim::obs
+{
+
+void
+ObsOptions::addOptions(CliParser &cli)
+{
+    cli.addFlag("cpi-stack", "print the CPI-stack cycle breakdown");
+    cli.addOption("trace-json", "",
+                  "write a Chrome trace-event JSON file (Perfetto)");
+    cli.addOption("stats-json", "",
+                  "write run result + all counters as JSON");
+}
+
+ObsOptions
+ObsOptions::fromCli(const CliParser &cli)
+{
+    ObsOptions o;
+    o.cpiStack = cli.getFlag("cpi-stack");
+    o.traceJson = cli.get("trace-json");
+    o.statsJson = cli.get("stats-json");
+    return o;
+}
+
+ObsSession::ObsSession(const ObsOptions &opts, Simulator &sim)
+    : _opts(opts), _sim(sim)
+{
+    if (!_opts.traceJson.empty()) {
+        _trace.emplace();
+        _trace->attach(sim.probes());
+    }
+}
+
+void
+ObsSession::finish(const SimResult &result, const std::string &label,
+                   std::ostream &out)
+{
+    if (_trace) {
+        std::ofstream f(_opts.traceJson);
+        if (!f)
+            fatal("cannot open trace output file '", _opts.traceJson, "'");
+        _trace->write(f);
+        out << "wrote " << _trace->eventCount() << " trace events to "
+            << _opts.traceJson << "\n";
+        _trace->detach();
+    }
+    if (!_opts.statsJson.empty()) {
+        std::ofstream f(_opts.statsJson);
+        if (!f)
+            fatal("cannot open stats output file '", _opts.statsJson, "'");
+        writeStatsJson(f, result, &_sim.stats(), label);
+        out << "wrote stats JSON to " << _opts.statsJson << "\n";
+    }
+    if (_opts.cpiStack) {
+        if (!label.empty())
+            out << "[" << label << "] ";
+        if (const CpiStack *stack = _sim.cpiStack())
+            out << "\n" << stack->table();
+        else
+            out << "CPI stack disabled in this configuration\n";
+    }
+}
+
+} // namespace pipesim::obs

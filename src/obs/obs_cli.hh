@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Command-line wiring for the observability layer, shared by every
+ * CliParser-based tool (examples and benchmark binaries):
+ *
+ *     --cpi-stack           print the CPI-stack cycle breakdown
+ *     --trace-json <file>   write a Chrome trace-event JSON file
+ *     --stats-json <file>   write SimResult + counters as JSON
+ *
+ * An ObsSession binds the requested consumers to one Simulator run:
+ * construct it after the Simulator (listeners attach to the probe
+ * bus), run, then finish() to write files and print the breakdown.
+ */
+
+#ifndef PIPESIM_OBS_OBS_CLI_HH
+#define PIPESIM_OBS_OBS_CLI_HH
+
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "obs/trace_export.hh"
+#include "sim/cli.hh"
+#include "sim/simulator.hh"
+
+namespace pipesim::obs
+{
+
+/** Parsed observability options. */
+struct ObsOptions
+{
+    bool cpiStack = false;
+    std::string traceJson; //!< output path; empty = no trace
+    std::string statsJson; //!< output path; empty = no stats dump
+
+    /** @return true if any output was requested. */
+    bool
+    any() const
+    {
+        return cpiStack || !traceJson.empty() || !statsJson.empty();
+    }
+
+    /** Register the three options on @p cli. */
+    static void addOptions(CliParser &cli);
+
+    /** Read the options back after cli.parse(). */
+    static ObsOptions fromCli(const CliParser &cli);
+};
+
+/** One observed simulator run. */
+class ObsSession
+{
+  public:
+    ObsSession(const ObsOptions &opts, Simulator &sim);
+
+    /**
+     * Write the requested outputs for the finished run.
+     *
+     * @param result The run's result (for the stats dump).
+     * @param label  Run identification included in the stats JSON and
+     *               printed headers.
+     * @param out    Stream for the --cpi-stack breakdown.
+     */
+    void finish(const SimResult &result, const std::string &label = "",
+                std::ostream &out = std::cout);
+
+  private:
+    ObsOptions _opts;
+    Simulator &_sim;
+    std::optional<ChromeTraceWriter> _trace;
+};
+
+} // namespace pipesim::obs
+
+#endif // PIPESIM_OBS_OBS_CLI_HH

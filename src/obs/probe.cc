@@ -1,0 +1,21 @@
+#include "obs/probe.hh"
+
+namespace pipesim::obs
+{
+
+const char *
+cycleClassName(CycleClass cls)
+{
+    switch (cls) {
+      case CycleClass::Issue: return "issue";
+      case CycleClass::FetchStarve: return "fetch_starve";
+      case CycleClass::LoadDataWait: return "load_data_wait";
+      case CycleClass::QueueFull: return "queue_full";
+      case CycleClass::RegBusy: return "reg_busy";
+      case CycleClass::BusContention: return "bus_contention";
+      case CycleClass::Drain: return "drain";
+    }
+    return "unknown";
+}
+
+} // namespace pipesim::obs

@@ -1,0 +1,36 @@
+#include "obs/stats_export.hh"
+
+#include "obs/json.hh"
+
+namespace pipesim::obs
+{
+
+void
+writeStatsJson(std::ostream &os, const SimResult &result,
+               const StatGroup *stats, const std::string &label)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    if (!label.empty())
+        w.key("label").value(label);
+    w.key("totalCycles").value(std::uint64_t(result.totalCycles));
+    w.key("instructions").value(result.instructions);
+    w.key("cpi").value(result.cpi());
+
+    w.key("counters").beginObject();
+    for (const auto &[name, value] : result.counters)
+        w.key(name).value(value);
+    w.endObject();
+
+    if (stats) {
+        w.key("formulas").beginObject();
+        for (const auto &name : stats->formulaNames())
+            w.key(name).value(stats->formulaValue(name));
+        w.endObject();
+    }
+
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace pipesim::obs

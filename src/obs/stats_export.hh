@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Machine-readable statistics export: serialises a finished run
+ * (SimResult + the simulator's StatGroup) as one JSON document, so
+ * figures and regression checks can consume results without scraping
+ * text tables.  Every registered counter is emitted — a misspelled
+ * counter name in downstream tooling shows up as a missing key
+ * instead of a silent zero.
+ */
+
+#ifndef PIPESIM_OBS_STATS_EXPORT_HH
+#define PIPESIM_OBS_STATS_EXPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "common/stats.hh"
+#include "sim/simulator.hh"
+
+namespace pipesim::obs
+{
+
+/**
+ * Write @p result as JSON:
+ *
+ *     {
+ *       "label": "...",
+ *       "totalCycles": N, "instructions": N, "cpi": x,
+ *       "counters": { "cpu.retired": N, ... },
+ *       "formulas": { "fetch.icache.miss_ratio": x, ... }
+ *     }
+ *
+ * @param stats Optional; adds the "formulas" section when given (the
+ *        counters all live in @p result already).
+ * @param label Free-form run identification (tool/config name).
+ */
+void writeStatsJson(std::ostream &os, const SimResult &result,
+                    const StatGroup *stats = nullptr,
+                    const std::string &label = "");
+
+} // namespace pipesim::obs
+
+#endif // PIPESIM_OBS_STATS_EXPORT_HH

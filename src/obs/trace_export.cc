@@ -1,0 +1,249 @@
+#include "obs/trace_export.hh"
+
+#include "isa/opcodes.hh"
+#include "obs/json.hh"
+
+namespace pipesim::obs
+{
+
+namespace
+{
+
+constexpr std::uint8_t tidPipeline = 1;
+constexpr std::uint8_t tidFetch = 2;
+constexpr std::uint8_t tidMembus = 3;
+constexpr std::uint8_t tidQueues = 4;
+
+const char *
+reqClassName(ReqClass cls)
+{
+    switch (cls) {
+      case ReqClass::Data: return "data";
+      case ReqClass::IFetchDemand: return "ifetch_demand";
+      case ReqClass::IPrefetch: return "iprefetch";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(bool record_retires)
+    : _recordRetires(record_retires)
+{
+}
+
+ChromeTraceWriter::~ChromeTraceWriter()
+{
+    detach();
+}
+
+void
+ChromeTraceWriter::flushSpan(Cycle end)
+{
+    if (!_runOpen)
+        return;
+    _runOpen = false;
+    Event e;
+    e.kind = Kind::Span;
+    e.tid = tidPipeline;
+    e.ts = _runStart;
+    e.dur = end - _runStart;
+    e.name = cycleClassName(_runClass);
+    _events.push_back(std::move(e));
+}
+
+void
+ChromeTraceWriter::attach(ProbeBus &bus)
+{
+    detach();
+    _bus = &bus;
+
+    _cycleId = bus.cycleClass.connect([this](const CycleClassEvent &ev) {
+        if (_runOpen && ev.cls == _runClass) {
+            _lastCycle = ev.cycle;
+            return;
+        }
+        flushSpan(ev.cycle);
+        _runOpen = true;
+        _runClass = ev.cls;
+        _runStart = ev.cycle;
+        _lastCycle = ev.cycle;
+    });
+
+    if (_recordRetires) {
+        _retireId = bus.retire.connect([this](const RetireEvent &ev) {
+            Event e;
+            e.kind = Kind::Instant;
+            e.tid = tidPipeline;
+            e.ts = ev.cycle;
+            e.name = nullptr;
+            e.label = std::string(isa::mnemonic(ev.inst.inst.op));
+            e.arg0 = ev.inst.pc;
+            _events.push_back(std::move(e));
+        });
+    }
+
+    _icacheId = bus.icacheAccess.connect([this](const CacheEvent &ev) {
+        Event e;
+        e.kind = Kind::Instant;
+        e.tid = tidFetch;
+        e.ts = ev.cycle;
+        e.name = ev.hit ? "icache_hit" : "icache_miss";
+        e.arg0 = ev.addr;
+        _events.push_back(std::move(e));
+    });
+
+    _reqId = bus.fetchRequest.connect([this](const FetchEvent &ev) {
+        Event e;
+        e.kind = Kind::Instant;
+        e.tid = tidFetch;
+        e.ts = ev.cycle;
+        e.name = ev.demand ? "line_req_demand" : "line_req_prefetch";
+        e.arg0 = ev.addr;
+        _events.push_back(std::move(e));
+    });
+
+    _fillId = bus.fetchFill.connect([this](const FetchEvent &ev) {
+        Event e;
+        e.kind = Kind::Instant;
+        e.tid = tidFetch;
+        e.ts = ev.cycle;
+        e.name = "line_fill";
+        e.arg0 = ev.addr;
+        _events.push_back(std::move(e));
+    });
+
+    _grantId = bus.busGrant.connect([this](const BusGrantEvent &ev) {
+        Event e;
+        e.kind = Kind::Instant;
+        e.tid = tidMembus;
+        e.ts = ev.cycle;
+        e.name = reqClassName(ev.cls);
+        e.arg0 = ev.addr;
+        _events.push_back(std::move(e));
+    });
+
+    _contentionId =
+        bus.busContention.connect([this](const BusContentionEvent &ev) {
+            Event e;
+            e.kind = Kind::Instant;
+            e.tid = tidMembus;
+            e.ts = ev.cycle;
+            e.name = "contention";
+            e.arg0 = std::uint64_t(ev.cls);
+            _events.push_back(std::move(e));
+        });
+
+    _queueId = bus.queueSample.connect([this](const QueueSampleEvent &ev) {
+        if (ev.ldq == _lastLdq && ev.sdq == _lastSdq)
+            return;
+        _lastLdq = ev.ldq;
+        _lastSdq = ev.sdq;
+        Event e;
+        e.kind = Kind::Counter;
+        e.tid = tidQueues;
+        e.ts = ev.cycle;
+        e.name = "queue_occupancy";
+        e.arg0 = ev.ldq;
+        e.arg1 = ev.sdq;
+        _events.push_back(std::move(e));
+    });
+}
+
+void
+ChromeTraceWriter::detach()
+{
+    if (!_bus)
+        return;
+    _bus->cycleClass.disconnect(_cycleId);
+    if (_recordRetires)
+        _bus->retire.disconnect(_retireId);
+    _bus->icacheAccess.disconnect(_icacheId);
+    _bus->fetchRequest.disconnect(_reqId);
+    _bus->fetchFill.disconnect(_fillId);
+    _bus->busGrant.disconnect(_grantId);
+    _bus->busContention.disconnect(_contentionId);
+    _bus->queueSample.disconnect(_queueId);
+    _bus = nullptr;
+}
+
+void
+ChromeTraceWriter::write(std::ostream &os) const
+{
+    // Close the open cycle-class run without mutating state, so
+    // write() can be called on a finished (or in-progress) trace.
+    std::vector<Event> tail;
+    if (_runOpen) {
+        Event e;
+        e.kind = Kind::Span;
+        e.tid = tidPipeline;
+        e.ts = _runStart;
+        e.dur = _lastCycle - _runStart + 1;
+        e.name = cycleClassName(_runClass);
+        tail.push_back(std::move(e));
+    }
+
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("displayTimeUnit").value("ns");
+    w.key("traceEvents").beginArray();
+
+    const auto meta = [&w](std::uint8_t tid, const char *name) {
+        w.beginObject();
+        w.key("name").value("thread_name");
+        w.key("ph").value("M");
+        w.key("ts").value(std::uint64_t(0));
+        w.key("pid").value(std::uint64_t(0));
+        w.key("tid").value(std::uint64_t(tid));
+        w.key("args").beginObject().key("name").value(name).endObject();
+        w.endObject();
+    };
+    w.beginObject();
+    w.key("name").value("process_name");
+    w.key("ph").value("M");
+    w.key("ts").value(std::uint64_t(0));
+    w.key("pid").value(std::uint64_t(0));
+    w.key("args").beginObject().key("name").value("pipesim").endObject();
+    w.endObject();
+    meta(tidPipeline, "pipeline");
+    meta(tidFetch, "fetch");
+    meta(tidMembus, "membus");
+    meta(tidQueues, "queues");
+
+    const auto emit = [&w](const Event &e) {
+        w.beginObject();
+        w.key("name").value(e.label.empty() ? std::string_view(e.name)
+                                            : std::string_view(e.label));
+        w.key("ts").value(std::uint64_t(e.ts));
+        w.key("pid").value(std::uint64_t(0));
+        w.key("tid").value(std::uint64_t(e.tid));
+        switch (e.kind) {
+          case Kind::Span:
+            w.key("ph").value("X");
+            w.key("dur").value(std::uint64_t(e.dur));
+            break;
+          case Kind::Instant:
+            w.key("ph").value("i");
+            w.key("s").value("t");
+            w.key("args").beginObject().key("addr").value(e.arg0)
+                .endObject();
+            break;
+          case Kind::Counter:
+            w.key("ph").value("C");
+            w.key("args").beginObject().key("ldq").value(e.arg0)
+                .key("sdq").value(e.arg1).endObject();
+            break;
+        }
+        w.endObject();
+    };
+    for (const Event &e : _events)
+        emit(e);
+    for (const Event &e : tail)
+        emit(e);
+
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace pipesim::obs

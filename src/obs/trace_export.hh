@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Chrome trace-event exporter: a ProbeBus listener that records the
+ * run as Trace Event Format JSON, loadable in Perfetto
+ * (https://ui.perfetto.dev) or chrome://tracing.
+ *
+ * Track layout (one trace "thread" per unit):
+ *   tid 1  pipeline  — one span per run of identically-classified
+ *                      cycles (issue / fetch_starve / ...), plus one
+ *                      instant per retired instruction (mnemonic)
+ *   tid 2  fetch     — icache hit/miss instants, line request/fill
+ *   tid 3  membus    — output-bus grants and contention instants
+ *   tid 4  queues    — LDQ/SDQ occupancy counter track
+ *
+ * Timestamps are simulated cycles, exported as microseconds (1 cycle
+ * = 1 us) so viewers render a sensible time axis.
+ */
+
+#ifndef PIPESIM_OBS_TRACE_EXPORT_HH
+#define PIPESIM_OBS_TRACE_EXPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/probe.hh"
+
+namespace pipesim::obs
+{
+
+class ChromeTraceWriter
+{
+  public:
+    /** @param record_retires Emit one instant per retired
+     *         instruction (disable for very long runs). */
+    explicit ChromeTraceWriter(bool record_retires = true);
+    ~ChromeTraceWriter();
+
+    ChromeTraceWriter(const ChromeTraceWriter &) = delete;
+    ChromeTraceWriter &operator=(const ChromeTraceWriter &) = delete;
+
+    /** Connect to @p bus; the bus must outlive this object. */
+    void attach(ProbeBus &bus);
+
+    /** Disconnect from the bus (idempotent). */
+    void detach();
+
+    /** Number of events recorded so far (excluding metadata). */
+    std::size_t eventCount() const { return _events.size(); }
+
+    /** Serialise the complete trace document. */
+    void write(std::ostream &os) const;
+
+  private:
+    enum class Kind : std::uint8_t
+    {
+        Span,    //!< "X": name + ts + dur
+        Instant, //!< "i": name + ts
+        Counter, //!< "C": queue occupancies at ts
+    };
+
+    struct Event
+    {
+        Kind kind;
+        std::uint8_t tid;
+        Cycle ts;
+        Cycle dur;               //!< spans only
+        const char *name;        //!< static string (class/track names)
+        std::string label;       //!< overrides name when non-empty
+        std::uint64_t arg0 = 0;  //!< pc / addr / ldq occupancy
+        std::uint64_t arg1 = 0;  //!< sdq occupancy (counters)
+    };
+
+    void flushSpan(Cycle end);
+
+    bool _recordRetires;
+    std::vector<Event> _events;
+
+    // Current pipeline cycle-class run, coalesced into one span.
+    bool _runOpen = false;
+    CycleClass _runClass = CycleClass::Issue;
+    Cycle _runStart = 0;
+    Cycle _lastCycle = 0;
+
+    // Last queue occupancies, to emit counter samples only on change.
+    std::uint64_t _lastLdq = ~0ull;
+    std::uint64_t _lastSdq = ~0ull;
+
+    ProbeBus *_bus = nullptr;
+    ProbePoint<CycleClassEvent>::ListenerId _cycleId = 0;
+    ProbePoint<RetireEvent>::ListenerId _retireId = 0;
+    ProbePoint<CacheEvent>::ListenerId _icacheId = 0;
+    ProbePoint<FetchEvent>::ListenerId _reqId = 0;
+    ProbePoint<FetchEvent>::ListenerId _fillId = 0;
+    ProbePoint<BusGrantEvent>::ListenerId _grantId = 0;
+    ProbePoint<BusContentionEvent>::ListenerId _contentionId = 0;
+    ProbePoint<QueueSampleEvent>::ListenerId _queueId = 0;
+};
+
+} // namespace pipesim::obs
+
+#endif // PIPESIM_OBS_TRACE_EXPORT_HH

@@ -93,10 +93,19 @@ CliParser::getInt(const std::string &name) const
 double
 CliParser::getDouble(const std::string &name) const
 {
+    // std::stod alone accepts trailing garbage ("1.5x" -> 1.5); check
+    // that the whole value was consumed.
+    const std::string v = get(name);
     try {
-        return std::stod(get(name));
+        std::size_t pos = 0;
+        const double d = std::stod(v, &pos);
+        if (pos != v.size())
+            fatal("option --", name, ": '", v, "' is not a number");
+        return d;
+    } catch (const FatalError &) {
+        throw;
     } catch (const std::exception &) {
-        fatal("option --", name, ": '", get(name), "' is not a number");
+        fatal("option --", name, ": '", v, "' is not a number");
     }
 }
 

@@ -25,6 +25,14 @@ struct SimConfig
     MemSystemConfig mem;
     PipelineConfig cpu;
 
+    /**
+     * Attach the CPI-stack cycle accountant (obs::CpiStack) to the
+     * run, registering the per-cause cycle breakdown as "cpi_stack.*"
+     * counters.  On by default so every tool reports it; turn off to
+     * measure the raw, listener-free simulation rate.
+     */
+    bool cpiStack = true;
+
     /** Hard cycle limit (a run exceeding it is a simulator error). */
     Cycle maxCycles = 1'000'000'000;
 

@@ -51,7 +51,12 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
                 continue;
             }
             const SimConfig cfg = makeSweepConfig(spec, strategy, size);
-            const SimResult result = runSimulation(cfg, program);
+            Simulator sim(cfg, program);
+            if (spec.preRun)
+                spec.preRun(sim, strategy, size);
+            const SimResult result = sim.run();
+            if (spec.postRun)
+                spec.postRun(sim, strategy, size, result);
             table.cell(std::uint64_t(result.totalCycles));
             if (on_point)
                 on_point(strategy, size, result);

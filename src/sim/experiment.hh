@@ -47,6 +47,23 @@ struct SweepSpec
 
     /** Processor-side parameters. */
     PipelineConfig cpu;
+
+    /**
+     * Called with the freshly built Simulator before a point runs --
+     * the place to attach probe-bus listeners (trace exporters, extra
+     * accounting) for that point.
+     */
+    std::function<void(Simulator &sim, const std::string &strategy,
+                       unsigned cache_bytes)>
+        preRun;
+
+    /**
+     * Called after a point finishes, while its Simulator is still
+     * alive -- the place to detach listeners and write outputs.
+     */
+    std::function<void(Simulator &sim, const std::string &strategy,
+                       unsigned cache_bytes, const SimResult &result)>
+        postRun;
 };
 
 /** Build the SimConfig for one (strategy, cache size) point. */

@@ -14,6 +14,12 @@ SimResult::counter(const std::string &name) const
     return it == counters.end() ? 0 : it->second;
 }
 
+bool
+SimResult::hasCounter(const std::string &name) const
+{
+    return counters.count(name) != 0;
+}
+
 Simulator::Simulator(const SimConfig &config, const Program &program)
     : _config(config), _program(program)
 {
@@ -37,9 +43,19 @@ Simulator::Simulator(const SimConfig &config, const Program &program)
 
     _pipeline = std::make_unique<Pipeline>(config.cpu, *_fetch, *_mem);
 
+    _pipeline->setProbes(&_probes);
+    _fetch->setProbes(&_probes);
+    _mem->setProbes(&_probes);
+
     _pipeline->regStats(_stats, "cpu");
     _fetch->regStats(_stats, "fetch");
     _mem->regStats(_stats, "mem");
+
+    if (config.cpiStack) {
+        _cpiStack = std::make_unique<obs::CpiStack>();
+        _cpiStack->attach(_probes);
+        _cpiStack->regStats(_stats, "cpi_stack");
+    }
 }
 
 void

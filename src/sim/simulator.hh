@@ -22,6 +22,8 @@
 #include "cpu/pipeline.hh"
 #include "mem/data_memory.hh"
 #include "mem/memory_system.hh"
+#include "obs/cpi_stack.hh"
+#include "obs/probe.hh"
 #include "sim/config.hh"
 
 namespace pipesim
@@ -44,6 +46,9 @@ struct SimResult
 
     /** A counter by name, or 0 when absent. */
     std::uint64_t counter(const std::string &name) const;
+
+    /** @return true if a counter named @p name was recorded. */
+    bool hasCounter(const std::string &name) const;
 };
 
 class Simulator
@@ -69,6 +74,12 @@ class Simulator
     StatGroup &stats() { return _stats; }
     const SimConfig &config() const { return _config; }
 
+    /** The machine's probe bus (attach observability listeners here). */
+    obs::ProbeBus &probes() { return _probes; }
+
+    /** The CPI-stack accountant, or nullptr when disabled. */
+    const obs::CpiStack *cpiStack() const { return _cpiStack.get(); }
+
     /** Snapshot the result of a finished (or in-progress) run. */
     SimResult result() const;
 
@@ -76,9 +87,11 @@ class Simulator
     SimConfig _config;
     const Program &_program;
     DataMemory _dataMem;
+    obs::ProbeBus _probes;
     std::unique_ptr<MemorySystem> _mem;
     std::unique_ptr<FetchUnit> _fetch;
     std::unique_ptr<Pipeline> _pipeline;
+    std::unique_ptr<obs::CpiStack> _cpiStack;
     StatGroup _stats;
 
     Cycle _now = 0;

@@ -12,52 +12,58 @@ PipeViewer::run(Simulator &sim, Cycle max_cycles)
 {
     _samples.clear();
 
-    StatGroup &st = sim.stats();
-    auto queue_stalls = [&st]() {
-        return st.counterValue("cpu.stall_sdq_full") +
-               st.counterValue("cpu.stall_laq_full") +
-               st.counterValue("cpu.stall_saq_full") +
-               st.counterValue("cpu.stall_ldq_reserved");
-    };
-    std::uint64_t retired = sim.pipeline().instructionsRetired();
-    std::uint64_t starve = st.counterValue("cpu.fetch_starve_cycles");
-    std::uint64_t ldq_stall = st.counterValue("cpu.stall_ldq_empty");
-    std::uint64_t q_stall = queue_stalls();
+    obs::ProbeBus &bus = sim.probes();
 
-    while (!sim.done() && sim.now() < max_cycles) {
+    // The pipeline emits queueSample, then (maybe) retire, then the
+    // tick's cycleClass; the last listener folds the cycle's state
+    // into one Sample.
+    bool retired = false;
+    std::uint8_t ldq = 0;
+    std::uint8_t sdq = 0;
+    const auto qid = bus.queueSample.connect(
+        [&](const obs::QueueSampleEvent &ev) {
+            ldq = ev.ldq;
+            sdq = ev.sdq;
+        });
+    const auto rid = bus.retire.connect(
+        [&](const obs::RetireEvent &) { retired = true; });
+    const auto cid = bus.cycleClass.connect(
+        [&](const obs::CycleClassEvent &ev) {
+            Sample s;
+            s.cycle = ev.cycle;
+            s.issued = retired;
+            retired = false;
+            if (s.issued) {
+                s.cause = 'I';
+            } else {
+                switch (ev.cls) {
+                  case obs::CycleClass::FetchStarve:
+                  case obs::CycleClass::BusContention:
+                    s.cause = 'f';
+                    break;
+                  case obs::CycleClass::LoadDataWait:
+                    s.cause = 'd';
+                    break;
+                  case obs::CycleClass::QueueFull:
+                    s.cause = 'q';
+                    break;
+                  default:
+                    s.cause = '.';
+                    break;
+                }
+            }
+            s.ldqOcc = ldq;
+            s.sdqOcc = sdq;
+            s.memBusy = !sim.memorySystem().quiescent();
+            _samples.push_back(s);
+        });
+
+    while (!sim.done() && sim.now() < max_cycles)
         sim.step();
 
-        Sample s;
-        s.cycle = sim.now() - 1;
-        const std::uint64_t retired_now =
-            sim.pipeline().instructionsRetired();
-        s.issued = retired_now != retired;
-        retired = retired_now;
-
-        const std::uint64_t starve_now =
-            st.counterValue("cpu.fetch_starve_cycles");
-        const std::uint64_t ldq_now =
-            st.counterValue("cpu.stall_ldq_empty");
-        const std::uint64_t q_now = queue_stalls();
-        if (s.issued)
-            s.cause = 'I';
-        else if (starve_now != starve)
-            s.cause = 'f';
-        else if (ldq_now != ldq_stall)
-            s.cause = 'd';
-        else if (q_now != q_stall)
-            s.cause = 'q';
-        else
-            s.cause = '.';
-        starve = starve_now;
-        ldq_stall = ldq_now;
-        q_stall = q_now;
-
-        s.ldqOcc = sim.pipeline().queues().ldq().size();
-        s.sdqOcc = sim.pipeline().queues().sdq().size();
-        s.memBusy = !sim.memorySystem().quiescent();
-        _samples.push_back(s);
-    }
+    bus.cycleClass.disconnect(cid);
+    bus.retire.disconnect(rid);
+    bus.queueSample.disconnect(qid);
 }
 
 std::string

@@ -12,23 +12,44 @@ InstructionTracer::InstructionTracer(std::ostream &out) : _out(out)
 }
 
 void
-InstructionTracer::attach(Pipeline &pipeline)
+InstructionTracer::attach(obs::ProbeBus &bus)
 {
-    pipeline.setRetireHook(
-        [this](const isa::FetchedInst &fi, Cycle now) {
-            _out << std::setw(10) << now << "  " << std::setw(6)
-                 << fi.pc << "  " << isa::disassemble(fi.inst) << "\n";
-            ++_lines;
-        });
+    detach();
+    _bus = &bus;
+    _id = bus.retire.connect([this](const obs::RetireEvent &ev) {
+        _out << std::setw(10) << ev.cycle << "  " << std::setw(6)
+             << ev.inst.pc << "  " << isa::disassemble(ev.inst.inst)
+             << "\n";
+        ++_lines;
+    });
 }
 
 void
-RetireRecorder::attach(Pipeline &pipeline)
+InstructionTracer::detach()
 {
-    pipeline.setRetireHook(
-        [this](const isa::FetchedInst &fi, Cycle now) {
-            _records.push_back(Record{fi.pc, now, fi.inst.op});
-        });
+    if (!_bus)
+        return;
+    _bus->retire.disconnect(_id);
+    _bus = nullptr;
+}
+
+void
+RetireRecorder::attach(obs::ProbeBus &bus)
+{
+    detach();
+    _bus = &bus;
+    _id = bus.retire.connect([this](const obs::RetireEvent &ev) {
+        _records.push_back(Record{ev.inst.pc, ev.cycle, ev.inst.inst.op});
+    });
+}
+
+void
+RetireRecorder::detach()
+{
+    if (!_bus)
+        return;
+    _bus->retire.disconnect(_id);
+    _bus = nullptr;
 }
 
 } // namespace pipesim

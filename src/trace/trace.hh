@@ -1,8 +1,9 @@
 /**
  * @file
  * Execution tracing: a retiring-instruction trace (cycle, pc,
- * disassembly, key machine state) for debugging and for tests that
- * assert on dynamic behaviour.
+ * disassembly) for debugging and for tests that assert on dynamic
+ * behaviour.  Both tracers are ProbeBus listeners on the pipeline's
+ * retire probe; attach them to a Simulator's probes() before running.
  */
 
 #ifndef PIPESIM_TRACE_TRACE_HH
@@ -12,8 +13,8 @@
 #include <vector>
 
 #include "common/types.hh"
-#include "cpu/pipeline.hh"
 #include "isa/instruction.hh"
+#include "obs/probe.hh"
 
 namespace pipesim
 {
@@ -23,21 +24,31 @@ namespace pipesim
  *
  *     <cycle> <pc> <disassembly>
  *
- * Attach before running; the tracer must outlive the pipeline run.
+ * Attach before running; detach (or destroy the tracer) before the
+ * probe bus dies.
  */
 class InstructionTracer
 {
   public:
     explicit InstructionTracer(std::ostream &out);
+    ~InstructionTracer() { detach(); }
 
-    /** Install this tracer as the pipeline's retire hook. */
-    void attach(Pipeline &pipeline);
+    InstructionTracer(const InstructionTracer &) = delete;
+    InstructionTracer &operator=(const InstructionTracer &) = delete;
+
+    /** Listen on @p bus's retire probe. */
+    void attach(obs::ProbeBus &bus);
+
+    /** Stop listening (idempotent). */
+    void detach();
 
     std::uint64_t lines() const { return _lines; }
 
   private:
     std::ostream &_out;
     std::uint64_t _lines = 0;
+    obs::ProbeBus *_bus = nullptr;
+    obs::ProbePoint<obs::RetireEvent>::ListenerId _id = 0;
 };
 
 /**
@@ -54,12 +65,24 @@ class RetireRecorder
         isa::Opcode op;
     };
 
-    void attach(Pipeline &pipeline);
+    RetireRecorder() = default;
+    ~RetireRecorder() { detach(); }
+
+    RetireRecorder(const RetireRecorder &) = delete;
+    RetireRecorder &operator=(const RetireRecorder &) = delete;
+
+    /** Listen on @p bus's retire probe. */
+    void attach(obs::ProbeBus &bus);
+
+    /** Stop listening (idempotent). */
+    void detach();
 
     const std::vector<Record> &records() const { return _records; }
 
   private:
     std::vector<Record> _records;
+    obs::ProbeBus *_bus = nullptr;
+    obs::ProbePoint<obs::RetireEvent>::ListenerId _id = 0;
 };
 
 } // namespace pipesim

@@ -96,6 +96,23 @@ TEST(CliTest, BadNumbersAreFatal)
     EXPECT_THROW(cli.getDouble("n"), FatalError);
 }
 
+TEST(CliTest, TrailingGarbageInDoubleIsFatal)
+{
+    // std::stod would silently parse "1.5x" as 1.5; getDouble must
+    // reject any value that is not entirely a number.
+    for (const char *bad : {"1.5x", "2.0 3.0", "0.5,", "1e", "."}) {
+        CliParser cli("t");
+        cli.addOption("scale", "1.0", "");
+        ASSERT_TRUE(parseArgs(cli, {"--scale", bad})) << bad;
+        EXPECT_THROW(cli.getDouble("scale"), FatalError) << bad;
+    }
+    // Clean forms still parse, including exponent/sign syntax.
+    CliParser cli("t");
+    cli.addOption("scale", "1.0", "");
+    ASSERT_TRUE(parseArgs(cli, {"--scale", "-2.5e-1"}));
+    EXPECT_DOUBLE_EQ(cli.getDouble("scale"), -0.25);
+}
+
 TEST(CliTest, FlagWithValueIsFatal)
 {
     CliParser cli("t");

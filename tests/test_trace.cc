@@ -28,7 +28,7 @@ TEST(TraceTest, InstructionTracerEmitsOneLinePerRetire)
     Simulator sim(cfg, p);
     std::ostringstream out;
     InstructionTracer tracer(out);
-    tracer.attach(sim.pipeline());
+    tracer.attach(sim.probes());
     sim.run();
     EXPECT_EQ(tracer.lines(), 3u);
     const std::string text = out.str();
@@ -43,7 +43,7 @@ TEST(TraceTest, RetireRecorderCapturesPcsInOrder)
     SimConfig cfg;
     Simulator sim(cfg, p);
     RetireRecorder rec;
-    rec.attach(sim.pipeline());
+    rec.attach(sim.probes());
     sim.run();
     ASSERT_EQ(rec.records().size(), 3u);
     EXPECT_EQ(rec.records()[0].pc, 0u);
@@ -64,7 +64,7 @@ TEST(TraceTest, BackToBackIssueNearOneCyclePer)
     cfg.fetch = pipeConfigFor("16-16", 128);
     Simulator sim(cfg, p);
     RetireRecorder rec;
-    rec.attach(sim.pipeline());
+    rec.attach(sim.probes());
     sim.run();
     const auto &r = rec.records();
     ASSERT_EQ(r.size(), 5u);
