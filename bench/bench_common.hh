@@ -5,6 +5,8 @@
  * Every bench accepts:
  *     --scale <f>   workload scale (1.0 = the paper's ~150k insts)
  *     --csv         CSV output instead of aligned text
+ *     --jobs <n>    sweep worker threads (0 = PIPESIM_JOBS env or
+ *                   hardware concurrency; 1 = serial)
  * plus the shared observability options (--cpi-stack, --trace-json,
  * --stats-json; see obs/obs_cli.hh) together with
  *     --obs-point <strategy:cachebytes>
@@ -19,6 +21,7 @@
 #include <iostream>
 #include <memory>
 
+#include "common/log.hh"
 #include "obs/obs_cli.hh"
 #include "sim/cli.hh"
 #include "sim/experiment.hh"
@@ -32,6 +35,7 @@ struct BenchSetup
     workloads::Benchmark benchmark;
     bool csv = false;
     double scale = 1.0;
+    unsigned jobs = 0; //!< sweep workers (0 = env/hardware default)
     obs::ObsOptions obs;
     std::string obsPoint; //!< "strategy:cachebytes" the outputs observe
 };
@@ -46,6 +50,9 @@ setup(int argc, char **argv, const std::string &description,
     CliParser &cli = extra ? *extra : own;
     cli.addOption("scale", "1.0", "workload scale (1.0 = paper size)");
     cli.addFlag("csv", "CSV output");
+    cli.addOption("jobs", "0",
+                  "parallel sweep workers (0 = PIPESIM_JOBS env or "
+                  "hardware concurrency, 1 = serial)");
     obs::ObsOptions::addOptions(cli);
     cli.addOption("obs-point", "16-16:128",
                   "sweep point (strategy:cachebytes) the observability "
@@ -56,6 +63,10 @@ setup(int argc, char **argv, const std::string &description,
     BenchSetup s;
     s.scale = cli.getDouble("scale");
     s.csv = cli.getFlag("csv");
+    const std::int64_t jobs = cli.getInt("jobs");
+    if (jobs < 0)
+        fatal("--jobs must be >= 0, got ", jobs);
+    s.jobs = unsigned(jobs);
     s.obs = obs::ObsOptions::fromCli(cli);
     s.obsPoint = cli.get("obs-point");
     s.benchmark = workloads::buildLivermoreBenchmark(s.scale);
@@ -67,6 +78,10 @@ setup(int argc, char **argv, const std::string &description,
  * the point named by --obs-point, the requested outputs (trace JSON,
  * stats JSON, CPI-stack breakdown) are produced for that run.  A
  * no-op when no observability output was requested.
+ *
+ * If the named point never runs (typo'd strategy, a size outside the
+ * sweep, or a degenerate point that renders "-"), a warning is
+ * emitted after the sweep instead of silently producing nothing.
  */
 inline void
 installObs(SweepSpec &spec, const BenchSetup &s)
@@ -76,6 +91,7 @@ installObs(SweepSpec &spec, const BenchSetup &s)
     const obs::ObsOptions opts = s.obs;
     const std::string point = s.obsPoint;
     auto session = std::make_shared<std::optional<obs::ObsSession>>();
+    auto produced = std::make_shared<bool>(false);
     auto matches = [point](const std::string &strategy, unsigned cache) {
         return strategy + ":" + std::to_string(cache) == point;
     };
@@ -85,16 +101,37 @@ installObs(SweepSpec &spec, const BenchSetup &s)
         if (matches(strategy, cache))
             session->emplace(opts, sim);
     };
-    spec.postRun = [session, matches](Simulator &sim [[maybe_unused]],
-                                      const std::string &strategy,
-                                      unsigned cache,
-                                      const SimResult &result) {
+    spec.postRun = [session, matches, produced](
+                       Simulator &sim [[maybe_unused]],
+                       const std::string &strategy, unsigned cache,
+                       const SimResult &result) {
         if (!matches(strategy, cache) || !session->has_value())
             return;
         (*session)->finish(result,
                            strategy + ":" + std::to_string(cache));
         session->reset();
+        *produced = true;
     };
+    spec.onSweepEnd = [produced, point, prev = spec.onSweepEnd]() {
+        if (prev)
+            prev();
+        if (!*produced)
+            warn("--obs-point " + point +
+                 " matched no sweep point that ran; the requested "
+                 "observability outputs were not produced (check the "
+                 "strategy name and cache size against the sweep)");
+    };
+}
+
+/**
+ * Apply the shared sweep options to @p spec: the --jobs worker count
+ * and the observability hooks (installObs()).
+ */
+inline void
+applySweepOptions(SweepSpec &spec, const BenchSetup &s)
+{
+    spec.jobs = s.jobs;
+    installObs(spec, s);
 }
 
 /** The paper's evaluation sweeps caches from tiny to comfortably

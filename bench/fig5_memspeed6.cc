@@ -32,7 +32,7 @@ main(int argc, char **argv)
         spec.mem.accessTime = 6;
         spec.mem.busWidthBytes = bus;
         spec.mem.pipelined = false;
-        bench::installObs(spec, *s);
+        bench::applySweepOptions(spec, *s);
         const Table table = runCacheSweep(spec, s->benchmark.program);
         bench::printPanel(*s,
                           std::string("Figure 5") +

@@ -30,7 +30,7 @@ main(int argc, char **argv)
         spec.mem.accessTime = 6;
         spec.mem.busWidthBytes = 8;
         spec.mem.pipelined = pipelined;
-        bench::installObs(spec, *s);
+        bench::applySweepOptions(spec, *s);
         const Table table = runCacheSweep(spec, s->benchmark.program);
         bench::printPanel(*s,
                           std::string("Figure 6") +

@@ -18,6 +18,7 @@
 
 #include "assembler/assembler.hh"
 #include "obs/trace_export.hh"
+#include "sim/experiment.hh"
 #include "sim/simulator.hh"
 #include "workloads/benchmark_program.hh"
 
@@ -108,6 +109,46 @@ BM_SimulatePipeTraced(benchmark::State &state)
         double(events) / double(state.iterations());
 }
 BENCHMARK(BM_SimulatePipeTraced)->Arg(1)->Arg(6);
+
+const workloads::Benchmark &
+paperBench()
+{
+    static const auto b = workloads::buildLivermoreBenchmark(1.0);
+    return b;
+}
+
+/**
+ * Sweep throughput: one full figure-style sweep (7 sizes x 5
+ * strategies, paper-scale Livermore workload) per iteration, with the
+ * worker count as the argument.  Arg(1) is the serial baseline; the
+ * serial-vs-parallel ratio is the wall-clock speedup recorded in
+ * results/simspeed_parallel.md.
+ */
+void
+BM_SweepThroughput(benchmark::State &state)
+{
+    SweepSpec spec;
+    spec.jobs = unsigned(state.range(0));
+    spec.mem.accessTime = 6;
+    spec.mem.busWidthBytes = 8;
+    unsigned valid = 0;
+    for (const auto &strategy : spec.strategies)
+        for (unsigned size : spec.cacheSizes)
+            valid += sweepPointValid(spec, strategy, size) ? 1 : 0;
+    for (auto _ : state) {
+        const Table t = runCacheSweep(spec, paperBench().program);
+        benchmark::DoNotOptimize(t.numRows());
+    }
+    state.counters["sweep_points_per_s"] = benchmark::Counter(
+        double(valid) * double(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SweepThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_BuildBenchmark(benchmark::State &state)

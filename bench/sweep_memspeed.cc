@@ -25,7 +25,7 @@ main(int argc, char **argv)
         spec.mem.accessTime = access;
         spec.mem.busWidthBytes = 8;
         spec.mem.pipelined = false;
-        bench::installObs(spec, *s);
+        bench::applySweepOptions(spec, *s);
         const Table table = runCacheSweep(spec, s->benchmark.program);
         bench::printPanel(*s,
                           "memory access time = " +

@@ -9,6 +9,7 @@
 #include <iostream>
 #include <memory>
 
+#include "common/log.hh"
 #include "common/strutil.hh"
 #include "obs/obs_cli.hh"
 #include "sim/cli.hh"
@@ -26,6 +27,9 @@ main(int argc, char **argv)
     cli.addOption("scale", "0.3", "workload scale (1.0 = paper)");
     cli.addOption("sizes", "16,32,64,128,256,512",
                   "comma-separated cache sizes");
+    cli.addOption("jobs", "0",
+                  "parallel sweep workers (0 = PIPESIM_JOBS env or "
+                  "hardware concurrency, 1 = serial)");
     cli.addFlag("pipelined", "pipelined external memory");
     cli.addFlag("tib", "include the target-instruction-buffer strategy");
     cli.addFlag("csv", "emit CSV instead of a text table");
@@ -41,6 +45,10 @@ main(int argc, char **argv)
         workloads::buildLivermoreBenchmark(cli.getDouble("scale"));
 
     SweepSpec spec;
+    const std::int64_t jobs = cli.getInt("jobs");
+    if (jobs < 0)
+        fatal("--jobs must be >= 0, got ", jobs);
+    spec.jobs = unsigned(jobs);
     if (cli.getFlag("tib"))
         spec.strategies.insert(spec.strategies.begin() + 1, "tib");
     spec.mem.accessTime = unsigned(cli.getInt("mem"));
@@ -66,12 +74,21 @@ main(int argc, char **argv)
             if (strategy + ":" + std::to_string(cache) == point)
                 session->emplace(obs_opts, sim);
         };
-        spec.postRun = [session](Simulator &, const std::string &,
-                                 unsigned, const SimResult &result) {
+        auto produced = std::make_shared<bool>(false);
+        spec.postRun = [session, produced](Simulator &,
+                                           const std::string &, unsigned,
+                                           const SimResult &result) {
             if (session->has_value()) {
                 (*session)->finish(result);
                 session->reset();
+                *produced = true;
             }
+        };
+        spec.onSweepEnd = [produced, point]() {
+            if (!*produced)
+                warn("--obs-point " + point +
+                     " matched no sweep point that ran; no "
+                     "observability output was produced");
         };
     }
 

@@ -1,0 +1,105 @@
+#include "common/thread_pool.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/log.hh"
+
+namespace pipesim
+{
+
+unsigned
+resolveJobCount(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("PIPESIM_JOBS")) {
+        try {
+            const long n = std::stol(env);
+            if (n > 0)
+                return unsigned(n);
+            warn("ignoring non-positive PIPESIM_JOBS=" +
+                 std::string(env));
+        } catch (const std::exception &) {
+            warn("ignoring unparsable PIPESIM_JOBS=" + std::string(env));
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    const unsigned n = resolveJobCount(workers);
+    _workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _accepting = false;
+    }
+    _wakeWorker.notify_all();
+    for (auto &w : _workers)
+        w.join();
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> task)
+{
+    std::packaged_task<void()> wrapped(std::move(task));
+    std::future<void> future = wrapped.get_future();
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (!_accepting)
+            panic("ThreadPool::submit after shutdown began");
+        _queue.push_back(std::move(wrapped));
+        ++_pending;
+    }
+    _wakeWorker.notify_one();
+    return future;
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _idle.wait(lock, [this] { return _pending == 0; });
+}
+
+std::size_t
+ThreadPool::pendingTasks() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _pending;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _wakeWorker.wait(lock, [this] {
+                return !_queue.empty() || !_accepting;
+            });
+            // Shutdown drains: only exit once the queue is empty.
+            if (_queue.empty())
+                return;
+            task = std::move(_queue.front());
+            _queue.pop_front();
+        }
+        task(); // exceptions land in the task's future
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            if (--_pending == 0)
+                _idle.notify_all();
+        }
+    }
+}
+
+} // namespace pipesim

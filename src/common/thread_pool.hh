@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A small fixed-size thread pool for embarrassingly parallel
+ * simulation work (the experiment sweeps behind every figure).
+ *
+ * Deliberately minimal: a single FIFO task queue, a fixed worker
+ * count chosen at construction, no work stealing and no task
+ * priorities.  Sweep points are coarse-grained (each is a full
+ * simulator run, milliseconds to seconds), so a shared queue under
+ * one mutex is nowhere near contention-bound.
+ *
+ * Exceptions thrown by a task are captured in the std::future
+ * returned by submit(); they never escape a worker thread.
+ */
+
+#ifndef PIPESIM_COMMON_THREAD_POOL_HH
+#define PIPESIM_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pipesim
+{
+
+/**
+ * Resolve a requested worker count to an effective one:
+ *
+ *   1. @p requested, when non-zero (an explicit --jobs N);
+ *   2. the PIPESIM_JOBS environment variable, when set to a
+ *      positive integer;
+ *   3. std::thread::hardware_concurrency(), never less than 1.
+ */
+unsigned resolveJobCount(unsigned requested = 0);
+
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p workers worker threads (0 = resolveJobCount(0)).
+     */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /**
+     * Drain: stop accepting new work, finish every queued task, then
+     * join the workers.  Queued tasks are never dropped.
+     */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue @p task.  Tasks are dispatched to workers in FIFO
+     * submission order (with one worker this is strict serial order).
+     *
+     * @return a future carrying the task's completion or exception.
+     */
+    std::future<void> submit(std::function<void()> task);
+
+    /** Block until every task submitted so far has finished. */
+    void wait();
+
+    unsigned workerCount() const { return unsigned(_workers.size()); }
+
+    /** Tasks submitted but not yet finished (queued or running). */
+    std::size_t pendingTasks() const;
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex _mutex;
+    std::condition_variable _wakeWorker; //!< signalled on new work/stop
+    std::condition_variable _idle;       //!< signalled when work drains
+    std::deque<std::packaged_task<void()>> _queue;
+    std::vector<std::thread> _workers;
+    std::size_t _pending = 0; //!< queued + currently running tasks
+    bool _accepting = true;
+};
+
+} // namespace pipesim
+
+#endif // PIPESIM_COMMON_THREAD_POOL_HH

@@ -1,10 +1,15 @@
 #include "sim/experiment.hh"
 
+#include <exception>
+#include <mutex>
+
+#include "common/thread_pool.hh"
+
 namespace pipesim
 {
 
 SimConfig
-makeSweepConfig(const SweepSpec &spec [[maybe_unused]], const std::string &strategy,
+makeSweepConfig(const SweepSpec &spec, const std::string &strategy,
                 unsigned cache_bytes)
 {
     SimConfig cfg;
@@ -21,16 +26,47 @@ makeSweepConfig(const SweepSpec &spec [[maybe_unused]], const std::string &strat
     return cfg;
 }
 
-bool
-sweepPointValid([[maybe_unused]] const SweepSpec &spec,
-                const std::string &strategy, unsigned cache_bytes)
+std::optional<SimConfig>
+makeValidSweepConfig(const SweepSpec &spec, const std::string &strategy,
+                     unsigned cache_bytes)
 {
-    if (strategy == "conv")
-        return true;
-    if (strategy == "tib")
-        return cache_bytes >= 2 * parcelBytes;
-    return pipeConfigFor(strategy, cache_bytes).lineBytes <= cache_bytes;
+    // Validity gates that need no config: a conventional cache must
+    // hold at least one line, a TIB at least two entries' worth of
+    // parcels.
+    if (strategy == "conv" && cache_bytes < spec.convLineBytes)
+        return std::nullopt;
+    if (strategy == "tib" && cache_bytes < 2 * parcelBytes)
+        return std::nullopt;
+
+    SimConfig cfg = makeSweepConfig(spec, strategy, cache_bytes);
+    // PIPE configurations name a line size; the cache must fit it.
+    if (cfg.fetch.strategy == FetchStrategy::Pipe &&
+        cfg.fetch.lineBytes > cache_bytes)
+        return std::nullopt;
+    return cfg;
 }
+
+bool
+sweepPointValid(const SweepSpec &spec, const std::string &strategy,
+                unsigned cache_bytes)
+{
+    return makeValidSweepConfig(spec, strategy, cache_bytes).has_value();
+}
+
+namespace
+{
+
+/** One enumerated (size, strategy) cell of the sweep grid. */
+struct SweepPoint
+{
+    std::size_t row;      //!< index into spec.cacheSizes
+    std::size_t col;      //!< index into spec.strategies
+    unsigned cacheBytes;
+    const std::string *strategy;
+    SimConfig cfg; //!< built exactly once, at enumeration
+};
+
+} // namespace
 
 Table
 runCacheSweep(const SweepSpec &spec, const Program &program,
@@ -42,26 +78,86 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
         headers.push_back(s);
     Table table(std::move(headers));
 
-    for (unsigned size : spec.cacheSizes) {
-        table.beginRow();
-        table.cell(size);
-        for (const auto &strategy : spec.strategies) {
-            if (!sweepPointValid(spec, strategy, size)) {
-                table.cell("-");
+    // Enumerate every valid point up front, building each SimConfig
+    // exactly once.  Invalid points render "-" in the assembled table.
+    const std::size_t rows = spec.cacheSizes.size();
+    const std::size_t cols = spec.strategies.size();
+    std::vector<std::vector<std::string>> cells(
+        rows, std::vector<std::string>(cols, "-"));
+    std::vector<SweepPoint> points;
+    points.reserve(rows * cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            auto cfg = makeValidSweepConfig(spec, spec.strategies[c],
+                                            spec.cacheSizes[r]);
+            if (!cfg)
                 continue;
-            }
-            const SimConfig cfg = makeSweepConfig(spec, strategy, size);
-            Simulator sim(cfg, program);
-            if (spec.preRun)
-                spec.preRun(sim, strategy, size);
-            const SimResult result = sim.run();
-            if (spec.postRun)
-                spec.postRun(sim, strategy, size, result);
-            table.cell(std::uint64_t(result.totalCycles));
-            if (on_point)
-                on_point(strategy, size, result);
+            points.push_back({r, c, spec.cacheSizes[r],
+                              &spec.strategies[c], std::move(*cfg)});
         }
     }
+
+    // Per-run state (Simulator, StatGroup, probe bus) is thread-local
+    // to the point's worker; only the user callbacks share state, so
+    // they are serialized under this mutex (see SweepSpec::preRun).
+    std::mutex callbacks;
+    auto runPoint = [&](SweepPoint &p) {
+        Simulator sim(p.cfg, program);
+        if (spec.preRun) {
+            std::lock_guard<std::mutex> lock(callbacks);
+            spec.preRun(sim, *p.strategy, p.cacheBytes);
+        }
+        const SimResult result = sim.run();
+        // Each point owns a distinct cell; no lock needed for it.
+        cells[p.row][p.col] = std::to_string(result.totalCycles);
+        if (spec.postRun || on_point) {
+            std::lock_guard<std::mutex> lock(callbacks);
+            if (spec.postRun)
+                spec.postRun(sim, *p.strategy, p.cacheBytes, result);
+            if (on_point)
+                on_point(*p.strategy, p.cacheBytes, result);
+        }
+    };
+
+    const unsigned jobs = resolveJobCount(spec.jobs);
+    if (jobs <= 1 || points.size() <= 1) {
+        // Serial: run in deterministic (size, strategy) order on the
+        // calling thread.
+        for (auto &p : points)
+            runPoint(p);
+    } else {
+        ThreadPool pool(std::min<std::size_t>(jobs, points.size()));
+        std::vector<std::future<void>> futures;
+        futures.reserve(points.size());
+        for (auto &p : points)
+            futures.push_back(pool.submit([&runPoint, &p] {
+                runPoint(p);
+            }));
+        // Collect everything before rethrowing so no worker is still
+        // touching cells/callbacks; report the first failed point in
+        // enumeration order for deterministic error behaviour.
+        std::exception_ptr first;
+        for (auto &f : futures) {
+            try {
+                f.get();
+            } catch (...) {
+                if (!first)
+                    first = std::current_exception();
+            }
+        }
+        if (first)
+            std::rethrow_exception(first);
+    }
+
+    for (std::size_t r = 0; r < rows; ++r) {
+        table.beginRow();
+        table.cell(spec.cacheSizes[r]);
+        for (std::size_t c = 0; c < cols; ++c)
+            table.cell(cells[r][c]);
+    }
+
+    if (spec.onSweepEnd)
+        spec.onSweepEnd();
     return table;
 }
 

@@ -3,12 +3,18 @@
  * Experiment harness: the cache-size sweeps behind every figure in
  * the paper's evaluation, parameterised the same way (strategy set,
  * memory access time, bus width, pipelining).
+ *
+ * Sweep points are independent (one Simulator per point against a
+ * shared immutable Program), so runCacheSweep can execute them on a
+ * thread pool; see docs/parallel_sweeps.md for the threading model
+ * and the callback serialization contract.
  */
 
 #ifndef PIPESIM_SIM_EXPERIMENT_HH
 #define PIPESIM_SIM_EXPERIMENT_HH
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,9 +55,23 @@ struct SweepSpec
     PipelineConfig cpu;
 
     /**
+     * Worker threads for the sweep: 0 resolves through --jobs /
+     * PIPESIM_JOBS / hardware concurrency (resolveJobCount()); 1
+     * forces fully serial in-order execution on the calling thread.
+     */
+    unsigned jobs = 0;
+
+    /**
      * Called with the freshly built Simulator before a point runs --
      * the place to attach probe-bus listeners (trace exporters, extra
      * accounting) for that point.
+     *
+     * Callback contract under parallel sweeps: preRun, postRun and
+     * on_point are always invoked under one shared mutex, never
+     * concurrently.  With jobs == 1 they fire in deterministic
+     * (size, strategy) order; with jobs > 1 the order across points
+     * follows completion, but postRun and on_point for a given point
+     * are still consecutive under a single lock hold.
      */
     std::function<void(Simulator &sim, const std::string &strategy,
                        unsigned cache_bytes)>
@@ -60,29 +80,59 @@ struct SweepSpec
     /**
      * Called after a point finishes, while its Simulator is still
      * alive -- the place to detach listeners and write outputs.
+     * Serialized; see preRun.
      */
     std::function<void(Simulator &sim, const std::string &strategy,
                        unsigned cache_bytes, const SimResult &result)>
         postRun;
+
+    /**
+     * Called once on the sweeping thread after every point has
+     * finished (and after the last postRun/on_point), regardless of
+     * worker count -- the place to validate that an expected point
+     * actually ran and flush any aggregate output.
+     */
+    std::function<void()> onSweepEnd;
 };
 
-/** Build the SimConfig for one (strategy, cache size) point. */
+/**
+ * Build the SimConfig for one (strategy, cache size) point when the
+ * point is simulable; std::nullopt for a degenerate point (cache
+ * smaller than one conventional line / PIPE line / TIB entry pair).
+ * Builds each configuration exactly once -- this is the function the
+ * sweep uses to enumerate points.
+ */
+std::optional<SimConfig> makeValidSweepConfig(const SweepSpec &spec,
+                                              const std::string &strategy,
+                                              unsigned cache_bytes);
+
+/**
+ * Build the SimConfig for one (strategy, cache size) point without a
+ * validity check (kept for callers that know the point is valid).
+ */
 SimConfig makeSweepConfig(const SweepSpec &spec,
                           const std::string &strategy,
                           unsigned cache_bytes);
 
 /**
- * @return true if the point is simulable (a PIPE configuration needs
- *         a cache at least one line large).
+ * @return true if the point is simulable (the cache must fit at
+ *         least one conventional line, PIPE line, or TIB entry pair).
  */
 bool sweepPointValid(const SweepSpec &spec, const std::string &strategy,
                      unsigned cache_bytes);
 
 /**
- * Run the sweep over @p program.
+ * Run the sweep over @p program, using spec.jobs worker threads.
+ *
+ * The result is deterministic and independent of the worker count:
+ * each point runs on a private Simulator (own StatGroup and probe
+ * bus) and the table is assembled in (size, strategy) order
+ * regardless of completion order.  The first exception thrown by a
+ * point (in enumeration order) is rethrown after all workers finish.
  *
  * @param on_point Optional observer called after each run (e.g. for
- *                 progress output or extra stat collection).
+ *                 progress output or extra stat collection);
+ *                 serialized with preRun/postRun (see SweepSpec).
  * @return a table: one row per cache size, one column per strategy,
  *         cells are total execution cycles ("-" for invalid points).
  */

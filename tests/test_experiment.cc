@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <map>
+#include <utility>
+
 #include "common/log.hh"
 
 #include "sim/experiment.hh"
@@ -51,6 +54,155 @@ TEST(ExperimentTest, PointValidity)
     EXPECT_FALSE(sweepPointValid(spec, "16-16", 8));
     EXPECT_FALSE(sweepPointValid(spec, "32-32", 16));
     EXPECT_TRUE(sweepPointValid(spec, "32-32", 32));
+}
+
+TEST(ExperimentTest, ConvSmallerThanLineIsInvalid)
+{
+    // Regression: "conv" used to be unconditionally valid, so a
+    // conventional cache smaller than one line (e.g. a 32-byte line
+    // in a 16-byte cache) built a degenerate config instead of
+    // rendering "-" like the PIPE strategies do.
+    SweepSpec spec;
+    spec.convLineBytes = 32;
+    EXPECT_FALSE(sweepPointValid(spec, "conv", 16));
+    EXPECT_TRUE(sweepPointValid(spec, "conv", 32));
+    EXPECT_FALSE(makeValidSweepConfig(spec, "conv", 16).has_value());
+
+    spec.cacheSizes = {16, 32};
+    spec.strategies = {"conv"};
+    const Table t = runCacheSweep(spec, tinyBenchmark().program);
+    EXPECT_EQ(t.at(0, 1), "-");
+    EXPECT_NE(t.at(1, 1), "-");
+}
+
+TEST(ExperimentTest, MakeValidSweepConfigMatchesMakeSweepConfig)
+{
+    SweepSpec spec;
+    spec.mem.accessTime = 6;
+    spec.policy = OffchipPolicy::GuaranteedOnly;
+    const auto valid = makeValidSweepConfig(spec, "16-16", 64);
+    ASSERT_TRUE(valid.has_value());
+    const SimConfig direct = makeSweepConfig(spec, "16-16", 64);
+    EXPECT_EQ(valid->fetch.strategy, direct.fetch.strategy);
+    EXPECT_EQ(valid->fetch.cacheBytes, direct.fetch.cacheBytes);
+    EXPECT_EQ(valid->fetch.lineBytes, direct.fetch.lineBytes);
+    EXPECT_EQ(valid->fetch.offchipPolicy, direct.fetch.offchipPolicy);
+    EXPECT_EQ(valid->mem.accessTime, direct.mem.accessTime);
+}
+
+TEST(ExperimentTest, ParallelSweepIsDeterministic)
+{
+    // --jobs 1 and --jobs 8 must produce byte-identical tables and
+    // identical per-point counters: per-run state is thread-local and
+    // the table is assembled in (size, strategy) order.
+    SweepSpec spec;
+    spec.cacheSizes = {16, 32, 64, 128};
+    spec.strategies = {"conv", "8-8", "16-16", "32-32"};
+    spec.mem.accessTime = 2;
+
+    using PointKey = std::pair<std::string, unsigned>;
+    using CounterMap = std::map<PointKey,
+                                std::map<std::string, std::uint64_t>>;
+    auto runWith = [&](unsigned jobs, CounterMap &counters) {
+        spec.jobs = jobs;
+        return runCacheSweep(spec, tinyBenchmark().program,
+                             [&counters](const std::string &strategy,
+                                         unsigned cache,
+                                         const SimResult &r) {
+                                 counters[{strategy, cache}] = r.counters;
+                             });
+    };
+    CounterMap serial_counters, parallel_counters;
+    const Table serial = runWith(1, serial_counters);
+    const Table parallel = runWith(8, parallel_counters);
+
+    EXPECT_EQ(serial.toText(), parallel.toText());
+    EXPECT_EQ(serial.toCsv(), parallel.toCsv());
+    EXPECT_EQ(serial_counters.size(), parallel_counters.size());
+    EXPECT_EQ(serial_counters, parallel_counters);
+}
+
+TEST(ExperimentTest, ParallelCallbacksAreSerialized)
+{
+    // preRun/postRun/on_point mutate this unguarded state; the
+    // documented contract (all callbacks under one mutex) makes that
+    // legal, and postRun/on_point for one point are consecutive.
+    SweepSpec spec;
+    spec.cacheSizes = {32, 64, 128, 256};
+    spec.strategies = {"conv", "8-8", "16-16"};
+    spec.jobs = 8;
+    int depth = 0;
+    int pre = 0, post = 0, observed = 0;
+    std::string last_post;
+    spec.preRun = [&](Simulator &, const std::string &, unsigned) {
+        EXPECT_EQ(++depth, 1);
+        ++pre;
+        --depth;
+    };
+    spec.postRun = [&](Simulator &, const std::string &strategy,
+                       unsigned cache, const SimResult &) {
+        EXPECT_EQ(++depth, 1);
+        ++post;
+        last_post = strategy + ":" + std::to_string(cache);
+        --depth;
+    };
+    runCacheSweep(spec, tinyBenchmark().program,
+                  [&](const std::string &strategy, unsigned cache,
+                      const SimResult &) {
+                      EXPECT_EQ(++depth, 1);
+                      ++observed;
+                      // on_point follows this point's postRun.
+                      EXPECT_EQ(last_post,
+                                strategy + ":" + std::to_string(cache));
+                      --depth;
+                  });
+    EXPECT_EQ(pre, 12);
+    EXPECT_EQ(post, 12);
+    EXPECT_EQ(observed, 12);
+}
+
+TEST(ExperimentTest, OnSweepEndRunsOnceAfterAllPoints)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        SweepSpec spec;
+        spec.cacheSizes = {32, 64};
+        spec.strategies = {"conv", "16-16"};
+        spec.jobs = jobs;
+        int points = 0;
+        int end_calls = 0;
+        spec.onSweepEnd = [&] {
+            ++end_calls;
+            EXPECT_EQ(points, 4);
+        };
+        runCacheSweep(spec, tinyBenchmark().program,
+                      [&](const std::string &, unsigned,
+                          const SimResult &) { ++points; });
+        EXPECT_EQ(end_calls, 1);
+    }
+}
+
+TEST(ExperimentTest, WorkerExceptionPropagates)
+{
+    // A failing point must not be swallowed by the pool: the
+    // exception is rethrown to the caller after all workers finish.
+    for (unsigned jobs : {1u, 4u}) {
+        SweepSpec spec;
+        spec.cacheSizes = {16, 32, 64};
+        spec.strategies = {"conv", "8-8"};
+        spec.jobs = jobs;
+        spec.postRun = [](Simulator &, const std::string &strategy,
+                          unsigned cache, const SimResult &) {
+            if (strategy == "8-8" && cache == 32)
+                fatal("injected failure at 8-8:32");
+        };
+        try {
+            runCacheSweep(spec, tinyBenchmark().program);
+            FAIL() << "expected FatalError (jobs=" << jobs << ")";
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find("injected failure"),
+                      std::string::npos);
+        }
+    }
 }
 
 TEST(ExperimentTest, MakeSweepConfigAppliesParameters)

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/thread_pool.hh"
+
+using namespace pipesim;
+
+namespace
+{
+
+/** Scoped PIPESIM_JOBS override (restores the old value on exit). */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : _name(name)
+    {
+        if (const char *old = std::getenv(name))
+            _old = old;
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (_old)
+            ::setenv(_name, _old->c_str(), 1);
+        else
+            ::unsetenv(_name);
+    }
+
+  private:
+    const char *_name;
+    std::optional<std::string> _old;
+};
+
+} // namespace
+
+TEST(ThreadPoolTest, ResolveJobCountExplicitWins)
+{
+    ScopedEnv env("PIPESIM_JOBS", "3");
+    EXPECT_EQ(resolveJobCount(5), 5u);
+}
+
+TEST(ThreadPoolTest, ResolveJobCountReadsEnv)
+{
+    ScopedEnv env("PIPESIM_JOBS", "3");
+    EXPECT_EQ(resolveJobCount(0), 3u);
+}
+
+TEST(ThreadPoolTest, ResolveJobCountIgnoresBadEnv)
+{
+    setLogQuiet(true);
+    {
+        ScopedEnv env("PIPESIM_JOBS", "banana");
+        EXPECT_GE(resolveJobCount(0), 1u);
+    }
+    {
+        ScopedEnv env("PIPESIM_JOBS", "0");
+        EXPECT_GE(resolveJobCount(0), 1u);
+    }
+    setLogQuiet(false);
+}
+
+TEST(ThreadPoolTest, ResolveJobCountDefaultsToHardware)
+{
+    ScopedEnv env("PIPESIM_JOBS", nullptr);
+    EXPECT_GE(resolveJobCount(0), 1u);
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks)
+{
+    std::atomic<int> sum{0};
+    {
+        ThreadPool pool(4);
+        EXPECT_EQ(pool.workerCount(), 4u);
+        std::vector<std::future<void>> futures;
+        for (int i = 1; i <= 100; ++i)
+            futures.push_back(pool.submit([&sum, i] { sum += i; }));
+        for (auto &f : futures)
+            f.get();
+    }
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesSubmissionOrder)
+{
+    std::vector<int> order;
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&order, i] { order.push_back(i); });
+        pool.wait();
+    }
+    ASSERT_EQ(order.size(), 50u);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(order[size_t(i)], i);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([] {});
+    auto bad = pool.submit([] { fatal("worker exploded"); });
+    EXPECT_NO_THROW(ok.get());
+    try {
+        bad.get();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("worker exploded"),
+                  std::string::npos);
+    }
+    // The pool stays usable after a task threw.
+    auto after = pool.submit([] {});
+    EXPECT_NO_THROW(after.get());
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedWork)
+{
+    std::atomic<int> ran{0};
+    std::mutex m;
+    std::condition_variable cv;
+    bool release = false;
+    {
+        ThreadPool pool(1);
+        // Park the only worker so the remaining tasks stay queued
+        // when the destructor runs.
+        pool.submit([&] {
+            std::unique_lock<std::mutex> lock(m);
+            cv.wait(lock, [&] { return release; });
+        });
+        for (int i = 0; i < 25; ++i)
+            pool.submit([&ran] { ++ran; });
+        EXPECT_EQ(ran.load(), 0);
+        {
+            std::lock_guard<std::mutex> lock(m);
+            release = true;
+        }
+        cv.notify_one();
+        // ~ThreadPool: all 25 queued tasks must still run.
+    }
+    EXPECT_EQ(ran.load(), 25);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilAllTasksFinish)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 40; ++i)
+        pool.submit([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 40);
+    EXPECT_EQ(pool.pendingTasks(), 0u);
+    // wait() with nothing in flight returns immediately.
+    pool.wait();
+}
