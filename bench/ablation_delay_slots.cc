@@ -18,8 +18,11 @@
 
 using namespace pipesim;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     CliParser cli("cycles vs PBR delay-slot budget");
     cli.addOption("scale", "1.0", "workload scale (1.0 = paper size)");
@@ -62,4 +65,12 @@ main(int argc, char **argv)
                  "bus 8) ==\n"
               << (csv ? table.toCsv() : table.toText());
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pipesim::runGuardedMain([&] { return run(argc, argv); });
 }

@@ -17,8 +17,11 @@
 
 using namespace pipesim;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     CliParser cli("fixed 32-bit vs native 16/32-bit instruction format");
     auto s = bench::setup(argc, argv, "", &cli);
@@ -58,4 +61,12 @@ main(int argc, char **argv)
     }
     bench::printPanel(*s, "cache = 64 bytes, mem = 6, bus = 8", table);
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pipesim::runGuardedMain([&] { return run(argc, argv); });
 }

@@ -15,8 +15,11 @@
 
 using namespace pipesim;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     auto s = bench::setup(argc, argv,
                           "guaranteed-only vs true off-chip prefetch");
@@ -62,4 +65,12 @@ main(int argc, char **argv)
         bench::printPanel(*s, "PIPE configuration " + name, table);
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pipesim::runGuardedMain([&] { return run(argc, argv); });
 }

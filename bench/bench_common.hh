@@ -10,9 +10,16 @@
  * plus the shared observability options (--cpi-stack, --trace-json,
  * --stats-json; see obs/obs_cli.hh) together with
  *     --obs-point <strategy:cachebytes>
- * selecting which sweep point those outputs observe, and prints one
- * table per figure panel with the same axes the paper uses (total
- * execution cycles vs. cache size, one column per fetch strategy).
+ * selecting which sweep point those outputs observe, the fault
+ * injection options (--fi-kind, --fi-seed, --fi-rate; see
+ * fault/fault_cli.hh) with
+ *     --fi-point <strategy:cachebytes>  restrict injection to one point
+ *     --fail-fast                       rethrow the first point failure
+ *     --point-retries <n>               attempts granted a failing point
+ * and prints one table per figure panel with the same axes the paper
+ * uses (total execution cycles vs. cache size, one column per fetch
+ * strategy).  Failed points render "ERR" and are reported after the
+ * table (see docs/robustness.md).
  */
 
 #ifndef PIPESIM_BENCH_COMMON_HH
@@ -22,9 +29,11 @@
 #include <memory>
 
 #include "common/log.hh"
+#include "fault/fault_cli.hh"
 #include "obs/obs_cli.hh"
 #include "sim/cli.hh"
 #include "sim/experiment.hh"
+#include "sim/guard.hh"
 #include "workloads/benchmark_program.hh"
 
 namespace pipesim::bench
@@ -38,6 +47,10 @@ struct BenchSetup
     unsigned jobs = 0; //!< sweep workers (0 = env/hardware default)
     obs::ObsOptions obs;
     std::string obsPoint; //!< "strategy:cachebytes" the outputs observe
+    fault::FaultConfig fault;
+    std::string faultPoint; //!< restrict injection to this point
+    bool failFast = false;  //!< rethrow instead of collecting failures
+    unsigned pointRetries = 0;
 };
 
 /** Parse standard options and build the workload. @return nullopt on
@@ -57,6 +70,15 @@ setup(int argc, char **argv, const std::string &description,
     cli.addOption("obs-point", "16-16:128",
                   "sweep point (strategy:cachebytes) the observability "
                   "outputs apply to");
+    fault::addFaultOptions(cli);
+    cli.addOption("fi-point", "",
+                  "restrict fault injection to one sweep point "
+                  "(strategy:cachebytes); empty = every point");
+    cli.addFlag("fail-fast",
+                "abort the sweep on the first point failure instead of "
+                "rendering ERR cells and reporting at the end");
+    cli.addOption("point-retries", "0",
+                  "extra attempts granted to a failing sweep point");
     if (!cli.parse(argc, argv))
         return std::nullopt;
 
@@ -69,6 +91,13 @@ setup(int argc, char **argv, const std::string &description,
     s.jobs = unsigned(jobs);
     s.obs = obs::ObsOptions::fromCli(cli);
     s.obsPoint = cli.get("obs-point");
+    s.fault = fault::faultConfigFromCli(cli);
+    s.faultPoint = cli.get("fi-point");
+    s.failFast = cli.getFlag("fail-fast");
+    const std::int64_t retries = cli.getInt("point-retries");
+    if (retries < 0)
+        fatal("--point-retries must be >= 0, got ", retries);
+    s.pointRetries = unsigned(retries);
     s.benchmark = workloads::buildLivermoreBenchmark(s.scale);
     return s;
 }
@@ -124,13 +153,20 @@ installObs(SweepSpec &spec, const BenchSetup &s)
 }
 
 /**
- * Apply the shared sweep options to @p spec: the --jobs worker count
- * and the observability hooks (installObs()).
+ * Apply the shared sweep options to @p spec: the --jobs worker count,
+ * the fault-injection/failure-policy options, and the observability
+ * hooks (installObs()).  Benches default to collect-and-continue so a
+ * wedged point still yields every healthy cell plus a failure report.
  */
 inline void
 applySweepOptions(SweepSpec &spec, const BenchSetup &s)
 {
     spec.jobs = s.jobs;
+    spec.fault = s.fault;
+    spec.faultPoint = s.faultPoint;
+    spec.pointRetries = s.pointRetries;
+    spec.failurePolicy = s.failFast ? SweepFailurePolicy::FailFast
+                                    : SweepFailurePolicy::CollectAndContinue;
     installObs(spec, s);
 }
 
@@ -148,6 +184,16 @@ printPanel(const BenchSetup &s, const std::string &title,
 {
     std::cout << "== " << title << " ==\n";
     std::cout << (s.csv ? table.toCsv() : table.toText()) << "\n";
+}
+
+/** Print a sweep's panel plus its failure report, when any. */
+inline void
+printPanel(const BenchSetup &s, const std::string &title,
+           const SweepResult &result)
+{
+    printPanel(s, title, result.table);
+    if (!result.ok())
+        std::cout << result.failureReport() << "\n";
 }
 
 } // namespace pipesim::bench

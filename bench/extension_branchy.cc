@@ -21,8 +21,11 @@
 
 using namespace pipesim;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     CliParser cli("fetch strategies on branch-heavy synthetic code");
     cli.addOption("iterations", "256", "outer loop trips");
@@ -79,4 +82,12 @@ main(int argc, char **argv)
                   << (csv ? table.toCsv() : table.toText()) << "\n";
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pipesim::runGuardedMain([&] { return run(argc, argv); });
 }

@@ -20,8 +20,11 @@
 
 using namespace pipesim;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     auto s = bench::setup(argc, argv,
                           "I-cache vs D-cache split of a fixed "
@@ -64,4 +67,12 @@ main(int argc, char **argv)
                           table);
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pipesim::runGuardedMain([&] { return run(argc, argv); });
 }

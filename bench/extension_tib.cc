@@ -38,8 +38,11 @@ ifetchBytes(const SimResult &r, const SimConfig &cfg)
 
 } // namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     auto s = bench::setup(argc, argv,
                           "TIB vs conventional vs PIPE: cycles and "
@@ -84,4 +87,12 @@ main(int argc, char **argv)
                           table);
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pipesim::runGuardedMain([&] { return run(argc, argv); });
 }

@@ -15,8 +15,11 @@
 
 using namespace pipesim;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     auto s = bench::setup(argc, argv,
                           "Figure 4: cycles vs cache size, memory "
@@ -31,12 +34,20 @@ main(int argc, char **argv)
         spec.mem.busWidthBytes = bus;
         spec.mem.pipelined = false;
         bench::applySweepOptions(spec, *s);
-        const Table table = runCacheSweep(spec, s->benchmark.program);
+        const SweepResult result = runCacheSweep(spec, s->benchmark.program);
         bench::printPanel(*s,
                           std::string("Figure 4") +
                               (bus == 4 ? "a" : "b") + ": bus = " +
                               std::to_string(bus) + " bytes",
-                          table);
+                          result);
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pipesim::runGuardedMain([&] { return run(argc, argv); });
 }

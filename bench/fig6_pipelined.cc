@@ -15,8 +15,11 @@
 
 using namespace pipesim;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     auto s = bench::setup(argc, argv,
                           "Figure 6: bus 8 bytes, memory access time "
@@ -31,12 +34,20 @@ main(int argc, char **argv)
         spec.mem.busWidthBytes = 8;
         spec.mem.pipelined = pipelined;
         bench::applySweepOptions(spec, *s);
-        const Table table = runCacheSweep(spec, s->benchmark.program);
+        const SweepResult result = runCacheSweep(spec, s->benchmark.program);
         bench::printPanel(*s,
                           std::string("Figure 6") +
                               (pipelined ? "b: pipelined memory"
                                          : "a: non-pipelined memory"),
-                          table);
+                          result);
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pipesim::runGuardedMain([&] { return run(argc, argv); });
 }

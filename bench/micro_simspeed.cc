@@ -19,6 +19,7 @@
 #include "assembler/assembler.hh"
 #include "obs/trace_export.hh"
 #include "sim/experiment.hh"
+#include "sim/guard.hh"
 #include "sim/simulator.hh"
 #include "workloads/benchmark_program.hh"
 
@@ -136,8 +137,8 @@ BM_SweepThroughput(benchmark::State &state)
         for (unsigned size : spec.cacheSizes)
             valid += sweepPointValid(spec, strategy, size) ? 1 : 0;
     for (auto _ : state) {
-        const Table t = runCacheSweep(spec, paperBench().program);
-        benchmark::DoNotOptimize(t.numRows());
+        const SweepResult r = runCacheSweep(spec, paperBench().program);
+        benchmark::DoNotOptimize(r.table.numRows());
     }
     state.counters["sweep_points_per_s"] = benchmark::Counter(
         double(valid) * double(state.iterations()),
@@ -185,3 +186,18 @@ BM_Assemble(benchmark::State &state)
 BENCHMARK(BM_Assemble);
 
 } // namespace
+
+// Hand-rolled benchmark main (instead of benchmark::benchmark_main)
+// so the standard error guard applies here too.
+int
+main(int argc, char **argv)
+{
+    return pipesim::runGuardedMain([&]() -> int {
+        benchmark::Initialize(&argc, argv);
+        if (benchmark::ReportUnrecognizedArguments(argc, argv))
+            return 1;
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+        return 0;
+    });
+}

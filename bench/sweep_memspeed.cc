@@ -10,8 +10,11 @@
 
 using namespace pipesim;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     auto s = bench::setup(argc, argv,
                           "cache-size sweep across memory access "
@@ -26,11 +29,19 @@ main(int argc, char **argv)
         spec.mem.busWidthBytes = 8;
         spec.mem.pipelined = false;
         bench::applySweepOptions(spec, *s);
-        const Table table = runCacheSweep(spec, s->benchmark.program);
+        const SweepResult result = runCacheSweep(spec, s->benchmark.program);
         bench::printPanel(*s,
                           "memory access time = " +
                               std::to_string(access) + " cycles",
-                          table);
+                          result);
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pipesim::runGuardedMain([&] { return run(argc, argv); });
 }

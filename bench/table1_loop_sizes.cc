@@ -20,8 +20,11 @@ const unsigned paperSizes[14] = {116, 204, 64,  80, 76, 72, 288,
 
 } // namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     auto s = bench::setup(argc, argv,
                           "Table I: Livermore inner-loop sizes");
@@ -51,4 +54,12 @@ main(int argc, char **argv)
               << "static code size:     "
               << s->benchmark.program.codeSize() << " bytes\n";
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pipesim::runGuardedMain([&] { return run(argc, argv); });
 }

@@ -11,15 +11,20 @@
 
 #include <iostream>
 
+#include "fault/fault_cli.hh"
 #include "obs/obs_cli.hh"
 #include "sim/cli.hh"
+#include "sim/guard.hh"
 #include "sim/simulator.hh"
 #include "workloads/synthetic.hh"
 
 using namespace pipesim;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     CliParser cli("synthetic branch-heavy workload explorer");
     cli.addOption("strategy", "16-16",
@@ -34,6 +39,7 @@ main(int argc, char **argv)
     cli.addOption("mem", "6", "memory access time");
     cli.addOption("bus", "8", "bus width bytes");
     obs::ObsOptions::addOptions(cli);
+    fault::addFaultOptions(cli);
     if (!cli.parse(argc, argv))
         return 0;
     const auto obs_opts = obs::ObsOptions::fromCli(cli);
@@ -59,6 +65,7 @@ main(int argc, char **argv)
         cfg.fetch = pipeConfigFor(strategy, cache);
     cfg.mem.accessTime = unsigned(cli.getInt("mem"));
     cfg.mem.busWidthBytes = unsigned(cli.getInt("bus"));
+    cfg.fault = fault::faultConfigFromCli(cli);
 
     Simulator sim(cfg, built.program);
     obs::ObsSession obs_session(obs_opts, sim);
@@ -87,4 +94,12 @@ main(int argc, char **argv)
               << "fetch stalls: "
               << res.counter("cpu.fetch_starve_cycles") << " cycles\n";
     return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pipesim::runGuardedMain([&] { return run(argc, argv); });
 }

@@ -10,8 +10,10 @@
 
 #include "assembler/assembler.hh"
 #include "isa/disasm.hh"
+#include "fault/fault_cli.hh"
 #include "obs/obs_cli.hh"
 #include "sim/cli.hh"
+#include "sim/guard.hh"
 #include "sim/simulator.hh"
 #include "trace/trace.hh"
 
@@ -51,8 +53,11 @@ sum:    .word 0
 
 } // namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     CliParser cli("assemble and run a PIPE assembly program");
     cli.addOption("strategy", "16-16", "fetch strategy");
@@ -61,6 +66,7 @@ main(int argc, char **argv)
     cli.addFlag("trace", "print every retired instruction");
     cli.addFlag("list", "print the assembled program and exit");
     obs::ObsOptions::addOptions(cli);
+    fault::addFaultOptions(cli);
     if (!cli.parse(argc, argv))
         return 0;
     const auto obs_opts = obs::ObsOptions::fromCli(cli);
@@ -86,6 +92,7 @@ main(int argc, char **argv)
                     : pipeConfigFor(strategy,
                                     unsigned(cli.getInt("cache")));
     cfg.mem.accessTime = unsigned(cli.getInt("mem"));
+    cfg.fault = fault::faultConfigFromCli(cli);
 
     Simulator sim(cfg, program);
     obs::ObsSession obs_session(obs_opts, sim);
@@ -110,4 +117,12 @@ main(int argc, char **argv)
                   << " (expected 36)\n";
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pipesim::runGuardedMain([&] { return run(argc, argv); });
 }

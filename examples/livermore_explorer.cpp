@@ -9,8 +9,10 @@
 
 #include <iostream>
 
+#include "fault/fault_cli.hh"
 #include "obs/obs_cli.hh"
 #include "sim/cli.hh"
+#include "sim/guard.hh"
 #include "sim/simulator.hh"
 #include "workloads/benchmark_program.hh"
 #include "workloads/livermore.hh"
@@ -19,8 +21,11 @@
 
 using namespace pipesim;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     CliParser cli("run one Livermore kernel and dump statistics");
     cli.addOption("kernel", "1", "kernel id (1..14)");
@@ -34,6 +39,7 @@ main(int argc, char **argv)
     cli.addFlag("data-priority", "data beats demand I-fetch");
     cli.addFlag("timeline", "print a cycle-by-cycle issue timeline");
     obs::ObsOptions::addOptions(cli);
+    fault::addFaultOptions(cli);
     if (!cli.parse(argc, argv))
         return 0;
     const auto obs_opts = obs::ObsOptions::fromCli(cli);
@@ -54,6 +60,7 @@ main(int argc, char **argv)
     cfg.mem.busWidthBytes = unsigned(cli.getInt("bus"));
     cfg.mem.pipelined = cli.getFlag("pipelined");
     cfg.mem.instructionPriority = !cli.getFlag("data-priority");
+    cfg.fault = fault::faultConfigFromCli(cli);
 
     std::cout << "kernel " << kernel.id << " (" << kernel.name << "): "
               << kernel.tripCount << " iterations, inner loop "
@@ -89,4 +96,12 @@ main(int argc, char **argv)
     obs_session.finish(res, "k" + std::to_string(kernel.id) + ":" +
                                 strategy);
     return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pipesim::runGuardedMain([&] { return run(argc, argv); });
 }

@@ -9,16 +9,21 @@
 
 #include <iostream>
 
+#include "fault/fault_cli.hh"
 #include "obs/obs_cli.hh"
 #include "sim/cli.hh"
+#include "sim/guard.hh"
 #include "sim/simulator.hh"
 #include "workloads/benchmark_program.hh"
 #include "workloads/reference.hh"
 
 using namespace pipesim;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     CliParser cli("pipesim quickstart: PIPE vs conventional fetch");
     cli.addOption("cache", "128", "instruction cache size in bytes");
@@ -26,6 +31,7 @@ main(int argc, char **argv)
     cli.addOption("bus", "8", "input bus width in bytes (4 or 8)");
     cli.addOption("scale", "0.2", "workload scale (1.0 = paper size)");
     obs::ObsOptions::addOptions(cli);
+    fault::addFaultOptions(cli);
     if (!cli.parse(argc, argv))
         return 0;
     const auto obs_opts = obs::ObsOptions::fromCli(cli);
@@ -42,6 +48,7 @@ main(int argc, char **argv)
         SimConfig cfg;
         cfg.mem.accessTime = unsigned(cli.getInt("mem"));
         cfg.mem.busWidthBytes = unsigned(cli.getInt("bus"));
+        cfg.fault = fault::faultConfigFromCli(cli);
         cfg.fetch =
             std::string(strategy) == "conv"
                 ? conventionalConfigFor(unsigned(cli.getInt("cache")))
@@ -75,4 +82,12 @@ main(int argc, char **argv)
         obs_session.finish(res, strategy);
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pipesim::runGuardedMain([&] { return run(argc, argv); });
 }

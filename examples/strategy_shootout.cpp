@@ -11,15 +11,20 @@
 
 #include "common/log.hh"
 #include "common/strutil.hh"
+#include "fault/fault_cli.hh"
 #include "obs/obs_cli.hh"
 #include "sim/cli.hh"
 #include "sim/experiment.hh"
+#include "sim/guard.hh"
 #include "workloads/benchmark_program.hh"
 
 using namespace pipesim;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     CliParser cli("cache-size sweep across all fetch strategies");
     cli.addOption("mem", "6", "memory access time in cycles");
@@ -37,6 +42,15 @@ main(int argc, char **argv)
     cli.addOption("obs-point", "16-16:128",
                   "sweep point (strategy:cachebytes) the observability "
                   "outputs apply to");
+    fault::addFaultOptions(cli);
+    cli.addOption("fi-point", "",
+                  "restrict fault injection to one sweep point "
+                  "(strategy:cachebytes); empty = every point");
+    cli.addFlag("fail-fast",
+                "abort the sweep on the first point failure instead of "
+                "rendering ERR cells and reporting at the end");
+    cli.addOption("point-retries", "0",
+                  "extra attempts granted to a failing sweep point");
     if (!cli.parse(argc, argv))
         return 0;
     const auto obs_opts = obs::ObsOptions::fromCli(cli);
@@ -57,6 +71,15 @@ main(int argc, char **argv)
     spec.cacheSizes.clear();
     for (const auto &part : split(cli.get("sizes"), ','))
         spec.cacheSizes.push_back(unsigned(*parseInt(part)));
+    spec.fault = fault::faultConfigFromCli(cli);
+    spec.faultPoint = cli.get("fi-point");
+    const std::int64_t retries = cli.getInt("point-retries");
+    if (retries < 0)
+        fatal("--point-retries must be >= 0, got ", retries);
+    spec.pointRetries = unsigned(retries);
+    spec.failurePolicy = cli.getFlag("fail-fast")
+                             ? SweepFailurePolicy::FailFast
+                             : SweepFailurePolicy::CollectAndContinue;
 
     std::cout << "total cycles, " << bench.kernels.size()
               << " Livermore loops, mem=" << spec.mem.accessTime
@@ -92,7 +115,18 @@ main(int argc, char **argv)
         };
     }
 
-    const Table table = runCacheSweep(spec, bench.program);
-    std::cout << (cli.getFlag("csv") ? table.toCsv() : table.toText());
+    const SweepResult result = runCacheSweep(spec, bench.program);
+    std::cout << (cli.getFlag("csv") ? result.table.toCsv()
+                                     : result.table.toText());
+    if (!result.ok())
+        std::cout << "\n" << result.failureReport();
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pipesim::runGuardedMain([&] { return run(argc, argv); });
 }

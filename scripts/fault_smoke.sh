@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Fault-injection smoke test (see docs/robustness.md).
+#
+# Runs sweep_memspeed with a fixed-seed injected deadlock at one sweep
+# point and checks the failure-isolation contract end to end:
+#
+#   1. the sweep exits 0 (collect-and-continue is the bench default);
+#   2. the wedged point renders ERR and the report carries the machine
+#      snapshot;
+#   3. every healthy cell is byte-identical to a fault-free run;
+#   4. the entire output is byte-identical under --jobs 1 and --jobs 8
+#      and across repeated runs (the report is deterministic).
+#
+# Usage: scripts/fault_smoke.sh [path/to/sweep_memspeed]
+set -euo pipefail
+
+BENCH="${1:-build/bench/sweep_memspeed}"
+ARGS=(--scale 0.05)
+FAULT=(--fi-kind grant --fi-rate 1 --fi-seed 7 --fi-point 16-16:64)
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== clean run (--jobs 1)"
+"$BENCH" "${ARGS[@]}" --jobs 1 > "$WORK/clean.txt"
+
+echo "== faulty run (--jobs 1)"
+"$BENCH" "${ARGS[@]}" --jobs 1 "${FAULT[@]}" > "$WORK/fault_j1.txt"
+
+echo "== faulty run (--jobs 8)"
+"$BENCH" "${ARGS[@]}" --jobs 8 "${FAULT[@]}" > "$WORK/fault_j8.txt"
+
+echo "== faulty run again (--jobs 1, same seed)"
+"$BENCH" "${ARGS[@]}" --jobs 1 "${FAULT[@]}" > "$WORK/fault_again.txt"
+
+echo "== checking: worker count does not change the output"
+cmp "$WORK/fault_j1.txt" "$WORK/fault_j8.txt"
+
+echo "== checking: the report is reproducible run to run"
+cmp "$WORK/fault_j1.txt" "$WORK/fault_again.txt"
+
+echo "== checking: the wedged point rendered ERR with a snapshot"
+grep -q "ERR" "$WORK/fault_j1.txt"
+grep -q "sweep point(s) failed" "$WORK/fault_j1.txt"
+grep -q "machine snapshot at cycle" "$WORK/fault_j1.txt"
+grep -q "deadlocked" "$WORK/fault_j1.txt"
+
+echo "== checking: every healthy cell matches the clean run"
+# Drop the failure report (its header line plus indented detail) and
+# blank lines so the faulty output lines up with the clean table, then
+# compare field-wise, skipping only the ERR cells.
+grep -v -e "sweep point(s) failed" -e '^  ' -e '^$' "$WORK/fault_j1.txt" \
+    > "$WORK/fault_table.txt"
+grep -v '^$' "$WORK/clean.txt" > "$WORK/clean_table.txt"
+awk '
+    NR == FNR { clean[FNR] = $0; clean_lines = FNR; next }
+    {
+        m = split(clean[FNR], c)
+        n = split($0, f)
+        if (n != m) {
+            printf "line %d: %d fields vs %d in clean run\n", FNR, n, m
+            bad = 1
+            next
+        }
+        for (i = 1; i <= n; i++)
+            if (f[i] != "ERR" && f[i] != c[i]) {
+                printf "line %d field %d: %s != clean %s\n", \
+                       FNR, i, f[i], c[i]
+                bad = 1
+            }
+    }
+    END {
+        if (FNR != clean_lines) {
+            printf "%d lines vs %d in clean run\n", FNR, clean_lines
+            bad = 1
+        }
+        exit bad
+    }' "$WORK/clean_table.txt" "$WORK/fault_table.txt"
+
+echo "fault smoke: OK"

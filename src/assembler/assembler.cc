@@ -84,6 +84,17 @@ class AssemblerImpl
         _errors.push_back(os.str());
     }
 
+    /** Like error(), but pinpoints the offending token's column. */
+    template <typename... Args>
+    void
+    errorAt(const Token &t, Args &&...args)
+    {
+        std::ostringstream os;
+        os << "line " << t.line << ", col " << t.column << ": ";
+        (os << ... << std::forward<Args>(args));
+        _errors.push_back(os.str());
+    }
+
     void
     defineSymbolChecked(const std::string &name, Addr value, unsigned line)
     {
@@ -188,7 +199,7 @@ AssemblerImpl::processLine(const std::string &text, unsigned line_no)
     }
 
     if (toks[i].kind != TokenKind::Ident) {
-        error(line_no, "expected mnemonic, got '", toks[i].text, "'");
+        errorAt(toks[i], "expected mnemonic, got '", toks[i].text, "'");
         return;
     }
     processInstruction(toks, i, line_no);
@@ -386,7 +397,7 @@ AssemblerImpl::parseOperands(const std::vector<Token> &toks, std::size_t &i,
         ++i;
     }
     if (toks[i].kind != TokenKind::EndOfLine)
-        error(line_no, "trailing tokens after operands");
+        errorAt(toks[i], "trailing tokens after operands");
     return ops;
 }
 
@@ -473,8 +484,13 @@ AssemblerImpl::parseOperand(const std::vector<Token> &toks, std::size_t &i,
         return op;
       }
       default:
-        error(line_no, "unexpected token '", t.text, "' in operand");
-        ++i;
+        errorAt(t, t.kind == TokenKind::EndOfLine
+                       ? "missing operand"
+                       : "unexpected token '" + t.text + "' in operand");
+        // Never step past the end-of-line sentinel (a trailing comma
+        // lands here with t already the last token).
+        if (t.kind != TokenKind::EndOfLine)
+            ++i;
         op.kind = Operand::Kind::Imm;
         return op;
     }
@@ -531,7 +547,12 @@ AssemblerImpl::encodeAll()
             const isa::Instruction inst = buildInstruction(pi);
             _program.append(inst);
         } catch (const FatalError &e) {
-            _errors.push_back(e.what());
+            // Encoder-level errors (e.g. immediate range checks) know
+            // nothing about source positions; attach the line here.
+            std::string msg = e.what();
+            if (msg.find("line ") == std::string::npos)
+                msg = "line " + std::to_string(pi.line) + ": " + msg;
+            _errors.push_back(std::move(msg));
         }
     }
 }

@@ -63,8 +63,8 @@ tokenizeLine(const std::string &line_text, unsigned line_no)
                 const std::string text = line_text.substr(i, j - i);
                 const auto v = parseInt(text);
                 if (!v)
-                    fatal("line ", line_no, ": bad integer literal '",
-                          text, "'");
+                    fatal("line ", line_no, ", col ", start + 1,
+                          ": bad integer literal '", text, "'");
                 push(TokenKind::Int, text, *v, start);
                 i = j;
             } else {
@@ -82,7 +82,8 @@ tokenizeLine(const std::string &line_text, unsigned line_no)
             while (j < n && isIdentChar(line_text[j]))
                 ++j;
             if (j == i + 1)
-                fatal("line ", line_no, ": stray '.'");
+                fatal("line ", line_no, ", col ", start + 1,
+                      ": stray '.'");
             push(TokenKind::Directive,
                  toLower(line_text.substr(i, j - i)), 0, start);
             i = j;
@@ -96,8 +97,8 @@ tokenizeLine(const std::string &line_text, unsigned line_no)
             const std::string text = line_text.substr(i, j - i);
             const auto v = parseInt(text);
             if (!v)
-                fatal("line ", line_no, ": bad integer literal '", text,
-                      "'");
+                fatal("line ", line_no, ", col ", start + 1,
+                      ": bad integer literal '", text, "'");
             push(TokenKind::Int, text, *v, start);
             i = j;
             continue;
@@ -123,7 +124,8 @@ tokenizeLine(const std::string &line_text, unsigned line_no)
             continue;
         }
 
-        fatal("line ", line_no, ": unexpected character '", c, "'");
+        fatal("line ", line_no, ", col ", i + 1,
+              ": unexpected character '", c, "'");
     }
 
     push(TokenKind::EndOfLine, "", 0, i);

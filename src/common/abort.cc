@@ -1,0 +1,66 @@
+#include "common/abort.hh"
+
+#include <ostream>
+#include <sstream>
+
+namespace pipesim
+{
+
+namespace
+{
+
+/** Write @p text with every line prefixed by @p prefix. */
+void
+writeIndented(std::ostream &os, const std::string &text,
+              const char *prefix)
+{
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        os << prefix << line << "\n";
+}
+
+} // namespace
+
+void
+MachineSnapshot::print(std::ostream &os) const
+{
+    os << "machine snapshot at cycle " << cycle << "\n";
+    os << "  instructions retired: " << instructionsRetired
+       << " (last progress at cycle " << lastProgressCycle << ")\n";
+    os << "  last retired PCs (oldest first):";
+    if (lastRetiredPcs.empty()) {
+        os << " none";
+    } else {
+        const auto flags = os.flags();
+        os << std::hex;
+        for (Addr pc : lastRetiredPcs)
+            os << " 0x" << pc;
+        os.flags(flags);
+    }
+    os << "\n";
+    os << "  [pipeline]\n";
+    writeIndented(os, pipelineState, "    ");
+    os << "  [fetch]\n";
+    writeIndented(os, fetchState, "    ");
+    os << "  [memory]\n";
+    writeIndented(os, memoryState, "    ");
+}
+
+std::string
+MachineSnapshot::toString() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+void
+SimAbort::report(std::ostream &os) const
+{
+    os << what() << "\n";
+    if (_snapshot)
+        _snapshot->print(os);
+}
+
+} // namespace pipesim

@@ -9,6 +9,13 @@
  *  - warn():   something is suspicious but simulation continues.
  *  - inform(): purely informational status output.
  *
+ * A third failure class lives in common/abort.hh:
+ *  - simAbort(): the *simulated machine* wedged (deadlock, cycle
+ *              runaway, unrecoverable injected fault) -- neither a
+ *              user error nor a simulator bug.  SimAbort carries a
+ *              MachineSnapshot for post-mortem reports; see
+ *              docs/robustness.md for the full taxonomy.
+ *
  * Unlike gem5 we raise typed exceptions instead of terminating the
  * process, so that library users (and the test suite) can catch and
  * inspect failures.

@@ -1,5 +1,7 @@
 #include "core/conventional_fetch.hh"
 
+#include <ostream>
+
 #include "common/bitutil.hh"
 #include "common/log.hh"
 
@@ -36,6 +38,7 @@ ConventionalFetchUnit::ConventionalFetchUnit(const FetchConfig &config,
         fatal("conventional cache needs at least two frames for the "
               "compact instruction format (cache ",
               config.cacheBytes, " B, line ", _cache.lineBytes(), " B)");
+    _parityRetryLimit = config.parityRetryLimit;
     reset(program.entry());
 }
 
@@ -87,6 +90,13 @@ ConventionalFetchUnit::makeRequest(Addr addr, ReqClass cls)
                 _obsNow, _outstandingAddr, _outstandingBytes, false});
         }
         _outstanding = false;
+        noteGoodFill();
+    };
+    req.onParityError = [this]() {
+        // No beats were delivered, so the region's sub-blocks are
+        // still invalid; the demand/prefetch paths simply re-request.
+        _outstanding = false;
+        noteParityError(_outstandingAddr, _outstandingBytes);
     };
     return req;
 }
@@ -220,6 +230,33 @@ ConventionalFetchUnit::offchipAccepted()
 }
 
 void
+ConventionalFetchUnit::dumpState(std::ostream &os) const
+{
+    const auto flags = os.flags();
+    os << "conventional fetch:";
+    if (const auto next = _follower.nextAddr())
+        os << " next pc 0x" << std::hex << *next << std::dec;
+    else
+        os << " decode blocked on an unresolved branch";
+    os << "\n";
+    if (_outstanding) {
+        os << "  outstanding fetch: 0x" << std::hex << _outstandingAddr
+           << std::dec << " (" << _outstandingBytes << " B)\n";
+    }
+    if (_want) {
+        os << "  queued request: 0x" << std::hex << _want->addr
+           << std::dec << " (" << _want->bytes << " B, "
+           << reqClassName(_want->cls) << ")\n";
+    }
+    if (_prefetchAddr)
+        os << "  pending prefetch target: 0x" << std::hex
+           << *_prefetchAddr << std::dec << "\n";
+    os << "  consecutive parity errors: " << _consecutiveParityErrors
+       << "\n";
+    os.flags(flags);
+}
+
+void
 ConventionalFetchUnit::regStats(StatGroup &stats, const std::string &prefix)
 {
     stats.regCounter(prefix + ".delivered_insts", &_deliveredInsts,
@@ -228,6 +265,7 @@ ConventionalFetchUnit::regStats(StatGroup &stats, const std::string &prefix)
                      "demand fetch requests issued");
     stats.regCounter(prefix + ".prefetch_fetches", &_prefetchFetches,
                      "always-prefetch requests issued");
+    regParityStats(stats, prefix);
     _cache.regStats(stats, prefix + ".icache");
 }
 

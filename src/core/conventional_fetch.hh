@@ -48,6 +48,7 @@ class ConventionalFetchUnit : public FetchUnit
     isa::FetchedInst take() override;
     void branchResolved(bool taken, Addr target) override;
     void regStats(StatGroup &stats, const std::string &prefix) override;
+    void dumpState(std::ostream &os) const override;
 
     const SubblockCache &cache() const { return _cache; }
 

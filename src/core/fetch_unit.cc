@@ -1,5 +1,9 @@
 #include "core/fetch_unit.hh"
 
+#include <sstream>
+
+#include "common/abort.hh"
+
 namespace pipesim
 {
 
@@ -33,6 +37,29 @@ unsigned
 FetchUnit::instSizeAt(Addr addr) const
 {
     return decodeAt(addr).sizeBytes();
+}
+
+void
+FetchUnit::noteParityError(Addr addr, unsigned bytes)
+{
+    ++_parityRetries;
+    ++_consecutiveParityErrors;
+    if (_consecutiveParityErrors >= _parityRetryLimit) {
+        std::ostringstream hex;
+        hex << std::hex << addr;
+        simAbort("instruction fill at 0x", hex.str(), " (", bytes,
+                 " B) failed parity ", _consecutiveParityErrors,
+                 " consecutive times (retry limit ", _parityRetryLimit,
+                 "): giving up");
+    }
+}
+
+void
+FetchUnit::regParityStats(StatGroup &stats, const std::string &prefix)
+{
+    stats.regCounter(prefix + ".parity_retries", &_parityRetries,
+                     "instruction fills retried after an injected "
+                     "parity error");
 }
 
 } // namespace pipesim

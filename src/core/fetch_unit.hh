@@ -13,6 +13,7 @@
 #ifndef PIPESIM_CORE_FETCH_UNIT_HH
 #define PIPESIM_CORE_FETCH_UNIT_HH
 
+#include <iosfwd>
 #include <optional>
 #include <string>
 
@@ -68,6 +69,15 @@ struct FetchConfig
      * which is the premise the paper builds on.
      */
     bool alwaysPrefetch = true;
+
+    /**
+     * Consecutive instruction-fill parity errors (fault injection;
+     * see docs/robustness.md) tolerated before the unit declares the
+     * machine wedged with a SimAbort.  Each erroring fill is simply
+     * retried: a corrupted transfer delivers no bytes, so the
+     * allocated line stays invalid and the demand path re-requests it.
+     */
+    unsigned parityRetryLimit = 4;
 };
 
 class FetchUnit
@@ -104,6 +114,9 @@ class FetchUnit
 
     /** Register statistics under @p prefix. */
     virtual void regStats(StatGroup &stats, const std::string &prefix) = 0;
+
+    /** Write the unit's internal state (forensic snapshots). */
+    virtual void dumpState(std::ostream &os) const = 0;
 
     /**
      * Attach the probe bus the unit emits into: icacheAccess on every
@@ -151,11 +164,29 @@ class FetchUnit
     /** Byte size of the instruction at @p addr. */
     unsigned instSizeAt(Addr addr) const;
 
+    /**
+     * An instruction fill ended in an injected parity error.  The
+     * caller has already rolled back its fill state so the fetch is
+     * retried from scratch; this counts the retry and raises SimAbort
+     * once parityRetryLimit consecutive fills have failed.
+     */
+    void noteParityError(Addr addr, unsigned bytes);
+
+    /** A fill completed cleanly: reset the consecutive-error run. */
+    void noteGoodFill() { _consecutiveParityErrors = 0; }
+
+    /** Register the shared parity-retry counter under @p prefix. */
+    void regParityStats(StatGroup &stats, const std::string &prefix);
+
     const Program &_program;
     MemorySystem &_mem;
     ClientPort _demandPort;
     ClientPort _prefetchPort;
     obs::ProbeBus *_probes = nullptr;
+    /** See FetchConfig::parityRetryLimit (subclasses copy it here). */
+    unsigned _parityRetryLimit = 4;
+    unsigned _consecutiveParityErrors = 0;
+    Counter _parityRetries;
     /**
      * Cycle of the most recent tick().  Acceptance and fill callbacks
      * fire from the memory system's tick, which runs after the fetch

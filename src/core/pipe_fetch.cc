@@ -1,5 +1,7 @@
 #include "core/pipe_fetch.hh"
 
+#include <ostream>
+
 #include "common/bitutil.hh"
 #include "common/log.hh"
 
@@ -12,6 +14,7 @@ PipeFetchUnit::PipeFetchUnit(const FetchConfig &config,
       _cache(config.cacheBytes, config.lineBytes),
       _capacity(config.iqBytes + config.iqbBytes)
 {
+    _parityRetryLimit = config.parityRetryLimit;
     if (config.iqBytes < 2 * parcelBytes)
         fatal("IQ must hold at least one two-parcel instruction");
     if (config.iqbBytes < config.lineBytes)
@@ -282,6 +285,22 @@ PipeFetchUnit::startFillIfNeeded()
         onBeatArrived(addr, bytes);
     };
     req.onComplete = [this]() { onFillComplete(); };
+    req.onParityError = [this]() {
+        // A corrupted transfer delivered no beats, so nothing was
+        // appended and the allocated line is still invalid: dropping
+        // the fill makes the next tick re-plan and re-request it.
+        PIPESIM_ASSERT(_fill && _fill->offchip,
+                       "parity error with no off-chip fill active");
+        const Addr line = _fill->lineBase;
+        const bool dead = _fill->dead;
+        if (_fill->newSegment && _follower.hasPending() &&
+            _follower.frontId() == _targetPlannedId)
+            _targetPlannedId = std::uint64_t(-1);
+        _offchipInFlight = false;
+        _fill.reset();
+        if (!dead)
+            noteParityError(line, _cfg.lineBytes);
+    };
     _want = std::move(req);
 }
 
@@ -331,6 +350,7 @@ PipeFetchUnit::onFillComplete()
     }
     _offchipInFlight = false;
     _fill.reset();
+    noteGoodFill();
 }
 
 std::optional<MemRequest>
@@ -400,6 +420,37 @@ PipeFetchUnit::take()
 }
 
 void
+PipeFetchUnit::dumpState(std::ostream &os) const
+{
+    const auto flags = os.flags();
+    os << "pipe fetch: " << _occupancy << "/" << _capacity
+       << " B buffered in " << _buffer.size() << " segment(s)";
+    if (const auto next = _follower.nextAddr())
+        os << ", next pc 0x" << std::hex << *next << std::dec;
+    else
+        os << ", decode blocked on an unresolved branch";
+    os << "\n";
+    for (const Segment &seg : _buffer)
+        os << "  segment: 0x" << std::hex << seg.start << std::dec
+           << " (" << seg.len << " B)\n";
+    if (_fill) {
+        os << "  fill: line 0x" << std::hex << _fill->lineBase
+           << ", next byte 0x" << _fill->nextByte << std::dec
+           << (_fill->offchip ? ", off-chip" : ", from cache")
+           << (_fill->dead ? ", squashed" : "") << "\n";
+    }
+    if (_want) {
+        os << "  queued request: 0x" << std::hex << _want->addr
+           << std::dec << " (" << _want->bytes << " B, "
+           << reqClassName(_want->cls) << ")\n";
+    }
+    os << "  off-chip in flight: " << (_offchipInFlight ? "yes" : "no")
+       << ", consecutive parity errors: " << _consecutiveParityErrors
+       << "\n";
+    os.flags(flags);
+}
+
+void
 PipeFetchUnit::regStats(StatGroup &stats, const std::string &prefix)
 {
     stats.regCounter(prefix + ".delivered_insts", &_deliveredInsts,
@@ -415,6 +466,7 @@ PipeFetchUnit::regStats(StatGroup &stats, const std::string &prefix)
     stats.regCounter(prefix + ".blocked_on_guarantee",
                      &_blockedOnGuarantee,
                      "fill opportunities blocked by the guarantee policy");
+    regParityStats(stats, prefix);
     _cache.regStats(stats, prefix + ".icache");
 }
 

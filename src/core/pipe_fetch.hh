@@ -57,6 +57,7 @@ class PipeFetchUnit : public FetchUnit
     isa::FetchedInst take() override;
     void branchResolved(bool taken, Addr target) override;
     void regStats(StatGroup &stats, const std::string &prefix) override;
+    void dumpState(std::ostream &os) const override;
 
     const InstructionCache &cache() const { return _cache; }
 

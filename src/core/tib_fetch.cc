@@ -1,5 +1,7 @@
 #include "core/tib_fetch.hh"
 
+#include <ostream>
+
 #include "common/bitutil.hh"
 #include "common/log.hh"
 
@@ -19,6 +21,7 @@ TibFetchUnit::TibFetchUnit(const FetchConfig &config,
         fatal("TIB capacity must be a multiple of the entry size");
     if (_bufferCapacity < 2 * _entryBytes)
         fatal("TIB stream buffer must hold two entries' worth");
+    _parityRetryLimit = config.parityRetryLimit;
     _entries.resize(config.cacheBytes / _entryBytes);
     reset(program.entry());
 }
@@ -163,6 +166,7 @@ TibFetchUnit::startFetchIfNeeded()
     Addr start = tailEnd();
     std::optional<Addr> fill_target;
     Addr cap = Addr(-1);
+    bool retargeted = false;
 
     if (_follower.hasPending() && _follower.frontResolved() &&
         _follower.frontTaken() &&
@@ -172,6 +176,7 @@ TibFetchUnit::startFetchIfNeeded()
         if (start >= r) {
             start = _follower.frontTarget();
             _targetPlannedId = _follower.frontId();
+            retargeted = true;
         } else {
             cap = r; // pre-target sequential fetch toward the slots
         }
@@ -210,6 +215,7 @@ TibFetchUnit::startFetchIfNeeded()
     f.nextByte = start;
     f.end = std::min<Addr>(start + _entryBytes, cap);
     f.fillTibTarget = fill_target;
+    f.retargeted = retargeted;
     _fetch = f;
 
     MemRequest req;
@@ -227,6 +233,27 @@ TibFetchUnit::startFetchIfNeeded()
                 obs::FetchEvent{_obsNow, start, _entryBytes, false});
         _offchipInFlight = false;
         _fetch.reset();
+        noteGoodFill();
+    };
+    req.onParityError = [this, start]() {
+        // Nothing was appended (no beats); undo the planning side
+        // effects so the next tick re-plans the identical fetch.  A
+        // TIB-miss fetch popped its pending target and left the entry
+        // with zero valid bytes -- restoring the target makes the
+        // retry take the same miss path and refill the entry.
+        PIPESIM_ASSERT(_fetch, "parity error with no fetch active");
+        const bool dead = _fetch->dead;
+        const bool retargeted = _fetch->retargeted;
+        const bool was_tib = _fetch->fillTibTarget.has_value();
+        _offchipInFlight = false;
+        _fetch.reset();
+        if (dead)
+            return;
+        if (retargeted)
+            _targetPlannedId = std::uint64_t(-1);
+        if (was_tib)
+            _pendingTargets.push_front(start);
+        noteParityError(start, _entryBytes);
     };
     _want = std::move(req);
     ++_offchipFetches;
@@ -319,6 +346,39 @@ TibFetchUnit::take()
 }
 
 void
+TibFetchUnit::dumpState(std::ostream &os) const
+{
+    const auto flags = os.flags();
+    os << "tib fetch: " << _occupancy << "/" << _bufferCapacity
+       << " B buffered in " << _buffer.size() << " segment(s)";
+    if (const auto next = _follower.nextAddr())
+        os << ", next pc 0x" << std::hex << *next << std::dec;
+    else
+        os << ", decode blocked on an unresolved branch";
+    os << "\n";
+    for (const Segment &seg : _buffer)
+        os << "  segment: 0x" << std::hex << seg.start << std::dec
+           << " (" << seg.len << " B)\n";
+    if (_fetch) {
+        os << "  fetch: next byte 0x" << std::hex << _fetch->nextByte
+           << ", end 0x" << _fetch->end << std::dec
+           << (_fetch->dead ? ", squashed" : "")
+           << (_fetch->fillTibTarget ? ", filling TIB entry" : "")
+           << "\n";
+    }
+    if (_want) {
+        os << "  queued request: 0x" << std::hex << _want->addr
+           << std::dec << " (" << _want->bytes << " B, "
+           << reqClassName(_want->cls) << ")\n";
+    }
+    os << "  pending branch targets: " << _pendingTargets.size()
+       << ", off-chip in flight: " << (_offchipInFlight ? "yes" : "no")
+       << ", consecutive parity errors: " << _consecutiveParityErrors
+       << "\n";
+    os.flags(flags);
+}
+
+void
 TibFetchUnit::regStats(StatGroup &stats, const std::string &prefix)
 {
     stats.regCounter(prefix + ".delivered_insts", &_deliveredInsts,
@@ -331,6 +391,7 @@ TibFetchUnit::regStats(StatGroup &stats, const std::string &prefix)
                      "off-chip fetch requests issued");
     stats.regCounter(prefix + ".squashed_bytes", &_squashedBytes,
                      "buffered bytes squashed by taken branches");
+    regParityStats(stats, prefix);
 }
 
 } // namespace pipesim

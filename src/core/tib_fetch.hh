@@ -56,6 +56,7 @@ class TibFetchUnit : public FetchUnit
     isa::FetchedInst take() override;
     void branchResolved(bool taken, Addr target) override;
     void regStats(StatGroup &stats, const std::string &prefix) override;
+    void dumpState(std::ostream &os) const override;
 
     unsigned numEntries() const { return unsigned(_entries.size()); }
     unsigned entryBytes() const { return _entryBytes; }
@@ -108,6 +109,9 @@ class TibFetchUnit : public FetchUnit
         bool dead = false;   //!< squashed by a taken branch
         /** Fill this TIB entry (by target) as bytes arrive. */
         std::optional<Addr> fillTibTarget;
+        /** This fetch planned the front redirect's target (set
+         *  _targetPlannedId); a parity retry must re-plan it. */
+        bool retargeted = false;
     };
     std::optional<Fetch> _fetch;
     std::optional<MemRequest> _want;

@@ -1,6 +1,9 @@
 #include "cpu/pipeline.hh"
 
+#include <ostream>
+
 #include "common/log.hh"
+#include "isa/opcodes.hh"
 
 namespace pipesim
 {
@@ -326,6 +329,41 @@ Pipeline::tick(Cycle now)
 
     if (_probes)
         _probes->cycleClass.notify(obs::CycleClassEvent{now, cls});
+}
+
+void
+Pipeline::dumpState(std::ostream &os) const
+{
+    const auto flags = os.flags();
+    os << "pipeline: " << (_halted ? "halted" : "running")
+       << ", retired " << _retired.value() << " instruction(s)";
+    if (_halted)
+        os << " (HALT issued at cycle " << _haltCycle << ")";
+    os << "\n";
+    const auto latch = [&os](const char *name,
+                             const std::optional<isa::FetchedInst> &l) {
+        os << "  " << name << ": ";
+        if (l)
+            os << isa::mnemonic(l->inst.op) << " @ 0x" << std::hex
+               << l->pc << std::dec;
+        else
+            os << "empty";
+        os << "\n";
+    };
+    latch("decode latch", _idLatch);
+    latch("issue latch", _issueLatch);
+    if (_pendingResolve)
+        os << "  pending branch resolution: "
+           << (_pendingResolve->taken ? "taken" : "not taken") << "\n";
+    os << "  queues: laq " << _queues.laq().size() << "/"
+       << _queues.laq().capacity() << ", ldq " << _queues.ldq().size()
+       << "/" << _queues.ldq().capacity() << ", saq "
+       << _queues.saq().size() << "/" << _queues.saq().capacity()
+       << ", sdq " << _queues.sdq().size() << "/"
+       << _queues.sdq().capacity() << "\n";
+    os << "  loads issued/accepted/delivered: " << _loadsIssued << "/"
+       << _loadsAccepted << "/" << _loadsDelivered << "\n";
+    os.flags(flags);
 }
 
 void

@@ -30,6 +30,7 @@
 #ifndef PIPESIM_CPU_PIPELINE_HH
 #define PIPESIM_CPU_PIPELINE_HH
 
+#include <iosfwd>
 #include <optional>
 
 #include "common/stats.hh"
@@ -88,6 +89,9 @@ class Pipeline
      * queue occupancy samples.  Pass nullptr to detach.
      */
     void setProbes(obs::ProbeBus *probes) { _probes = probes; }
+
+    /** Write the pipeline state (forensic snapshots). */
+    void dumpState(std::ostream &os) const;
 
     void regStats(StatGroup &stats, const std::string &prefix);
 

@@ -1,0 +1,142 @@
+#include "fault/fault.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace pipesim::fault
+{
+
+unsigned
+faultKindsFromString(const std::string &s)
+{
+    if (s.empty() || s == "none")
+        return None;
+    if (s == "all")
+        return All;
+    unsigned kinds = None;
+    std::istringstream in(s);
+    std::string tok;
+    while (std::getline(in, tok, ',')) {
+        if (tok == "latency")
+            kinds |= Latency;
+        else if (tok == "grant")
+            kinds |= Grant;
+        else if (tok == "parity")
+            kinds |= Parity;
+        else
+            fatal("unknown fault kind '", tok,
+                  "' (expected none, all, or a comma list of "
+                  "latency, grant, parity)");
+    }
+    return kinds;
+}
+
+std::string
+faultKindsToString(unsigned kinds)
+{
+    if (kinds == None)
+        return "none";
+    std::string out;
+    auto add = [&out](const char *name) {
+        if (!out.empty())
+            out += ",";
+        out += name;
+    };
+    if (kinds & Latency)
+        add("latency");
+    if (kinds & Grant)
+        add("grant");
+    if (kinds & Parity)
+        add("parity");
+    return out;
+}
+
+FaultInjector::FaultInjector(const FaultConfig &config)
+    : _cfg(config),
+      _state(config.seed ? config.seed : 0x9e3779b97f4a7c15ULL)
+{
+}
+
+std::uint64_t
+FaultInjector::next()
+{
+    // splitmix64: tiny, fast, and good enough for injection decisions.
+    std::uint64_t z = (_state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+bool
+FaultInjector::roll()
+{
+    return double(next() >> 11) * 0x1.0p-53 < _cfg.rate;
+}
+
+unsigned
+FaultInjector::responseJitter()
+{
+    if (!(_cfg.kinds & Latency) || !roll())
+        return 0;
+    ++_latencyFaults;
+    const unsigned extra =
+        1 + unsigned(next() % std::uint64_t(
+                                  _cfg.maxLatencyJitter ? _cfg.maxLatencyJitter
+                                                        : 1));
+    _jitterCycles += extra;
+    return extra;
+}
+
+bool
+FaultInjector::delayGrant()
+{
+    if (!(_cfg.kinds & Grant) || !roll())
+        return false;
+    ++_grantDelays;
+    return true;
+}
+
+bool
+FaultInjector::corruptFill()
+{
+    if (!(_cfg.kinds & Parity) || !roll())
+        return false;
+    ++_parityFaults;
+    return true;
+}
+
+void
+FaultInjector::regStats(StatGroup &stats, const std::string &prefix)
+{
+    stats.regCounter(prefix + ".latency_faults", &_latencyFaults,
+                     "responses given extra latency");
+    stats.regCounter(prefix + ".jitter_cycles", &_jitterCycles,
+                     "total extra response cycles injected");
+    stats.regCounter(prefix + ".grant_delays", &_grantDelays,
+                     "output-bus grants refused");
+    stats.regCounter(prefix + ".parity_faults", &_parityFaults,
+                     "instruction-fill transfers corrupted");
+}
+
+std::uint64_t
+FaultInjector::derivePointSeed(std::uint64_t base,
+                               const std::string &strategy,
+                               unsigned cache_bytes)
+{
+    // FNV-1a over the point identity, folded into the base seed, then
+    // avalanched so nearby points get unrelated streams.
+    std::uint64_t h = 0xcbf29ce484222325ULL ^ base;
+    for (char c : strategy) {
+        h ^= std::uint64_t(static_cast<unsigned char>(c));
+        h *= 0x100000001b3ULL;
+    }
+    h ^= cache_bytes;
+    h *= 0x100000001b3ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return h ? h : 1;
+}
+
+} // namespace pipesim::fault

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared --fi-* command-line options for the examples and benches,
+ * mirroring the obs/obs_cli.hh pattern: addFaultOptions() registers
+ * the options, faultConfigFromCli() builds the FaultConfig.
+ */
+
+#ifndef PIPESIM_FAULT_FAULT_CLI_HH
+#define PIPESIM_FAULT_FAULT_CLI_HH
+
+#include "common/log.hh"
+#include "fault/fault.hh"
+#include "sim/cli.hh"
+
+namespace pipesim::fault
+{
+
+/** Register --fi-kind / --fi-seed / --fi-rate on @p cli. */
+inline void
+addFaultOptions(CliParser &cli)
+{
+    cli.addOption("fi-kind", "none",
+                  "fault kinds to inject: none, all, or a comma list "
+                  "of latency, grant, parity");
+    cli.addOption("fi-seed", "1", "deterministic fault-injection seed");
+    cli.addOption("fi-rate", "0.01",
+                  "per-opportunity fault probability in [0,1]");
+}
+
+/** Build the FaultConfig the parsed --fi-* options describe. */
+inline FaultConfig
+faultConfigFromCli(const CliParser &cli)
+{
+    FaultConfig cfg;
+    cfg.kinds = faultKindsFromString(cli.get("fi-kind"));
+    const std::int64_t seed = cli.getInt("fi-seed");
+    if (seed < 0)
+        fatal("--fi-seed must be >= 0, got ", seed);
+    cfg.seed = std::uint64_t(seed);
+    cfg.rate = cli.getDouble("fi-rate");
+    if (cfg.rate < 0.0 || cfg.rate > 1.0)
+        fatal("--fi-rate must be in [0,1], got ", cfg.rate);
+    return cfg;
+}
+
+} // namespace pipesim::fault
+
+#endif // PIPESIM_FAULT_FAULT_CLI_HH

@@ -1,5 +1,7 @@
 #include "mem/external_memory.hh"
 
+#include <ostream>
+
 #include "common/log.hh"
 
 namespace pipesim
@@ -27,7 +29,9 @@ ExternalMemory::accept(MemRequest req, Cycle now)
         ++_writes;
     else
         ++_reads;
-    _inflight.push_back(InFlight{std::move(req), now + _accessTime});
+    // extraLatency is the injected response jitter (0 normally).
+    const Cycle ready = now + _accessTime + req.extraLatency;
+    _inflight.push_back(InFlight{std::move(req), ready});
 }
 
 void
@@ -63,6 +67,22 @@ ExternalMemory::popReady(Cycle now)
     MemRequest req = std::move(_inflight.front().req);
     _inflight.pop_front();
     return req;
+}
+
+void
+ExternalMemory::dumpState(std::ostream &os) const
+{
+    os << "external memory: access time " << _accessTime
+       << (_pipelined ? ", pipelined" : ", unpipelined")
+       << (_transferring ? ", response transferring" : "") << "\n";
+    os << "in flight: " << _inflight.size() << "\n";
+    const auto flags = os.flags();
+    for (const InFlight &f : _inflight) {
+        os << "  " << (f.req.isStore ? "store" : reqClassName(f.req.cls))
+           << " addr 0x" << std::hex << f.req.addr << std::dec << " ("
+           << f.req.bytes << " B) ready at cycle " << f.readyAt << "\n";
+    }
+    os.flags(flags);
 }
 
 void

@@ -18,6 +18,7 @@
 #define PIPESIM_MEM_EXTERNAL_MEMORY_HH
 
 #include <deque>
+#include <iosfwd>
 #include <optional>
 
 #include "common/stats.hh"
@@ -74,6 +75,9 @@ class ExternalMemory
 
     unsigned accessTime() const { return _accessTime; }
     bool pipelined() const { return _pipelined; }
+
+    /** Write the in-flight queue state (forensic snapshots). */
+    void dumpState(std::ostream &os) const;
 
     void regStats(StatGroup &stats, const std::string &prefix);
 

@@ -1,9 +1,11 @@
 #include "mem/memory_system.hh"
 
 #include <array>
+#include <ostream>
 
 #include "common/bitutil.hh"
 #include "common/log.hh"
+#include "fault/fault.hh"
 
 namespace pipesim
 {
@@ -118,6 +120,12 @@ MemorySystem::selectTransfer(Cycle now)
         t.fromExtMem = true;
         t.value = t.req.loadData;
         _extMem.setTransferring(true);
+        // Fill parity injection: only instruction fills opt in (they
+        // set onParityError), and the decision is made here, before
+        // the first beat, so corrupt data never propagates.
+        if (_faults && t.req.onParityError && !t.req.isStore &&
+            t.req.cls != ReqClass::Data && _faults->corruptFill())
+            t.corrupted = true;
     } else {
         t.req = fpu_ready->req;
         t.fromExtMem = false;
@@ -138,21 +146,36 @@ MemorySystem::deliverBeat(Cycle now)
     const unsigned beat = std::min(_config.busWidthBytes, t.bytesLeft);
     ++_beatsDelivered;
     ++_inputBusBusyCycles;
-    if (t.req.onBeat)
+    // A corrupted transfer occupies the bus for its full duration but
+    // delivers nothing: the parity error is detected per beat.
+    if (t.req.onBeat && !t.corrupted)
         t.req.onBeat(t.nextAddr, beat);
     t.nextAddr += beat;
     t.bytesLeft -= beat;
     if (t.bytesLeft == 0) {
-        if (!t.req.isStore && t.req.cls == ReqClass::Data) {
-            if (t.req.onData)
-                t.req.onData(t.value);
-            ++_nextDataDeliverSeq;
-        }
-        if (t.req.onComplete)
-            t.req.onComplete();
-        if (t.fromExtMem)
+        // Retire the transfer before firing the end-of-transfer
+        // callback: a callback may throw (parity retry exhaustion
+        // raises SimAbort), and the bus must look consistent in the
+        // post-mortem snapshot.
+        MemRequest req = std::move(t.req);
+        const bool from_ext = t.fromExtMem;
+        const bool corrupted = t.corrupted;
+        const Word value = t.value;
+        if (from_ext)
             _extMem.setTransferring(false);
         _transfer.reset();
+        if (corrupted) {
+            if (req.onParityError)
+                req.onParityError();
+            return;
+        }
+        if (!req.isStore && req.cls == ReqClass::Data) {
+            if (req.onData)
+                req.onData(value);
+            ++_nextDataDeliverSeq;
+        }
+        if (req.onComplete)
+            req.onComplete();
     }
 }
 
@@ -173,6 +196,17 @@ MemorySystem::tryAccept(MemClient *client, Cycle now)
     auto req = client->peek();
     if (!req)
         return false;
+
+    // Injected arbitration fault: withhold the grant this cycle.  The
+    // client retries next cycle exactly as it would after losing real
+    // arbitration, so this only stretches timing (rate 1.0 starves
+    // the bus outright -- a clean way to force a deadlock).
+    if (_faults && _faults->delayGrant()) {
+        if (_probes && _probes->busContention.active())
+            _probes->busContention.notify(
+                obs::BusContentionEvent{now, req->cls});
+        return false;
+    }
 
     const bool to_fpu = FpuDevice::contains(req->addr);
     if (!to_fpu && !_extMem.canAccept()) {
@@ -223,6 +257,10 @@ MemorySystem::tryAccept(MemClient *client, Cycle now)
                           wordBytes);
         }
     }
+    // Injected response jitter (0 when no injector or the roll
+    // misses); the external memory adds it to the ready time.
+    if (_faults)
+        req->extraLatency = _faults->responseJitter();
     _extMem.accept(std::move(*req), now);
     return true;
 }
@@ -253,6 +291,28 @@ MemorySystem::acceptOutputBus(Cycle now)
         }
         return;
     }
+}
+
+void
+MemorySystem::dumpState(std::ostream &os) const
+{
+    const auto flags = os.flags();
+    if (_transfer) {
+        const Transfer &t = *_transfer;
+        os << "input bus: " << (t.req.isStore ? "store"
+                                              : reqClassName(t.req.cls))
+           << " transfer, next addr 0x" << std::hex << t.nextAddr
+           << std::dec << ", " << t.bytesLeft << " B left"
+           << (t.corrupted ? " [parity corrupted]" : "") << "\n";
+    } else {
+        os << "input bus: idle\n";
+    }
+    os << "local (dcache hit) responses queued: "
+       << _localResponses.size() << "\n";
+    os << "fpu reads pending: " << _fpu.pendingReads() << "\n";
+    os << "next data delivery seq: " << _nextDataDeliverSeq << "\n";
+    os.flags(flags);
+    _extMem.dumpState(os);
 }
 
 bool

@@ -21,6 +21,7 @@
 #define PIPESIM_MEM_MEMORY_SYSTEM_HH
 
 #include <deque>
+#include <iosfwd>
 #include <optional>
 
 #include "common/stats.hh"
@@ -34,6 +35,11 @@
 
 namespace pipesim
 {
+
+namespace fault
+{
+class FaultInjector;
+} // namespace fault
 
 /** Memory-side configuration (paper simulation parameters 4-6). */
 struct MemSystemConfig
@@ -75,6 +81,16 @@ class MemorySystem
      */
     void setProbes(obs::ProbeBus *probes) { _probes = probes; }
 
+    /**
+     * Attach a fault injector (fault/fault.hh): bus grants may be
+     * delayed, responses jittered, and instruction fills corrupted.
+     * Pass nullptr (the default) for fault-free operation.
+     */
+    void setFaultInjector(fault::FaultInjector *injector)
+    {
+        _faults = injector;
+    }
+
     /** Advance one cycle. */
     void tick(Cycle now);
 
@@ -95,6 +111,9 @@ class MemorySystem
     /** True if no request is in flight anywhere in the system. */
     bool quiescent() const;
 
+    /** Write the memory-side machine state (forensic snapshots). */
+    void dumpState(std::ostream &os) const;
+
     void regStats(StatGroup &stats, const std::string &prefix);
 
   private:
@@ -105,6 +124,13 @@ class MemorySystem
         unsigned bytesLeft;
         bool fromExtMem;
         Word value; //!< data-load value to hand to onData
+        /**
+         * Injected fill parity error: the bus stays occupied for the
+         * usual beats, but no onBeat fires and onParityError replaces
+         * onComplete at the end (decided once, at transfer selection,
+         * so not a single corrupt byte is ever delivered).
+         */
+        bool corrupted = false;
     };
 
     void deliverInputBus(Cycle now);
@@ -127,6 +153,7 @@ class MemorySystem
     MemClient *_demandClient = nullptr;
     MemClient *_prefetchClient = nullptr;
     obs::ProbeBus *_probes = nullptr;
+    fault::FaultInjector *_faults = nullptr;
 
     std::optional<Transfer> _transfer;
 

@@ -69,9 +69,36 @@ struct MemRequest
     /** Called once when the request fully completes. */
     std::function<void()> onComplete;
 
+    /**
+     * Instruction fills only: the transfer was corrupted (an injected
+     * fill parity error).  Fired at end-of-transfer *instead of*
+     * onComplete; no onBeat fires for a corrupted transfer, so no
+     * corrupt byte ever reaches a cache or the decoder.  The fetch
+     * unit is expected to discard its fill state and retry.
+     */
+    std::function<void()> onParityError;
+
+    /**
+     * Extra response latency added by fault injection (set by the
+     * memory system at acceptance; 0 when injection is off).
+     */
+    unsigned extraLatency = 0;
+
     /** Load value captured at acceptance (memory system internal). */
     Word loadData = 0;
 };
+
+/** Stable lower-case name for a request class (reports, traces). */
+constexpr const char *
+reqClassName(ReqClass cls)
+{
+    switch (cls) {
+      case ReqClass::Data: return "data";
+      case ReqClass::IFetchDemand: return "ifetch_demand";
+      case ReqClass::IPrefetch: return "iprefetch";
+    }
+    return "unknown";
+}
 
 /**
  * Pull interface the memory system uses to collect requests.

@@ -14,17 +14,6 @@ constexpr std::uint8_t tidFetch = 2;
 constexpr std::uint8_t tidMembus = 3;
 constexpr std::uint8_t tidQueues = 4;
 
-const char *
-reqClassName(ReqClass cls)
-{
-    switch (cls) {
-      case ReqClass::Data: return "data";
-      case ReqClass::IFetchDemand: return "ifetch_demand";
-      case ReqClass::IPrefetch: return "iprefetch";
-    }
-    return "unknown";
-}
-
 } // namespace
 
 ChromeTraceWriter::ChromeTraceWriter(bool record_retires)

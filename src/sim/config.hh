@@ -12,6 +12,7 @@
 
 #include "core/fetch_unit.hh"
 #include "cpu/pipeline.hh"
+#include "fault/fault.hh"
 #include "isa/encode.hh"
 #include "mem/memory_system.hh"
 
@@ -24,6 +25,13 @@ struct SimConfig
     FetchConfig fetch;
     MemSystemConfig mem;
     PipelineConfig cpu;
+
+    /**
+     * Deterministic fault injection (fault/fault.hh).  Disabled by
+     * default; when enabled the Simulator builds a FaultInjector and
+     * hands it to the memory system.
+     */
+    fault::FaultConfig fault;
 
     /**
      * Attach the CPI-stack cycle accountant (obs::CpiStack) to the

@@ -2,11 +2,31 @@
 
 #include <exception>
 #include <mutex>
+#include <sstream>
 
+#include "common/abort.hh"
 #include "common/thread_pool.hh"
 
 namespace pipesim
 {
+
+std::string
+SweepResult::failureReport() const
+{
+    if (failures.empty())
+        return "";
+    std::ostringstream os;
+    os << failures.size() << " sweep point(s) failed:\n";
+    for (const PointFailure &f : failures) {
+        os << "  " << f.strategy << ":" << f.cacheBytes << " after "
+           << f.attempts << " attempt(s): " << f.message << "\n";
+        std::istringstream lines(f.snapshot);
+        std::string line;
+        while (std::getline(lines, line))
+            os << "    " << line << "\n";
+    }
+    return os.str();
+}
 
 SimConfig
 makeSweepConfig(const SweepSpec &spec, const std::string &strategy,
@@ -22,6 +42,22 @@ makeSweepConfig(const SweepSpec &spec, const std::string &strategy,
     } else {
         cfg.fetch = pipeConfigFor(strategy, cache_bytes);
         cfg.fetch.offchipPolicy = spec.policy;
+    }
+    if (spec.maxCycles)
+        cfg.maxCycles = spec.maxCycles;
+    if (spec.progressWindow)
+        cfg.progressWindow = spec.progressWindow;
+    cfg.fault = spec.fault;
+    if (cfg.fault.kinds != fault::None) {
+        const std::string name =
+            strategy + ":" + std::to_string(cache_bytes);
+        if (!spec.faultPoint.empty() && spec.faultPoint != name) {
+            cfg.fault.kinds = fault::None;
+        } else {
+            // Give the point its own reproducible fault stream.
+            cfg.fault.seed = fault::FaultInjector::derivePointSeed(
+                spec.fault.seed, strategy, cache_bytes);
+        }
     }
     return cfg;
 }
@@ -64,11 +100,38 @@ struct SweepPoint
     unsigned cacheBytes;
     const std::string *strategy;
     SimConfig cfg; //!< built exactly once, at enumeration
+
+    /** Set when the point exhausted its attempts (written by the
+     *  point's own worker; read only after all workers joined). */
+    std::optional<PointFailure> failure;
+    std::exception_ptr error;
 };
+
+/** Turn the exception behind @p error into a structured record. */
+PointFailure
+describeFailure(const SweepPoint &p, unsigned attempts)
+{
+    PointFailure f;
+    f.strategy = *p.strategy;
+    f.cacheBytes = p.cacheBytes;
+    f.attempts = attempts;
+    try {
+        std::rethrow_exception(p.error);
+    } catch (const SimAbort &e) {
+        f.message = e.what();
+        if (e.hasSnapshot())
+            f.snapshot = e.snapshot().toString();
+    } catch (const std::exception &e) {
+        f.message = e.what();
+    } catch (...) {
+        f.message = "unknown error";
+    }
+    return f;
+}
 
 } // namespace
 
-Table
+SweepResult
 runCacheSweep(const SweepSpec &spec, const Program &program,
               const std::function<void(const std::string &, unsigned,
                                        const SimResult &)> &on_point)
@@ -93,7 +156,8 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
             if (!cfg)
                 continue;
             points.push_back({r, c, spec.cacheSizes[r],
-                              &spec.strategies[c], std::move(*cfg)});
+                              &spec.strategies[c], std::move(*cfg),
+                              std::nullopt, nullptr});
         }
     }
 
@@ -101,7 +165,7 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
     // to the point's worker; only the user callbacks share state, so
     // they are serialized under this mutex (see SweepSpec::preRun).
     std::mutex callbacks;
-    auto runPoint = [&](SweepPoint &p) {
+    auto attemptPoint = [&](SweepPoint &p) {
         Simulator sim(p.cfg, program);
         if (spec.preRun) {
             std::lock_guard<std::mutex> lock(callbacks);
@@ -116,6 +180,24 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
                 spec.postRun(sim, *p.strategy, p.cacheBytes, result);
             if (on_point)
                 on_point(*p.strategy, p.cacheBytes, result);
+        }
+    };
+    // Never lets an exception escape: a failure is captured on the
+    // point itself and dispositioned after every worker has joined,
+    // so one bad point cannot take the sweep down mid-flight.
+    auto runPoint = [&](SweepPoint &p) {
+        const unsigned attempts = 1 + spec.pointRetries;
+        for (unsigned a = 1; a <= attempts; ++a) {
+            try {
+                attemptPoint(p);
+                return;
+            } catch (...) {
+                if (a == attempts) {
+                    p.error = std::current_exception();
+                    p.failure = describeFailure(p, a);
+                    cells[p.row][p.col] = "ERR";
+                }
+            }
         }
     };
 
@@ -133,21 +215,25 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
             futures.push_back(pool.submit([&runPoint, &p] {
                 runPoint(p);
             }));
-        // Collect everything before rethrowing so no worker is still
-        // touching cells/callbacks; report the first failed point in
-        // enumeration order for deterministic error behaviour.
-        std::exception_ptr first;
-        for (auto &f : futures) {
-            try {
-                f.get();
-            } catch (...) {
-                if (!first)
-                    first = std::current_exception();
-            }
-        }
-        if (first)
-            std::rethrow_exception(first);
+        // runPoint captures failures instead of throwing; waiting on
+        // every future is a pure join.
+        for (auto &f : futures)
+            f.get();
     }
+
+    // Disposition failures in enumeration order, so the report (and
+    // the FailFast choice of exception) is identical for any --jobs.
+    std::vector<PointFailure> failures;
+    std::exception_ptr first;
+    for (auto &p : points) {
+        if (!p.failure)
+            continue;
+        failures.push_back(*p.failure);
+        if (!first)
+            first = p.error;
+    }
+    if (spec.failurePolicy == SweepFailurePolicy::FailFast && first)
+        std::rethrow_exception(first);
 
     for (std::size_t r = 0; r < rows; ++r) {
         table.beginRow();
@@ -158,7 +244,7 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
 
     if (spec.onSweepEnd)
         spec.onSweepEnd();
-    return table;
+    return SweepResult{std::move(table), std::move(failures)};
 }
 
 } // namespace pipesim

@@ -26,6 +26,50 @@
 namespace pipesim
 {
 
+/** How runCacheSweep treats a failing point. */
+enum class SweepFailurePolicy
+{
+    /**
+     * Rethrow the first failure in enumeration order after every
+     * point has finished (no table is produced).  The default, and
+     * the pre-existing behaviour.
+     */
+    FailFast,
+    /**
+     * Record the failure, render "ERR" in that point's cell, and
+     * finish the sweep; the failures come back in
+     * SweepResult::failures, in enumeration order regardless of the
+     * worker count.
+     */
+    CollectAndContinue,
+};
+
+/** Structured record of one failed sweep point. */
+struct PointFailure
+{
+    std::string strategy;
+    unsigned cacheBytes = 0;
+    unsigned attempts = 0; //!< runs tried (1 + spec.pointRetries)
+    std::string message;   //!< the exception's what()
+    std::string snapshot;  //!< machine snapshot (SimAbort only)
+};
+
+/** What a sweep produced: the table plus any per-point failures. */
+struct SweepResult
+{
+    Table table;
+    std::vector<PointFailure> failures;
+
+    /** @return true if every valid point completed. */
+    bool ok() const { return failures.empty(); }
+
+    /**
+     * Human-readable report of every failure (message plus indented
+     * machine snapshot); empty when ok().
+     */
+    std::string failureReport() const;
+};
+
 /** One figure-style sweep: strategies x cache sizes. */
 struct SweepSpec
 {
@@ -60,6 +104,39 @@ struct SweepSpec
      * forces fully serial in-order execution on the calling thread.
      */
     unsigned jobs = 0;
+
+    /** What to do when a point's Simulator throws. */
+    SweepFailurePolicy failurePolicy = SweepFailurePolicy::FailFast;
+
+    /**
+     * Extra attempts granted to a failing point before its failure
+     * is recorded (each attempt rebuilds the Simulator from the same
+     * config, so a deterministic fault fails every attempt).
+     */
+    unsigned pointRetries = 0;
+
+    /**
+     * Fault injection applied to the swept machines (fault/fault.hh).
+     * Each point derives its own seed from (fault.seed, strategy,
+     * cache size), so its fault stream is independent of the worker
+     * count and of which other points are swept.
+     */
+    fault::FaultConfig fault;
+
+    /**
+     * When non-empty, restrict fault injection to the single point
+     * named "strategy:cachebytes" (e.g. "16-16:64"); every other
+     * point runs fault-free.  Ignored when fault.kinds is None.
+     */
+    std::string faultPoint;
+
+    /** Override SimConfig::maxCycles for every point (0 = keep the
+     *  default). */
+    Cycle maxCycles = 0;
+
+    /** Override SimConfig::progressWindow for every point (0 = keep
+     *  the default) -- lets tests detect an injected deadlock fast. */
+    Cycle progressWindow = 0;
 
     /**
      * Called with the freshly built Simulator before a point runs --
@@ -127,16 +204,22 @@ bool sweepPointValid(const SweepSpec &spec, const std::string &strategy,
  * The result is deterministic and independent of the worker count:
  * each point runs on a private Simulator (own StatGroup and probe
  * bus) and the table is assembled in (size, strategy) order
- * regardless of completion order.  The first exception thrown by a
- * point (in enumeration order) is rethrown after all workers finish.
+ * regardless of completion order.  A failing point is retried
+ * spec.pointRetries times; under FailFast the first failure in
+ * enumeration order is rethrown after all workers finish, under
+ * CollectAndContinue it renders "ERR" in that cell and is returned
+ * in SweepResult::failures (postRun/on_point do not fire for failed
+ * points).
  *
  * @param on_point Optional observer called after each run (e.g. for
  *                 progress output or extra stat collection);
  *                 serialized with preRun/postRun (see SweepSpec).
- * @return a table: one row per cache size, one column per strategy,
- *         cells are total execution cycles ("-" for invalid points).
+ * @return the assembled table (one row per cache size, one column
+ *         per strategy, cells are total execution cycles, "-" for
+ *         invalid points, "ERR" for failed ones) plus the structured
+ *         failure records.
  */
-Table runCacheSweep(
+SweepResult runCacheSweep(
     const SweepSpec &spec, const Program &program,
     const std::function<void(const std::string &strategy,
                              unsigned cache_bytes,

@@ -1,0 +1,33 @@
+#include "sim/guard.hh"
+
+#include <exception>
+#include <iostream>
+
+#include "common/abort.hh"
+#include "common/log.hh"
+
+namespace pipesim
+{
+
+int
+runGuardedMain(const std::function<int()> &body)
+{
+    try {
+        return body();
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    } catch (const SimAbort &e) {
+        e.report(std::cerr);
+        return 2;
+    } catch (const PanicError &e) {
+        std::cerr << e.what()
+                  << "\n(internal simulator bug -- please report)\n";
+        return 2;
+    } catch (const std::exception &e) {
+        std::cerr << "unhandled exception: " << e.what() << "\n";
+        return 2;
+    }
+}
+
+} // namespace pipesim

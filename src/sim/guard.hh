@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The top-level error guard shared by every example and bench main.
+ *
+ * Maps the error taxonomy (common/log.hh, common/abort.hh,
+ * docs/robustness.md) onto process exits:
+ *
+ *  - FatalError (user error): the message alone, exit 1;
+ *  - SimAbort (simulated machine wedged): the message plus the
+ *    machine snapshot when one is attached, exit 2;
+ *  - PanicError (simulator bug): the message plus a please-report
+ *    banner, exit 2;
+ *  - any other exception: reported as unhandled, exit 2.
+ */
+
+#ifndef PIPESIM_SIM_GUARD_HH
+#define PIPESIM_SIM_GUARD_HH
+
+#include <functional>
+
+namespace pipesim
+{
+
+/**
+ * Run @p body (a main function's work) under the standard guard.
+ * @return body's own return value, or the taxonomy's exit code when
+ *         an exception escapes it.
+ */
+int runGuardedMain(const std::function<int()> &body);
+
+} // namespace pipesim
+
+#endif // PIPESIM_SIM_GUARD_HH

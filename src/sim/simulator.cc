@@ -1,5 +1,8 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
+#include <sstream>
+
 #include "core/conventional_fetch.hh"
 #include "core/pipe_fetch.hh"
 #include "core/tib_fetch.hh"
@@ -47,6 +50,21 @@ Simulator::Simulator(const SimConfig &config, const Program &program)
     _fetch->setProbes(&_probes);
     _mem->setProbes(&_probes);
 
+    if (config.fault.enabled()) {
+        _faultInjector =
+            std::make_unique<fault::FaultInjector>(config.fault);
+        _mem->setFaultInjector(_faultInjector.get());
+        _faultInjector->regStats(_stats, "fault");
+    }
+
+    // Forensics: remember the last few retired PCs for snapshots.
+    // The listener lives exactly as long as the bus, so it is never
+    // disconnected.
+    _probes.retire.connect([this](const obs::RetireEvent &ev) {
+        _retiredPcs[_retiredRingCount % _retiredPcs.size()] = ev.inst.pc;
+        ++_retiredRingCount;
+    });
+
     _pipeline->regStats(_stats, "cpu");
     _fetch->regStats(_stats, "fetch");
     _mem->regStats(_stats, "mem");
@@ -82,16 +100,48 @@ Simulator::done() const
 SimResult
 Simulator::run()
 {
-    while (!done()) {
-        step();
-        if (_now > _config.maxCycles)
-            fatal("simulation exceeded ", _config.maxCycles, " cycles");
-        if (!_pipeline->halted() &&
-            _now - _lastProgressCycle > _config.progressWindow)
-            fatal("no instruction retired for ", _config.progressWindow,
-                  " cycles: machine deadlocked at cycle ", _now);
+    try {
+        while (!done()) {
+            step();
+            if (_now > _config.maxCycles)
+                simAbort("simulation exceeded ", _config.maxCycles,
+                         " cycles");
+            if (!_pipeline->halted() &&
+                _now - _lastProgressCycle > _config.progressWindow)
+                simAbort("no instruction retired for ",
+                         _config.progressWindow,
+                         " cycles: machine deadlocked at cycle ", _now);
+        }
+    } catch (const SimAbort &e) {
+        // Components raise SimAbort without forensic context (they
+        // cannot see the whole machine); decorate it here, once.
+        if (e.hasSnapshot())
+            throw;
+        throw SimAbort(e.what(), snapshot());
     }
     return result();
+}
+
+MachineSnapshot
+Simulator::snapshot() const
+{
+    MachineSnapshot s;
+    s.cycle = _now;
+    s.lastProgressCycle = _lastProgressCycle;
+    s.instructionsRetired = _pipeline->instructionsRetired();
+    const std::uint64_t n =
+        std::min<std::uint64_t>(_retiredRingCount, _retiredPcs.size());
+    for (std::uint64_t i = _retiredRingCount - n; i < _retiredRingCount;
+         ++i)
+        s.lastRetiredPcs.push_back(_retiredPcs[i % _retiredPcs.size()]);
+    std::ostringstream pipe, fetch, mem;
+    _pipeline->dumpState(pipe);
+    _fetch->dumpState(fetch);
+    _mem->dumpState(mem);
+    s.pipelineState = pipe.str();
+    s.fetchState = fetch.str();
+    s.memoryState = mem.str();
+    return s;
 }
 
 SimResult

@@ -12,12 +12,15 @@
 #ifndef PIPESIM_SIM_SIMULATOR_HH
 #define PIPESIM_SIM_SIMULATOR_HH
 
+#include <array>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "assembler/program.hh"
+#include "common/abort.hh"
 #include "common/stats.hh"
+#include "fault/fault.hh"
 #include "core/fetch_unit.hh"
 #include "cpu/pipeline.hh"
 #include "mem/data_memory.hh"
@@ -80,8 +83,20 @@ class Simulator
     /** The CPI-stack accountant, or nullptr when disabled. */
     const obs::CpiStack *cpiStack() const { return _cpiStack.get(); }
 
+    /** The fault injector, or nullptr when fault injection is off. */
+    const fault::FaultInjector *faultInjector() const
+    {
+        return _faultInjector.get();
+    }
+
     /** Snapshot the result of a finished (or in-progress) run. */
     SimResult result() const;
+
+    /**
+     * Capture a forensic machine snapshot (any time; run() uses this
+     * to decorate a SimAbort that escapes without one).
+     */
+    MachineSnapshot snapshot() const;
 
   private:
     SimConfig _config;
@@ -92,11 +107,16 @@ class Simulator
     std::unique_ptr<FetchUnit> _fetch;
     std::unique_ptr<Pipeline> _pipeline;
     std::unique_ptr<obs::CpiStack> _cpiStack;
+    std::unique_ptr<fault::FaultInjector> _faultInjector;
     StatGroup _stats;
 
     Cycle _now = 0;
     Cycle _lastProgressCycle = 0;
     std::uint64_t _lastRetired = 0;
+
+    /** Ring of recently retired PCs (fed from the retire probe). */
+    std::array<Addr, 16> _retiredPcs{};
+    std::uint64_t _retiredRingCount = 0;
 };
 
 /** Convenience: build, run and tear down a simulator in one call. */

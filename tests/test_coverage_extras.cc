@@ -179,7 +179,7 @@ TEST(ExperimentSweep, TibStrategySupported)
     SweepSpec spec;
     spec.cacheSizes = {16, 64};
     spec.strategies = {"conv", "tib", "16-16"};
-    const Table t = runCacheSweep(spec, bench().program);
+    const Table t = runCacheSweep(spec, bench().program).table;
     EXPECT_EQ(t.numCols(), 4u);
     EXPECT_GT(std::stoull(t.at(0, 2)), 0u); // tib column populated
     EXPECT_TRUE(sweepPointValid(spec, "tib", 16));

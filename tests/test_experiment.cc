@@ -3,6 +3,7 @@
 #include <map>
 #include <utility>
 
+#include "common/abort.hh"
 #include "common/log.hh"
 
 #include "sim/experiment.hh"
@@ -27,7 +28,7 @@ TEST(ExperimentTest, SweepTableShape)
     SweepSpec spec;
     spec.cacheSizes = {32, 64};
     spec.strategies = {"conv", "16-16"};
-    const Table t = runCacheSweep(spec, tinyBenchmark().program);
+    const Table t = runCacheSweep(spec, tinyBenchmark().program).table;
     EXPECT_EQ(t.numCols(), 3u);
     EXPECT_EQ(t.numRows(), 2u);
     EXPECT_EQ(t.at(0, 0), "32");
@@ -42,7 +43,7 @@ TEST(ExperimentTest, InvalidPointsRenderDash)
     SweepSpec spec;
     spec.cacheSizes = {16};
     spec.strategies = {"32-32"}; // 32-byte line cannot fit 16-byte cache
-    const Table t = runCacheSweep(spec, tinyBenchmark().program);
+    const Table t = runCacheSweep(spec, tinyBenchmark().program).table;
     EXPECT_EQ(t.at(0, 1), "-");
 }
 
@@ -70,7 +71,7 @@ TEST(ExperimentTest, ConvSmallerThanLineIsInvalid)
 
     spec.cacheSizes = {16, 32};
     spec.strategies = {"conv"};
-    const Table t = runCacheSweep(spec, tinyBenchmark().program);
+    const Table t = runCacheSweep(spec, tinyBenchmark().program).table;
     EXPECT_EQ(t.at(0, 1), "-");
     EXPECT_NE(t.at(1, 1), "-");
 }
@@ -113,8 +114,8 @@ TEST(ExperimentTest, ParallelSweepIsDeterministic)
                              });
     };
     CounterMap serial_counters, parallel_counters;
-    const Table serial = runWith(1, serial_counters);
-    const Table parallel = runWith(8, parallel_counters);
+    const Table serial = runWith(1, serial_counters).table;
+    const Table parallel = runWith(8, parallel_counters).table;
 
     EXPECT_EQ(serial.toText(), parallel.toText());
     EXPECT_EQ(serial.toCsv(), parallel.toCsv());
@@ -246,7 +247,110 @@ TEST(ExperimentTest, BiggerCacheNeverMuchWorse)
     spec.cacheSizes = {16, 512};
     spec.strategies = {"conv", "8-8"};
     spec.mem.accessTime = 6;
-    const Table t = runCacheSweep(spec, tinyBenchmark().program);
+    const Table t = runCacheSweep(spec, tinyBenchmark().program).table;
     EXPECT_GT(std::stoull(t.at(0, 1)), std::stoull(t.at(1, 1)));
     EXPECT_GT(std::stoull(t.at(0, 2)), std::stoull(t.at(1, 2)));
+}
+
+TEST(ExperimentFaultIsolation, CollectAndContinueRendersErrCellOnly)
+{
+    // One failing point must not take the sweep down: its cell reads
+    // ERR, every other cell keeps its value, and the structured
+    // failure record comes back in SweepResult::failures.
+    SweepSpec spec;
+    spec.cacheSizes = {16, 32, 64};
+    spec.strategies = {"conv", "8-8"};
+    spec.failurePolicy = SweepFailurePolicy::CollectAndContinue;
+    spec.postRun = [](Simulator &, const std::string &strategy,
+                      unsigned cache, const SimResult &) {
+        if (strategy == "8-8" && cache == 32)
+            fatal("injected failure at 8-8:32");
+    };
+    const SweepResult r = runCacheSweep(spec, tinyBenchmark().program);
+    EXPECT_FALSE(r.ok());
+    ASSERT_EQ(r.failures.size(), 1u);
+    EXPECT_EQ(r.failures[0].strategy, "8-8");
+    EXPECT_EQ(r.failures[0].cacheBytes, 32u);
+    EXPECT_EQ(r.failures[0].attempts, 1u);
+    EXPECT_NE(r.failures[0].message.find("injected failure"),
+              std::string::npos);
+    EXPECT_EQ(r.table.at(1, 2), "ERR");
+    // Every other cell still carries a cycle count.
+    EXPECT_GT(std::stoull(r.table.at(0, 2)), 0u);
+    EXPECT_GT(std::stoull(r.table.at(2, 2)), 0u);
+    for (std::size_t row = 0; row < 3; ++row)
+        EXPECT_GT(std::stoull(r.table.at(row, 1)), 0u);
+    EXPECT_NE(r.failureReport().find("8-8:32"), std::string::npos);
+}
+
+TEST(ExperimentFaultIsolation, RetryBudgetCountsAttempts)
+{
+    SweepSpec spec;
+    spec.cacheSizes = {16};
+    spec.strategies = {"conv"};
+    spec.failurePolicy = SweepFailurePolicy::CollectAndContinue;
+    spec.pointRetries = 2;
+    int runs = 0;
+    spec.postRun = [&runs](Simulator &, const std::string &, unsigned,
+                           const SimResult &) {
+        ++runs;
+        fatal("always fails");
+    };
+    const SweepResult r = runCacheSweep(spec, tinyBenchmark().program);
+    ASSERT_EQ(r.failures.size(), 1u);
+    EXPECT_EQ(r.failures[0].attempts, 3u); // 1 try + 2 retries
+    EXPECT_EQ(runs, 3);
+}
+
+TEST(ExperimentFaultIsolation, DeadlockedFaultPointReportsSnapshot)
+{
+    // An injected all-grants-delayed fault wedges exactly one point;
+    // the sweep still completes, that cell renders ERR, the failure
+    // carries the machine snapshot, and the whole report is
+    // byte-identical for any worker count.
+    auto sweep = [](unsigned jobs) {
+        SweepSpec spec;
+        spec.cacheSizes = {16, 32};
+        spec.strategies = {"conv", "8-8"};
+        spec.jobs = jobs;
+        spec.failurePolicy = SweepFailurePolicy::CollectAndContinue;
+        spec.progressWindow = 20000; // detect the wedge quickly
+        spec.fault.kinds = fault::Grant;
+        spec.fault.rate = 1.0; // no bus grant ever => clean deadlock
+        spec.faultPoint = "8-8:32";
+        return runCacheSweep(spec, tinyBenchmark().program);
+    };
+    const SweepResult serial = sweep(1);
+    ASSERT_EQ(serial.failures.size(), 1u);
+    const PointFailure &f = serial.failures[0];
+    EXPECT_EQ(f.strategy, "8-8");
+    EXPECT_EQ(f.cacheBytes, 32u);
+    EXPECT_NE(f.message.find("deadlocked"), std::string::npos);
+    EXPECT_NE(f.snapshot.find("machine snapshot at cycle"),
+              std::string::npos);
+    EXPECT_EQ(serial.table.at(1, 2), "ERR");
+    EXPECT_GT(std::stoull(serial.table.at(0, 2)), 0u);
+    EXPECT_GT(std::stoull(serial.table.at(0, 1)), 0u);
+    EXPECT_GT(std::stoull(serial.table.at(1, 1)), 0u);
+
+    const SweepResult parallel = sweep(8);
+    EXPECT_EQ(serial.table.toText(), parallel.table.toText());
+    EXPECT_EQ(serial.failureReport(), parallel.failureReport());
+}
+
+TEST(ExperimentFaultIsolation, FailFastRethrowsTheSimAbort)
+{
+    SweepSpec spec;
+    spec.cacheSizes = {32};
+    spec.strategies = {"8-8"};
+    spec.failurePolicy = SweepFailurePolicy::FailFast;
+    spec.progressWindow = 20000;
+    spec.fault.kinds = fault::Grant;
+    spec.fault.rate = 1.0;
+    try {
+        runCacheSweep(spec, tinyBenchmark().program);
+        FAIL() << "expected SimAbort";
+    } catch (const SimAbort &e) {
+        EXPECT_TRUE(e.hasSnapshot());
+    }
 }

@@ -1,0 +1,178 @@
+/**
+ * Deterministic fault-injection harness tests (fault/fault.hh):
+ * configuration parsing, stream determinism, per-point seed
+ * derivation, and the end-to-end recovery/abort paths through the
+ * memory system and fetch units.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/abort.hh"
+#include "common/log.hh"
+
+#include "fault/fault.hh"
+#include "sim/simulator.hh"
+#include "workloads/benchmark_program.hh"
+
+using namespace pipesim;
+
+namespace
+{
+
+const workloads::Benchmark &
+tinyBenchmark()
+{
+    static const auto bench = workloads::buildLivermoreBenchmark(0.02);
+    return bench;
+}
+
+SimConfig
+faultyConfig(unsigned kinds, double rate, std::uint64_t seed)
+{
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("16-16", 32); // small: plenty of refills
+    cfg.mem.accessTime = 2;
+    cfg.fault.kinds = kinds;
+    cfg.fault.rate = rate;
+    cfg.fault.seed = seed;
+    return cfg;
+}
+
+} // namespace
+
+TEST(FaultConfigTest, KindStringsRoundTrip)
+{
+    using namespace pipesim::fault;
+    EXPECT_EQ(faultKindsFromString("none"), unsigned(None));
+    EXPECT_EQ(faultKindsFromString(""), unsigned(None));
+    EXPECT_EQ(faultKindsFromString("all"), unsigned(All));
+    EXPECT_EQ(faultKindsFromString("latency"), unsigned(Latency));
+    EXPECT_EQ(faultKindsFromString("grant,parity"),
+              unsigned(Grant | Parity));
+    EXPECT_EQ(faultKindsToString(Latency | Parity), "latency,parity");
+    EXPECT_EQ(faultKindsToString(None), "none");
+    EXPECT_EQ(faultKindsFromString(faultKindsToString(All)),
+              unsigned(All));
+    EXPECT_THROW(faultKindsFromString("cosmic-rays"), FatalError);
+}
+
+TEST(FaultInjectorTest, DecisionsAreDeterministic)
+{
+    fault::FaultConfig cfg;
+    cfg.kinds = fault::All;
+    cfg.rate = 0.25;
+    cfg.seed = 123;
+    fault::FaultInjector a(cfg), b(cfg);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a.responseJitter(), b.responseJitter());
+        EXPECT_EQ(a.delayGrant(), b.delayGrant());
+        EXPECT_EQ(a.corruptFill(), b.corruptFill());
+    }
+    EXPECT_EQ(a.latencyFaults(), b.latencyFaults());
+    EXPECT_EQ(a.grantDelays(), b.grantDelays());
+    EXPECT_EQ(a.parityFaults(), b.parityFaults());
+    EXPECT_GT(a.latencyFaults() + a.grantDelays() + a.parityFaults(),
+              0u);
+}
+
+TEST(FaultInjectorTest, DisabledKindsNeverFire)
+{
+    fault::FaultConfig cfg;
+    cfg.kinds = fault::None;
+    cfg.rate = 1.0;
+    fault::FaultInjector inj(cfg);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(inj.responseJitter(), 0u);
+        EXPECT_FALSE(inj.delayGrant());
+        EXPECT_FALSE(inj.corruptFill());
+    }
+}
+
+TEST(FaultInjectorTest, PointSeedsAreIndependent)
+{
+    using fault::FaultInjector;
+    const auto s = FaultInjector::derivePointSeed(1, "16-16", 64);
+    EXPECT_EQ(FaultInjector::derivePointSeed(1, "16-16", 64), s);
+    EXPECT_NE(FaultInjector::derivePointSeed(1, "16-16", 128), s);
+    EXPECT_NE(FaultInjector::derivePointSeed(1, "8-8", 64), s);
+    EXPECT_NE(FaultInjector::derivePointSeed(2, "16-16", 64), s);
+    EXPECT_NE(s, 0u);
+}
+
+TEST(FaultRunTest, LatencyJitterIsReproducibleAndSlows)
+{
+    const auto clean = runSimulation(faultyConfig(fault::None, 0.0, 7),
+                                     tinyBenchmark().program);
+    const auto a = runSimulation(faultyConfig(fault::Latency, 0.2, 7),
+                                 tinyBenchmark().program);
+    const auto b = runSimulation(faultyConfig(fault::Latency, 0.2, 7),
+                                 tinyBenchmark().program);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.counters, b.counters);
+    EXPECT_GT(a.counter("fault.latency_faults"), 0u);
+    EXPECT_GT(a.totalCycles, clean.totalCycles);
+    EXPECT_EQ(a.instructions, clean.instructions);
+}
+
+TEST(FaultRunTest, ParityErrorsAreRetriedAndRecovered)
+{
+    // A modest parity rate corrupts some fills; the fetch unit
+    // re-requests each corrupted line and the program still runs to
+    // a correct completion.
+    const auto clean = runSimulation(faultyConfig(fault::None, 0.0, 11),
+                                     tinyBenchmark().program);
+    const auto res = runSimulation(faultyConfig(fault::Parity, 0.05, 11),
+                                   tinyBenchmark().program);
+    EXPECT_GT(res.counter("fault.parity_faults"), 0u);
+    EXPECT_GT(res.counter("fetch.parity_retries"), 0u);
+    EXPECT_EQ(res.instructions, clean.instructions);
+    EXPECT_GT(res.totalCycles, clean.totalCycles);
+}
+
+TEST(FaultRunTest, UnrecoverableParityAborts)
+{
+    // Every fill corrupted: the retry budget runs out and the fetch
+    // unit raises SimAbort with the machine snapshot attached.
+    try {
+        runSimulation(faultyConfig(fault::Parity, 1.0, 3),
+                      tinyBenchmark().program);
+        FAIL() << "expected SimAbort";
+    } catch (const SimAbort &e) {
+        EXPECT_NE(std::string(e.what()).find("parity"),
+                  std::string::npos);
+        EXPECT_TRUE(e.hasSnapshot());
+    }
+}
+
+TEST(FaultRunTest, PermanentGrantDelayDeadlocks)
+{
+    SimConfig cfg = faultyConfig(fault::Grant, 1.0, 5);
+    cfg.progressWindow = 20000; // detect the wedge quickly
+    try {
+        runSimulation(cfg, tinyBenchmark().program);
+        FAIL() << "expected SimAbort";
+    } catch (const SimAbort &e) {
+        EXPECT_NE(std::string(e.what()).find("deadlocked"),
+                  std::string::npos);
+        ASSERT_TRUE(e.hasSnapshot());
+        // The snapshot shows the memory system holding the wedge.
+        EXPECT_NE(e.snapshot().memoryState.find("input bus"),
+                  std::string::npos);
+    }
+}
+
+TEST(FaultRunTest, ConventionalFetchRecoversParityToo)
+{
+    SimConfig cfg;
+    cfg.fetch = conventionalConfigFor(64, 16);
+    cfg.mem.accessTime = 2;
+    cfg.fault.kinds = fault::Parity;
+    cfg.fault.rate = 0.05;
+    cfg.fault.seed = 11;
+    SimConfig clean = cfg;
+    clean.fault.kinds = fault::None;
+    const auto a = runSimulation(cfg, tinyBenchmark().program);
+    const auto b = runSimulation(clean, tinyBenchmark().program);
+    EXPECT_GT(a.counter("fetch.parity_retries"), 0u);
+    EXPECT_EQ(a.instructions, b.instructions);
+}

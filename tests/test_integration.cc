@@ -181,7 +181,7 @@ TEST(Integration, PaperHeadlineSmallCacheSpeedup)
     spec.strategies = {"conv", "16-16"};
     spec.mem.accessTime = 6;
     spec.mem.busWidthBytes = 4;
-    const Table t = runCacheSweep(spec, bench().program);
+    const Table t = runCacheSweep(spec, bench().program).table;
     const auto conv = std::stoull(t.at(0, 1));
     const auto pipe = std::stoull(t.at(0, 2));
     EXPECT_GT(double(conv) / double(pipe), 1.5);
@@ -196,7 +196,7 @@ TEST(Integration, PipeAlwaysBeatsConventionalAtSlowMemory)
     spec.cacheSizes = {32, 128};
     spec.mem.accessTime = 6;
     spec.mem.busWidthBytes = 8;
-    const Table t = runCacheSweep(spec, bench().program);
+    const Table t = runCacheSweep(spec, bench().program).table;
     for (std::size_t row = 0; row < t.numRows(); ++row) {
         const auto conv = std::stoull(t.at(row, 1));
         for (std::size_t col = 2; col < t.numCols(); ++col) {

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "common/abort.hh"
 #include "common/log.hh"
+
+#include "sim/guard.hh"
 
 using namespace pipesim;
 
@@ -54,4 +57,51 @@ TEST(Log, QuietFlagRoundTrip)
     EXPECT_NO_THROW(warn("suppressed"));
     EXPECT_NO_THROW(inform("suppressed"));
     setLogQuiet(before);
+}
+
+TEST(Abort, SimAbortIsRuntimeErrorWithPrefix)
+{
+    try {
+        simAbort("wedged at cycle ", 42);
+        FAIL() << "simAbort returned";
+    } catch (const SimAbort &e) {
+        EXPECT_STREQ(e.what(), "abort: wedged at cycle 42");
+        EXPECT_FALSE(e.hasSnapshot());
+    }
+    EXPECT_THROW(simAbort("x"), std::runtime_error);
+}
+
+TEST(Abort, SnapshotRendersEverySection)
+{
+    MachineSnapshot snap;
+    snap.cycle = 1234;
+    snap.lastProgressCycle = 1000;
+    snap.instructionsRetired = 55;
+    snap.lastRetiredPcs = {0x100, 0x104};
+    snap.pipelineState = "pipeline: running\n";
+    snap.fetchState = "fetch stuff\n";
+    snap.memoryState = "input bus: idle\n";
+    const std::string text = snap.toString();
+    EXPECT_NE(text.find("machine snapshot at cycle 1234"),
+              std::string::npos);
+    EXPECT_NE(text.find("0x100"), std::string::npos);
+    EXPECT_NE(text.find("[pipeline]"), std::string::npos);
+    EXPECT_NE(text.find("[fetch]"), std::string::npos);
+    EXPECT_NE(text.find("[memory]"), std::string::npos);
+
+    const SimAbort with("abort: x", snap);
+    ASSERT_TRUE(with.hasSnapshot());
+    EXPECT_EQ(with.snapshot().cycle, 1234u);
+}
+
+TEST(Guard, MapsTaxonomyToExitCodes)
+{
+    EXPECT_EQ(runGuardedMain([] { return 0; }), 0);
+    EXPECT_EQ(runGuardedMain([] { return 7; }), 7);
+    EXPECT_EQ(runGuardedMain([]() -> int { fatal("user error"); }), 1);
+    EXPECT_EQ(runGuardedMain([]() -> int { simAbort("wedged"); }), 2);
+    EXPECT_EQ(runGuardedMain([]() -> int { panic("bug"); }), 2);
+    EXPECT_EQ(runGuardedMain(
+                  []() -> int { throw std::runtime_error("other"); }),
+              2);
 }

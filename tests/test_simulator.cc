@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/abort.hh"
 #include "common/log.hh"
 
 #include "assembler/assembler.hh"
@@ -110,7 +111,29 @@ TEST(SimulatorTest, DeadlockDetected)
     SimConfig cfg;
     cfg.progressWindow = 5000;
     Simulator sim(cfg, p);
-    EXPECT_THROW(sim.run(), FatalError);
+    try {
+        sim.run();
+        FAIL() << "expected SimAbort";
+    } catch (const SimAbort &e) {
+        EXPECT_NE(std::string(e.what()).find("deadlocked"),
+                  std::string::npos);
+        // The abort carries a full machine snapshot for forensics.
+        ASSERT_TRUE(e.hasSnapshot());
+        const MachineSnapshot &snap = e.snapshot();
+        EXPECT_GT(snap.cycle, 5000u);
+        EXPECT_GT(snap.instructionsRetired, 0u);
+        EXPECT_FALSE(snap.lastRetiredPcs.empty());
+        // Each component contributed its dumpState() text.
+        EXPECT_NE(snap.pipelineState.find("pipeline:"),
+                  std::string::npos);
+        EXPECT_FALSE(snap.fetchState.empty());
+        EXPECT_NE(snap.memoryState.find("input bus"),
+                  std::string::npos);
+        const std::string report = snap.toString();
+        EXPECT_NE(report.find("machine snapshot at cycle"),
+                  std::string::npos);
+        EXPECT_NE(report.find("last retired PCs"), std::string::npos);
+    }
 }
 
 TEST(SimulatorTest, MaxCyclesEnforced)
@@ -126,7 +149,15 @@ TEST(SimulatorTest, MaxCyclesEnforced)
     SimConfig cfg;
     cfg.maxCycles = 2000;
     Simulator sim(cfg, p);
-    EXPECT_THROW(sim.run(), FatalError);
+    try {
+        sim.run();
+        FAIL() << "expected SimAbort";
+    } catch (const SimAbort &e) {
+        EXPECT_NE(std::string(e.what()).find("exceeded"),
+                  std::string::npos);
+        ASSERT_TRUE(e.hasSnapshot());
+        EXPECT_GT(e.snapshot().cycle, 2000u);
+    }
 }
 
 TEST(SimulatorTest, StatsDumpIsPopulated)
