@@ -5,21 +5,17 @@
  * Every bench accepts:
  *     --scale <f>   workload scale (1.0 = the paper's ~150k insts)
  *     --csv         CSV output instead of aligned text
- *     --jobs <n>    sweep worker threads (0 = PIPESIM_JOBS env or
- *                   hardware concurrency; 1 = serial)
- * plus the shared observability options (--cpi-stack, --trace-json,
- * --stats-json; see obs/obs_cli.hh) together with
- *     --obs-point <strategy:cachebytes>
- * selecting which sweep point those outputs observe, the fault
- * injection options (--fi-kind, --fi-seed, --fi-rate; see
- * fault/fault_cli.hh) with
- *     --fi-point <strategy:cachebytes>  restrict injection to one point
- *     --fail-fast                       rethrow the first point failure
- *     --point-retries <n>               attempts granted a failing point
- * and prints one table per figure panel with the same axes the paper
- * uses (total execution cycles vs. cache size, one column per fetch
- * strategy).  Failed points render "ERR" and are reported after the
- * table (see docs/robustness.md).
+ * plus the standard flag groups registered by
+ * registerStandardFlags() (sim/standard_flags.hh): observability,
+ * fault injection, sweep control (--jobs, --obs-point, --fi-point,
+ * --fail-fast, --point-retries) and engine selection (--engine
+ * cycle|trace with --trace-file / --sample-*).  Each bench prints one
+ * table per figure panel with the same axes the paper uses (total
+ * execution cycles vs. cache size, one column per fetch strategy).
+ * Failed points render "ERR" and are reported after the table (see
+ * docs/robustness.md); under --engine trace the sweep replays one
+ * capture of the workload instead of cycle-simulating every point
+ * (see docs/trace_replay.md).
  */
 
 #ifndef PIPESIM_BENCH_COMMON_HH
@@ -29,11 +25,11 @@
 #include <memory>
 
 #include "common/log.hh"
-#include "fault/fault_cli.hh"
-#include "obs/obs_cli.hh"
+#include "replay/trace_format.hh"
 #include "sim/cli.hh"
 #include "sim/experiment.hh"
 #include "sim/guard.hh"
+#include "sim/standard_flags.hh"
 #include "workloads/benchmark_program.hh"
 
 namespace pipesim::bench
@@ -44,13 +40,11 @@ struct BenchSetup
     workloads::Benchmark benchmark;
     bool csv = false;
     double scale = 1.0;
-    unsigned jobs = 0; //!< sweep workers (0 = env/hardware default)
-    obs::ObsOptions obs;
-    std::string obsPoint; //!< "strategy:cachebytes" the outputs observe
-    fault::FaultConfig fault;
-    std::string faultPoint; //!< restrict injection to this point
-    bool failFast = false;  //!< rethrow instead of collecting failures
-    unsigned pointRetries = 0;
+    StandardFlags flags;
+
+    /** The capture a --engine=trace sweep replays; made once per
+     *  bench by applySweepOptions() and reused across panels. */
+    std::shared_ptr<const replay::Trace> trace;
 };
 
 /** Parse standard options and build the workload. @return nullopt on
@@ -63,111 +57,35 @@ setup(int argc, char **argv, const std::string &description,
     CliParser &cli = extra ? *extra : own;
     cli.addOption("scale", "1.0", "workload scale (1.0 = paper size)");
     cli.addFlag("csv", "CSV output");
-    cli.addOption("jobs", "0",
-                  "parallel sweep workers (0 = PIPESIM_JOBS env or "
-                  "hardware concurrency, 1 = serial)");
-    obs::ObsOptions::addOptions(cli);
-    cli.addOption("obs-point", "16-16:128",
-                  "sweep point (strategy:cachebytes) the observability "
-                  "outputs apply to");
-    fault::addFaultOptions(cli);
-    cli.addOption("fi-point", "",
-                  "restrict fault injection to one sweep point "
-                  "(strategy:cachebytes); empty = every point");
-    cli.addFlag("fail-fast",
-                "abort the sweep on the first point failure instead of "
-                "rendering ERR cells and reporting at the end");
-    cli.addOption("point-retries", "0",
-                  "extra attempts granted to a failing sweep point");
+    registerStandardFlags(cli);
     if (!cli.parse(argc, argv))
         return std::nullopt;
 
     BenchSetup s;
     s.scale = cli.getDouble("scale");
     s.csv = cli.getFlag("csv");
-    const std::int64_t jobs = cli.getInt("jobs");
-    if (jobs < 0)
-        fatal("--jobs must be >= 0, got ", jobs);
-    s.jobs = unsigned(jobs);
-    s.obs = obs::ObsOptions::fromCli(cli);
-    s.obsPoint = cli.get("obs-point");
-    s.fault = fault::faultConfigFromCli(cli);
-    s.faultPoint = cli.get("fi-point");
-    s.failFast = cli.getFlag("fail-fast");
-    const std::int64_t retries = cli.getInt("point-retries");
-    if (retries < 0)
-        fatal("--point-retries must be >= 0, got ", retries);
-    s.pointRetries = unsigned(retries);
+    s.flags = standardFlagsFromCli(cli);
     s.benchmark = workloads::buildLivermoreBenchmark(s.scale);
     return s;
 }
 
 /**
- * Install the observability hooks on @p spec: when the sweep reaches
- * the point named by --obs-point, the requested outputs (trace JSON,
- * stats JSON, CPI-stack breakdown) are produced for that run.  A
- * no-op when no observability output was requested.
- *
- * If the named point never runs (typo'd strategy, a size outside the
- * sweep, or a degenerate point that renders "-"), a warning is
- * emitted after the sweep instead of silently producing nothing.
- */
-inline void
-installObs(SweepSpec &spec, const BenchSetup &s)
-{
-    if (!s.obs.any())
-        return;
-    const obs::ObsOptions opts = s.obs;
-    const std::string point = s.obsPoint;
-    auto session = std::make_shared<std::optional<obs::ObsSession>>();
-    auto produced = std::make_shared<bool>(false);
-    auto matches = [point](const std::string &strategy, unsigned cache) {
-        return strategy + ":" + std::to_string(cache) == point;
-    };
-    spec.preRun = [session, opts, matches](Simulator &sim,
-                                           const std::string &strategy,
-                                           unsigned cache) {
-        if (matches(strategy, cache))
-            session->emplace(opts, sim);
-    };
-    spec.postRun = [session, matches, produced](
-                       Simulator &sim [[maybe_unused]],
-                       const std::string &strategy, unsigned cache,
-                       const SimResult &result) {
-        if (!matches(strategy, cache) || !session->has_value())
-            return;
-        (*session)->finish(result,
-                           strategy + ":" + std::to_string(cache));
-        session->reset();
-        *produced = true;
-    };
-    spec.onSweepEnd = [produced, point, prev = spec.onSweepEnd]() {
-        if (prev)
-            prev();
-        if (!*produced)
-            warn("--obs-point " + point +
-                 " matched no sweep point that ran; the requested "
-                 "observability outputs were not produced (check the "
-                 "strategy name and cache size against the sweep)");
-    };
-}
-
-/**
- * Apply the shared sweep options to @p spec: the --jobs worker count,
- * the fault-injection/failure-policy options, and the observability
- * hooks (installObs()).  Benches default to collect-and-continue so a
+ * Apply the standard flags to @p spec (applyStandardFlags(): worker
+ * count, fault/failure policy, engine, observability hooks) and, for
+ * --engine trace, capture or load the workload trace once and point
+ * the spec at it.  Benches default to collect-and-continue so a
  * wedged point still yields every healthy cell plus a failure report.
  */
 inline void
-applySweepOptions(SweepSpec &spec, const BenchSetup &s)
+applySweepOptions(SweepSpec &spec, BenchSetup &s)
 {
-    spec.jobs = s.jobs;
-    spec.fault = s.fault;
-    spec.faultPoint = s.faultPoint;
-    spec.pointRetries = s.pointRetries;
-    spec.failurePolicy = s.failFast ? SweepFailurePolicy::FailFast
-                                    : SweepFailurePolicy::CollectAndContinue;
-    installObs(spec, s);
+    applyStandardFlags(spec, s.flags);
+    if (s.flags.engine == SweepEngine::Trace) {
+        if (!s.trace)
+            s.trace = prepareSweepTrace(spec, s.flags,
+                                        s.benchmark.program);
+        spec.trace = s.trace.get();
+    }
 }
 
 /** The paper's evaluation sweeps caches from tiny to comfortably

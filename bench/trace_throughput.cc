@@ -1,0 +1,122 @@
+/**
+ * Trace-replay throughput: wall-clock instructions/second of the
+ * cycle simulator vs. exact trace replay vs. sampled trace replay on
+ * the same workloads, plus each engine's cycle estimate so the
+ * speed/accuracy trade is visible in one table (docs/trace_replay.md;
+ * results in results/trace_replay.md).
+ */
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "replay/capture.hh"
+#include "replay/replay_engine.hh"
+#include "sim/simulator.hh"
+#include "workloads/synthetic.hh"
+
+using namespace pipesim;
+
+namespace
+{
+
+double
+secondsOf(const std::function<void()> &body, unsigned reps)
+{
+    double best = 1e30;
+    for (unsigned r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        body();
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(best,
+                        std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+int
+run(int argc, char **argv)
+{
+    CliParser cli("trace-replay throughput vs. the cycle simulator");
+    cli.addOption("scale", "1.0", "livermore workload scale");
+    cli.addOption("synth", "2000000",
+                  "synthetic stream target instructions (0 = skip)");
+    cli.addOption("sample-period", "20000",
+                  "sampled replay period (insts)");
+    cli.addOption("reps", "3", "timing repetitions (best-of)");
+    cli.addFlag("csv", "CSV output");
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    const unsigned reps = unsigned(cli.getInt("reps"));
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("16-16", 128);
+    cfg.maxCycles = Cycle(1) << 40;
+
+    struct Workload
+    {
+        std::string name;
+        Program program;
+    };
+    std::vector<Workload> workloads;
+    workloads.push_back(
+        {"livermore",
+         workloads::buildLivermoreBenchmark(cli.getDouble("scale"))
+             .program});
+    const auto synthTarget = std::uint64_t(cli.getInt("synth"));
+    if (synthTarget > 0)
+        workloads.push_back(
+            {"synth-" + std::to_string(synthTarget),
+             workloads::buildSyntheticStream(synthTarget).program});
+
+    replay::ReplayOptions sampled;
+    sampled.samplePeriod = unsigned(cli.getInt("sample-period"));
+
+    Table table({"workload", "insts", "engine", "est_cycles",
+                 "wall_ms", "minsts_per_s", "speedup"});
+    for (const auto &w : workloads) {
+        const replay::Trace trace =
+            replay::captureTrace(cfg, w.program, "throughput bench");
+        const double insts = double(trace.records.size());
+
+        SimResult cycleRes, exactRes, sampledRes;
+        const double cycleS = secondsOf(
+            [&] { cycleRes = runSimulation(cfg, w.program); }, reps);
+        const double exactS = secondsOf(
+            [&] { exactRes = replay::replayTrace(cfg, w.program,
+                                                 trace); },
+            reps);
+        const double sampledS = secondsOf(
+            [&] {
+                sampledRes = replay::replayTrace(cfg, w.program, trace,
+                                                 sampled);
+            },
+            reps);
+
+        const auto row = [&](const std::string &engine,
+                             const SimResult &res, double secs) {
+            table.beginRow();
+            table.cell(w.name);
+            table.cell(std::uint64_t(insts));
+            table.cell(engine);
+            table.cell(std::uint64_t(res.totalCycles));
+            table.cell(secs * 1e3);
+            table.cell(insts / secs / 1e6);
+            table.cell(cycleS / secs);
+        };
+        row("cycle", cycleRes, cycleS);
+        row("trace-exact", exactRes, exactS);
+        row("trace-sampled", sampledRes, sampledS);
+    }
+    std::cout << (cli.getFlag("csv") ? table.toCsv() : table.toText())
+              << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pipesim::runGuardedMain([&] { return run(argc, argv); });
+}

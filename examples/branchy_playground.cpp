@@ -11,11 +11,11 @@
 
 #include <iostream>
 
-#include "fault/fault_cli.hh"
 #include "obs/obs_cli.hh"
 #include "sim/cli.hh"
 #include "sim/guard.hh"
 #include "sim/simulator.hh"
+#include "sim/standard_flags.hh"
 #include "workloads/synthetic.hh"
 
 using namespace pipesim;
@@ -38,11 +38,12 @@ run(int argc, char **argv)
     cli.addOption("iterations", "128", "outer loop trips");
     cli.addOption("mem", "6", "memory access time");
     cli.addOption("bus", "8", "bus width bytes");
-    obs::ObsOptions::addOptions(cli);
-    fault::addFaultOptions(cli);
+    // Single run: no sweep/engine groups, just obs + fault.
+    const StandardFlagGroups groups{false, false};
+    registerStandardFlags(cli, groups);
     if (!cli.parse(argc, argv))
         return 0;
-    const auto obs_opts = obs::ObsOptions::fromCli(cli);
+    const StandardFlags flags = standardFlagsFromCli(cli, groups);
 
     workloads::BranchySpec spec;
     spec.blocks = unsigned(cli.getInt("blocks"));
@@ -65,10 +66,10 @@ run(int argc, char **argv)
         cfg.fetch = pipeConfigFor(strategy, cache);
     cfg.mem.accessTime = unsigned(cli.getInt("mem"));
     cfg.mem.busWidthBytes = unsigned(cli.getInt("bus"));
-    cfg.fault = fault::faultConfigFromCli(cli);
+    cfg.fault = flags.fault;
 
     Simulator sim(cfg, built.program);
-    obs::ObsSession obs_session(obs_opts, sim);
+    obs::ObsSession obs_session(flags.obs, sim);
     const SimResult res = sim.run();
     obs_session.finish(res, "branchy:" + strategy);
 

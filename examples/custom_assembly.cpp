@@ -10,11 +10,11 @@
 
 #include "assembler/assembler.hh"
 #include "isa/disasm.hh"
-#include "fault/fault_cli.hh"
 #include "obs/obs_cli.hh"
 #include "sim/cli.hh"
 #include "sim/guard.hh"
 #include "sim/simulator.hh"
+#include "sim/standard_flags.hh"
 #include "trace/trace.hh"
 
 using namespace pipesim;
@@ -65,11 +65,12 @@ run(int argc, char **argv)
     cli.addOption("mem", "1", "memory access time");
     cli.addFlag("trace", "print every retired instruction");
     cli.addFlag("list", "print the assembled program and exit");
-    obs::ObsOptions::addOptions(cli);
-    fault::addFaultOptions(cli);
+    // Single run: no sweep/engine groups, just obs + fault.
+    const StandardFlagGroups groups{false, false};
+    registerStandardFlags(cli, groups);
     if (!cli.parse(argc, argv))
         return 0;
-    const auto obs_opts = obs::ObsOptions::fromCli(cli);
+    const StandardFlags flags = standardFlagsFromCli(cli, groups);
 
     Program program =
         cli.positional().empty()
@@ -92,10 +93,10 @@ run(int argc, char **argv)
                     : pipeConfigFor(strategy,
                                     unsigned(cli.getInt("cache")));
     cfg.mem.accessTime = unsigned(cli.getInt("mem"));
-    cfg.fault = fault::faultConfigFromCli(cli);
+    cfg.fault = flags.fault;
 
     Simulator sim(cfg, program);
-    obs::ObsSession obs_session(obs_opts, sim);
+    obs::ObsSession obs_session(flags.obs, sim);
     InstructionTracer tracer(std::cout);
     if (cli.getFlag("trace"))
         tracer.attach(sim.probes());

@@ -9,11 +9,11 @@
 
 #include <iostream>
 
-#include "fault/fault_cli.hh"
 #include "obs/obs_cli.hh"
 #include "sim/cli.hh"
 #include "sim/guard.hh"
 #include "sim/simulator.hh"
+#include "sim/standard_flags.hh"
 #include "workloads/benchmark_program.hh"
 #include "workloads/livermore.hh"
 #include "trace/pipeview.hh"
@@ -38,11 +38,12 @@ run(int argc, char **argv)
     cli.addFlag("pipelined", "pipelined external memory");
     cli.addFlag("data-priority", "data beats demand I-fetch");
     cli.addFlag("timeline", "print a cycle-by-cycle issue timeline");
-    obs::ObsOptions::addOptions(cli);
-    fault::addFaultOptions(cli);
+    // Single run: no sweep/engine groups, just obs + fault.
+    const StandardFlagGroups groups{false, false};
+    registerStandardFlags(cli, groups);
     if (!cli.parse(argc, argv))
         return 0;
-    const auto obs_opts = obs::ObsOptions::fromCli(cli);
+    const StandardFlags flags = standardFlagsFromCli(cli, groups);
 
     const auto kernel = workloads::livermoreKernel(
         int(cli.getInt("kernel")), cli.getDouble("scale"));
@@ -60,7 +61,7 @@ run(int argc, char **argv)
     cfg.mem.busWidthBytes = unsigned(cli.getInt("bus"));
     cfg.mem.pipelined = cli.getFlag("pipelined");
     cfg.mem.instructionPriority = !cli.getFlag("data-priority");
-    cfg.fault = fault::faultConfigFromCli(cli);
+    cfg.fault = flags.fault;
 
     std::cout << "kernel " << kernel.id << " (" << kernel.name << "): "
               << kernel.tripCount << " iterations, inner loop "
@@ -68,7 +69,7 @@ run(int argc, char **argv)
               << " delay slots\n\n";
 
     Simulator sim(cfg, bench.program);
-    obs::ObsSession obs_session(obs_opts, sim);
+    obs::ObsSession obs_session(flags.obs, sim);
     PipeViewer viewer;
     SimResult res;
     if (cli.getFlag("timeline")) {

@@ -9,11 +9,11 @@
 
 #include <iostream>
 
-#include "fault/fault_cli.hh"
 #include "obs/obs_cli.hh"
 #include "sim/cli.hh"
 #include "sim/guard.hh"
 #include "sim/simulator.hh"
+#include "sim/standard_flags.hh"
 #include "workloads/benchmark_program.hh"
 #include "workloads/reference.hh"
 
@@ -30,11 +30,12 @@ run(int argc, char **argv)
     cli.addOption("mem", "6", "memory access time in cycles");
     cli.addOption("bus", "8", "input bus width in bytes (4 or 8)");
     cli.addOption("scale", "0.2", "workload scale (1.0 = paper size)");
-    obs::ObsOptions::addOptions(cli);
-    fault::addFaultOptions(cli);
+    // Single run: no sweep/engine groups, just obs + fault.
+    const StandardFlagGroups groups{false, false};
+    registerStandardFlags(cli, groups);
     if (!cli.parse(argc, argv))
         return 0;
-    const auto obs_opts = obs::ObsOptions::fromCli(cli);
+    const StandardFlags flags = standardFlagsFromCli(cli, groups);
 
     // 1. Generate the benchmark program (the 14 Livermore loops
     //    compiled back to back, as in the paper).
@@ -48,7 +49,7 @@ run(int argc, char **argv)
         SimConfig cfg;
         cfg.mem.accessTime = unsigned(cli.getInt("mem"));
         cfg.mem.busWidthBytes = unsigned(cli.getInt("bus"));
-        cfg.fault = fault::faultConfigFromCli(cli);
+        cfg.fault = flags.fault;
         cfg.fetch =
             std::string(strategy) == "conv"
                 ? conventionalConfigFor(unsigned(cli.getInt("cache")))
@@ -57,7 +58,7 @@ run(int argc, char **argv)
         Simulator sim(cfg, bench.program);
         // The file-producing outputs observe the PIPE run (the second
         // pass would otherwise overwrite the conventional one's).
-        obs::ObsOptions pass_opts = obs_opts;
+        obs::ObsOptions pass_opts = flags.obs;
         if (std::string(strategy) == "conv") {
             pass_opts.traceJson.clear();
             pass_opts.statsJson.clear();

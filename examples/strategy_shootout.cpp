@@ -2,8 +2,12 @@
  * Strategy shootout: sweep cache sizes for every fetch strategy on a
  * configurable machine and print the figure-style table — a
  * generalisation of the paper's Figures 4-6 to any parameter point.
+ * Accepts the standard flag groups (sim/standard_flags.hh), so the
+ * sweep composes with --jobs, fault injection, the observability
+ * outputs and --engine trace.
  *
  *     ./strategy_shootout --mem 6 --bus 8 --pipelined --scale 0.3
+ *     ./strategy_shootout --engine trace --sample-period 5000
  */
 
 #include <iostream>
@@ -11,11 +15,11 @@
 
 #include "common/log.hh"
 #include "common/strutil.hh"
-#include "fault/fault_cli.hh"
-#include "obs/obs_cli.hh"
+#include "replay/trace_format.hh"
 #include "sim/cli.hh"
 #include "sim/experiment.hh"
 #include "sim/guard.hh"
+#include "sim/standard_flags.hh"
 #include "workloads/benchmark_program.hh"
 
 using namespace pipesim;
@@ -32,37 +36,18 @@ run(int argc, char **argv)
     cli.addOption("scale", "0.3", "workload scale (1.0 = paper)");
     cli.addOption("sizes", "16,32,64,128,256,512",
                   "comma-separated cache sizes");
-    cli.addOption("jobs", "0",
-                  "parallel sweep workers (0 = PIPESIM_JOBS env or "
-                  "hardware concurrency, 1 = serial)");
     cli.addFlag("pipelined", "pipelined external memory");
     cli.addFlag("tib", "include the target-instruction-buffer strategy");
     cli.addFlag("csv", "emit CSV instead of a text table");
-    obs::ObsOptions::addOptions(cli);
-    cli.addOption("obs-point", "16-16:128",
-                  "sweep point (strategy:cachebytes) the observability "
-                  "outputs apply to");
-    fault::addFaultOptions(cli);
-    cli.addOption("fi-point", "",
-                  "restrict fault injection to one sweep point "
-                  "(strategy:cachebytes); empty = every point");
-    cli.addFlag("fail-fast",
-                "abort the sweep on the first point failure instead of "
-                "rendering ERR cells and reporting at the end");
-    cli.addOption("point-retries", "0",
-                  "extra attempts granted to a failing sweep point");
+    registerStandardFlags(cli);
     if (!cli.parse(argc, argv))
         return 0;
-    const auto obs_opts = obs::ObsOptions::fromCli(cli);
+    const StandardFlags flags = standardFlagsFromCli(cli);
 
     const auto bench =
         workloads::buildLivermoreBenchmark(cli.getDouble("scale"));
 
     SweepSpec spec;
-    const std::int64_t jobs = cli.getInt("jobs");
-    if (jobs < 0)
-        fatal("--jobs must be >= 0, got ", jobs);
-    spec.jobs = unsigned(jobs);
     if (cli.getFlag("tib"))
         spec.strategies.insert(spec.strategies.begin() + 1, "tib");
     spec.mem.accessTime = unsigned(cli.getInt("mem"));
@@ -71,49 +56,14 @@ run(int argc, char **argv)
     spec.cacheSizes.clear();
     for (const auto &part : split(cli.get("sizes"), ','))
         spec.cacheSizes.push_back(unsigned(*parseInt(part)));
-    spec.fault = fault::faultConfigFromCli(cli);
-    spec.faultPoint = cli.get("fi-point");
-    const std::int64_t retries = cli.getInt("point-retries");
-    if (retries < 0)
-        fatal("--point-retries must be >= 0, got ", retries);
-    spec.pointRetries = unsigned(retries);
-    spec.failurePolicy = cli.getFlag("fail-fast")
-                             ? SweepFailurePolicy::FailFast
-                             : SweepFailurePolicy::CollectAndContinue;
+    applyStandardFlags(spec, flags);
+    const auto trace = prepareSweepTrace(spec, flags, bench.program);
 
     std::cout << "total cycles, " << bench.kernels.size()
               << " Livermore loops, mem=" << spec.mem.accessTime
               << " bus=" << spec.mem.busWidthBytes
               << (spec.mem.pipelined ? " pipelined" : " non-pipelined")
               << "\n\n";
-
-    if (obs_opts.any()) {
-        const std::string point = cli.get("obs-point");
-        auto session =
-            std::make_shared<std::optional<obs::ObsSession>>();
-        spec.preRun = [session, obs_opts, point](
-                          Simulator &sim, const std::string &strategy,
-                          unsigned cache) {
-            if (strategy + ":" + std::to_string(cache) == point)
-                session->emplace(obs_opts, sim);
-        };
-        auto produced = std::make_shared<bool>(false);
-        spec.postRun = [session, produced](Simulator &,
-                                           const std::string &, unsigned,
-                                           const SimResult &result) {
-            if (session->has_value()) {
-                (*session)->finish(result);
-                session->reset();
-                *produced = true;
-            }
-        };
-        spec.onSweepEnd = [produced, point]() {
-            if (!*produced)
-                warn("--obs-point " + point +
-                     " matched no sweep point that ran; no "
-                     "observability output was produced");
-        };
-    }
 
     const SweepResult result = runCacheSweep(spec, bench.program);
     std::cout << (cli.getFlag("csv") ? result.table.toCsv()

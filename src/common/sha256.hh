@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Self-contained SHA-256 (FIPS 180-4), used to fingerprint program
+ * images and trace files so replay results are attributable to an
+ * exact capture.  Streaming interface plus one-shot helpers; no
+ * external dependencies.
+ */
+
+#ifndef PIPESIM_COMMON_SHA256_HH
+#define PIPESIM_COMMON_SHA256_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pipesim
+{
+
+class Sha256
+{
+  public:
+    Sha256() { reset(); }
+
+    /** Restart as if freshly constructed. */
+    void reset();
+
+    /** Absorb @p len bytes from @p data. */
+    void update(const void *data, std::size_t len);
+
+    /** Finish and return the 32-byte digest (object must be reset()
+     *  before reuse). */
+    std::array<std::uint8_t, 32> digest();
+
+    /** Finish and return the digest as 64 lower-case hex chars. */
+    std::string hexDigest();
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 8> _state;
+    std::array<std::uint8_t, 64> _buffer;
+    std::size_t _bufferLen = 0;
+    std::uint64_t _totalBytes = 0;
+};
+
+/** One-shot digest of a byte buffer, as lower-case hex. */
+std::string sha256Hex(const void *data, std::size_t len);
+
+/** One-shot digest of a byte vector, as lower-case hex. */
+std::string sha256Hex(const std::vector<std::uint8_t> &bytes);
+
+} // namespace pipesim
+
+#endif // PIPESIM_COMMON_SHA256_HH

@@ -154,31 +154,59 @@ std::string
 Table::toCsv() const
 {
     const auto rows = allRows(_rows, _current);
-    auto quote = [](const std::string &s) {
-        if (s.find(',') == std::string::npos &&
-            s.find('"') == std::string::npos)
-            return s;
-        std::string out = "\"";
+    auto escape = [](const std::string &s) {
+        std::string out;
         for (char c : s) {
             if (c == '"')
                 out += '"';
             out += c;
         }
-        out += '"';
         return out;
     };
+    auto quote = [&](const std::string &s) {
+        if (s.find(',') == std::string::npos &&
+            s.find('"') == std::string::npos)
+            return s;
+        return "\"" + escape(s) + "\"";
+    };
+    // "ERR" (failed point) and "-" (point not run) are sentinels for
+    // the human-readable renderings; in CSV they would poison numeric
+    // columns for downstream parsers, so they become empty fields and
+    // a trailing always-quoted "note" column says which columns held
+    // them.
+    auto isSentinel = [](const std::string &s) {
+        return s == "ERR" || s == "-";
+    };
+    bool hasSentinel = false;
+    for (const auto &row : rows)
+        for (const auto &cell : row)
+            hasSentinel = hasSentinel || isSentinel(cell);
+
     std::ostringstream os;
     for (std::size_t c = 0; c < _headers.size(); ++c) {
         os << quote(_headers[c]);
         if (c + 1 < _headers.size())
             os << ",";
     }
+    if (hasSentinel)
+        os << ",note";
     os << "\n";
     for (const auto &row : rows) {
+        std::string note;
         for (std::size_t c = 0; c < row.size(); ++c) {
-            os << quote(row[c]);
+            if (isSentinel(row[c])) {
+                note += (note.empty() ? "" : "; ") + _headers[c] +
+                        (row[c] == "ERR" ? "=ERR" : "=no data");
+            } else {
+                os << quote(row[c]);
+            }
             if (c + 1 < row.size())
                 os << ",";
+        }
+        if (hasSentinel) {
+            os << ",";
+            if (!note.empty())
+                os << "\"" << escape(note) << "\"";
         }
         os << "\n";
     }

@@ -56,7 +56,13 @@ class Table
     /** Render as GitHub-flavoured markdown. */
     std::string toMarkdown() const;
 
-    /** Render as CSV (RFC-4180-ish; quotes cells containing commas). */
+    /**
+     * Render as CSV (RFC-4180-ish; quotes cells containing commas).
+     * The "ERR" / "-" sentinels the text renderings show for failed
+     * or not-run sweep points become *empty* fields so numeric
+     * columns stay parseable; when any are present a trailing "note"
+     * column carries a quoted explanation per affected row.
+     */
     std::string toCsv() const;
 
   private:

@@ -1,0 +1,27 @@
+#include "core/fetch_factory.hh"
+
+#include "common/log.hh"
+#include "core/conventional_fetch.hh"
+#include "core/pipe_fetch.hh"
+#include "core/tib_fetch.hh"
+
+namespace pipesim
+{
+
+std::unique_ptr<FetchUnit>
+makeFetchUnit(const FetchConfig &config, const Program &program,
+              MemorySystem &mem)
+{
+    switch (config.strategy) {
+      case FetchStrategy::Pipe:
+        return std::make_unique<PipeFetchUnit>(config, program, mem);
+      case FetchStrategy::Conventional:
+        return std::make_unique<ConventionalFetchUnit>(config, program,
+                                                       mem);
+      case FetchStrategy::Tib:
+        return std::make_unique<TibFetchUnit>(config, program, mem);
+    }
+    panic("unknown fetch strategy ", unsigned(config.strategy));
+}
+
+} // namespace pipesim

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Shared constructor for the three fetch strategies, so the cycle
+ * simulator and the trace-replay engine build identical front ends.
+ */
+
+#ifndef PIPESIM_CORE_FETCH_FACTORY_HH
+#define PIPESIM_CORE_FETCH_FACTORY_HH
+
+#include <memory>
+
+#include "core/fetch_unit.hh"
+
+namespace pipesim
+{
+
+class Program;
+class MemorySystem;
+
+/** Build the fetch unit selected by @p config.strategy. */
+std::unique_ptr<FetchUnit> makeFetchUnit(const FetchConfig &config,
+                                         const Program &program,
+                                         MemorySystem &mem);
+
+} // namespace pipesim
+
+#endif // PIPESIM_CORE_FETCH_FACTORY_HH

@@ -145,6 +145,23 @@ class Pipeline
     };
     std::optional<Resolve> _pendingResolve;
 
+    /**
+     * Trace-relevant outcomes of the most recent execute(), copied
+     * into the RetireEvent emitted for that instruction (the effective
+     * address and branch resolution are computed inside execute() and
+     * are otherwise invisible to listeners).
+     */
+    struct ExecAnnotation
+    {
+        bool hasMemAddr = false;
+        bool memIsStore = false;
+        Addr memAddr = 0;
+        bool hasBranch = false;
+        bool branchTaken = false;
+        Addr branchTarget = 0;
+    };
+    ExecAnnotation _execNote;
+
     bool _halted = false;
     Cycle _haltCycle = 0;
     obs::ProbeBus *_probes = nullptr;

@@ -17,6 +17,13 @@ writeStatsJson(std::ostream &os, const SimResult &result,
     w.key("instructions").value(result.instructions);
     w.key("cpi").value(result.cpi());
 
+    if (!result.meta.empty()) {
+        w.key("meta").beginObject();
+        for (const auto &[name, value] : result.meta)
+            w.key(name).value(value);
+        w.endObject();
+    }
+
     w.key("counters").beginObject();
     for (const auto &[name, value] : result.counters)
         w.key(name).value(value);

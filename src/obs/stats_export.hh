@@ -26,9 +26,14 @@ namespace pipesim::obs
  *     {
  *       "label": "...",
  *       "totalCycles": N, "instructions": N, "cpi": x,
+ *       "meta": { "engine": "trace-exact", "trace_sha256": ... },
  *       "counters": { "cpu.retired": N, ... },
  *       "formulas": { "fetch.icache.miss_ratio": x, ... }
  *     }
+ *
+ * The "meta" section appears when the run carries provenance
+ * attributes (SimResult::meta) — e.g. a trace replay records the
+ * engine, the trace's sha256, and the traced program's sha256.
  *
  * @param stats Optional; adds the "formulas" section when given (the
  *        counters all live in @p result already).

@@ -1,0 +1,346 @@
+#include "replay/replay_engine.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/abort.hh"
+#include "common/log.hh"
+#include "core/fetch_factory.hh"
+#include "mem/data_memory.hh"
+#include "mem/fpu.hh"
+#include "replay/replay_pipeline.hh"
+
+namespace pipesim::replay
+{
+
+namespace
+{
+
+void
+checkReplayable(const SimConfig &config, const Program &program,
+                const Trace &trace)
+{
+    if (config.fault.enabled())
+        fatal("trace replay cannot inject faults: a fault changes the "
+              "timing the trace was captured without; use the cycle "
+              "engine for fault experiments");
+    const std::string hash = programSha256(program);
+    if (hash != trace.meta.programSha256)
+        fatal("trace was captured from a different program: trace "
+              "records program sha256 ", trace.meta.programSha256,
+              " but this program hashes to ", hash,
+              " (capture provenance: ",
+              trace.meta.provenance.empty() ? "none"
+                                            : trace.meta.provenance,
+              ")");
+}
+
+/**
+ * One replayed machine instance (exact run or one sampling window).
+ * The backing store is shared by the caller: replay timing is
+ * value-independent, so sampling windows reuse one DataMemory instead
+ * of zeroing a fresh megabyte each (stale values from an earlier
+ * window are harmless — only addresses reach the timing model).
+ */
+struct ReplayMachine
+{
+    MemorySystem mem;
+    std::unique_ptr<FetchUnit> fetch;
+    ReplayPipeline pipe;
+    StatGroup stats;
+    Cycle now = 0;
+    Cycle lastProgressCycle = 0;
+    std::uint64_t lastRetired = 0;
+
+    ReplayMachine(const SimConfig &config, const Program &program,
+                  const Trace &trace, std::size_t firstRecord,
+                  DataMemory &dataMem)
+        : mem(config.mem, dataMem),
+          fetch(makeFetchUnit(config.fetch, program, mem)),
+          pipe(config.cpu, *fetch, mem, trace, firstRecord)
+    {
+        // Match Simulator's registration order so reports line up.
+        pipe.regStats(stats, "cpu");
+        fetch->regStats(stats, "fetch");
+        mem.regStats(stats, "mem");
+    }
+
+    void
+    step()
+    {
+        fetch->tick(now);
+        mem.tick(now);
+        pipe.tick(now);
+        if (pipe.instructionsRetired() != lastRetired) {
+            lastRetired = pipe.instructionsRetired();
+            lastProgressCycle = now;
+        }
+        ++now;
+    }
+
+    bool
+    done() const
+    {
+        return pipe.halted() && pipe.drained() && mem.quiescent();
+    }
+
+    void
+    watchdogs(const SimConfig &config) const
+    {
+        if (now > config.maxCycles)
+            simAbort("trace replay exceeded ", config.maxCycles,
+                     " cycles");
+        if (!pipe.halted() &&
+            now - lastProgressCycle > config.progressWindow)
+            simAbort("trace replay: no instruction retired for ",
+                     config.progressWindow,
+                     " cycles: machine deadlocked at cycle ", now);
+    }
+};
+
+SimResult
+replayExact(const SimConfig &config, const Program &program,
+            const Trace &trace)
+{
+    DataMemory dataMem;
+    dataMem.loadProgram(program);
+    ReplayMachine m(config, program, trace, 0, dataMem);
+    while (!m.done()) {
+        m.step();
+        m.watchdogs(config);
+    }
+    if (!m.pipe.traceExhausted())
+        fatal("trace replay halted after ", m.pipe.cursor(),
+              " instructions but the trace holds ",
+              trace.records.size(),
+              " — the trace does not match this program");
+
+    SimResult r;
+    r.totalCycles = m.pipe.haltCycle();
+    r.instructions = m.pipe.instructionsRetired();
+    for (const auto &name : m.stats.counterNames())
+        r.counters.emplace(name, m.stats.counterValue(name));
+    r.meta["engine"] = "trace-exact";
+    r.meta["trace_sha256"] = trace.sha256;
+    r.meta["program_sha256"] = trace.meta.programSha256;
+    return r;
+}
+
+/**
+ * Record indices where a fresh machine can pick up the trace without
+ * depending on state produced before the cut:
+ *
+ *  - the architectural queues are provably empty (every load before
+ *    the index has met its r7 read and every store address its store
+ *    data — the FIFO pairing makes a zero running balance a clean
+ *    cut);
+ *  - no FPU operation is in flight (a result load after the cut whose
+ *    operand-B store preceded it would block forever on a fresh
+ *    device);
+ *  - the index is not inside a taken PBR's delay-slot shadow (fetch
+ *    restarted at a shadow pc would fall through instead of taking
+ *    the redirect the committed stream followed).
+ */
+std::vector<std::size_t>
+computeSyncPoints(const Program &program, const Trace &trace)
+{
+    // The scan touches every trace record but the program's static
+    // footprint is small, so decode each pc once and replay the scan
+    // from the cache — this is what keeps sampled replay fast on
+    // multi-million-instruction traces.
+    struct PcInfo
+    {
+        bool known = false;
+        std::int8_t ldqPops = 0;
+        bool isLoad = false, pushesSdq = false, isStore = false;
+        std::uint8_t count = 0;
+    };
+    std::vector<PcInfo> decoded; // flat, indexed by pc / parcelBytes
+
+    std::vector<std::size_t> points;
+    std::int64_t ldqBalance = 0; // loads issued - r7 source reads
+    std::int64_t sdqBalance = 0; // r7 dest writes - store addresses
+    std::array<std::int64_t, unsigned(FpuOp::NumOps)> fpuBalance{};
+    unsigned branchShadow = 0; // records left in a taken pbr's shadow
+    for (std::size_t i = 0; i < trace.records.size(); ++i) {
+        const bool fpuIdle =
+            std::all_of(fpuBalance.begin(), fpuBalance.end(),
+                        [](std::int64_t b) { return b == 0; });
+        if (ldqBalance == 0 && sdqBalance == 0 && fpuIdle &&
+            branchShadow == 0)
+            points.push_back(i);
+        const TraceRecord &rec = trace.records[i];
+        const std::size_t slot = rec.pc / parcelBytes;
+        if (slot >= decoded.size())
+            decoded.resize(slot + 1);
+        if (!decoded[slot].known) {
+            const auto di = program.decodeAt(rec.pc);
+            if (!di)
+                fatal("trace record #", i, " names pc 0x", std::hex,
+                      rec.pc, std::dec,
+                      " which is not a decodable instruction in this "
+                      "program");
+            decoded[slot] = PcInfo{true, std::int8_t(di->ldqPops()),
+                                   di->isLoad(), di->pushesSdq(),
+                                   di->isStore(), di->count};
+        }
+        const PcInfo &inst = decoded[slot];
+        ldqBalance -= inst.ldqPops;
+        if (inst.isLoad)
+            ++ldqBalance;
+        if (inst.pushesSdq)
+            ++sdqBalance;
+        if (inst.isStore)
+            --sdqBalance;
+        if (rec.hasMemAddr && FpuDevice::contains(rec.memAddr)) {
+            for (unsigned k = 0; k < unsigned(FpuOp::NumOps); ++k) {
+                const auto op = FpuOp(k);
+                if (rec.memIsStore && rec.memAddr == FpuDevice::opB(op))
+                    ++fpuBalance[k];
+                if (!rec.memIsStore &&
+                    rec.memAddr == FpuDevice::opResult(op))
+                    --fpuBalance[k];
+            }
+        }
+        if (branchShadow > 0)
+            --branchShadow;
+        if (rec.isPbr && rec.branchTaken)
+            branchShadow = std::max(branchShadow, unsigned(inst.count));
+    }
+    return points;
+}
+
+SimResult
+replaySampled(const SimConfig &config, const Program &program,
+              const Trace &trace, const ReplayOptions &opt)
+{
+    if (opt.sampleMeasure == 0)
+        fatal("trace replay: sampleMeasure must be nonzero");
+    if (std::uint64_t(opt.sampleWarmup) + opt.sampleMeasure >
+        opt.samplePeriod)
+        fatal("trace replay: samplePeriod (", opt.samplePeriod,
+              ") must cover warmup (", opt.sampleWarmup,
+              ") + measure (", opt.sampleMeasure, ")");
+
+    const std::size_t total = trace.records.size();
+    const std::vector<std::size_t> syncPoints =
+        computeSyncPoints(program, trace);
+
+    DataMemory dataMem;
+    dataMem.loadProgram(program);
+
+    std::map<std::string, std::uint64_t> measuredCounters;
+    std::vector<double> windowCpis;
+    std::uint64_t measuredInsts = 0;
+    Cycle measuredCycles = 0;
+
+    for (std::size_t k = 0;; ++k) {
+        const std::size_t target = k * std::size_t(opt.samplePeriod);
+        if (target >= total)
+            break;
+        auto it = std::lower_bound(syncPoints.begin(), syncPoints.end(),
+                                   target);
+        if (it == syncPoints.end())
+            break;
+        const std::size_t start = *it;
+        const std::size_t warmEnd =
+            std::min<std::size_t>(start + opt.sampleWarmup, total);
+        const std::size_t measureEnd =
+            std::min<std::size_t>(warmEnd + opt.sampleMeasure, total);
+        if (measureEnd <= warmEnd)
+            break; // nothing left to measure in the tail
+
+        ReplayMachine m(config, program, trace, start, dataMem);
+        m.fetch->reset(trace.records[start].pc);
+
+        while (m.pipe.cursor() < warmEnd && !m.done()) {
+            m.step();
+            m.watchdogs(config);
+        }
+        if (m.pipe.cursor() < warmEnd)
+            break; // trace (and program) ended inside the warm-up
+
+        const Cycle warmEndCycle = m.now;
+        std::vector<std::uint64_t> before;
+        const auto names = m.stats.counterNames();
+        before.reserve(names.size());
+        for (const auto &name : names)
+            before.push_back(m.stats.counterValue(name));
+
+        while (m.pipe.cursor() < measureEnd && !m.done()) {
+            m.step();
+            m.watchdogs(config);
+        }
+
+        const std::uint64_t insts = m.pipe.cursor() - warmEnd;
+        const Cycle cycles = m.now - warmEndCycle;
+        if (insts == 0)
+            continue;
+        measuredInsts += insts;
+        measuredCycles += cycles;
+        windowCpis.push_back(double(cycles) / double(insts));
+        for (std::size_t i = 0; i < names.size(); ++i)
+            measuredCounters[names[i]] +=
+                m.stats.counterValue(names[i]) - before[i];
+    }
+
+    if (measuredInsts == 0)
+        fatal("trace replay: sampling produced no measured "
+              "instructions (trace of ", total,
+              " records, period ", opt.samplePeriod, ")");
+
+    // Ratio estimator for the point value; the CI comes from the
+    // spread of the per-window CPIs (CLT over systematic windows).
+    const double cpi = double(measuredCycles) / double(measuredInsts);
+    double relCi = 0.0;
+    if (windowCpis.size() > 1) {
+        double mean = 0.0;
+        for (double c : windowCpis)
+            mean += c;
+        mean /= double(windowCpis.size());
+        double var = 0.0;
+        for (double c : windowCpis)
+            var += (c - mean) * (c - mean);
+        var /= double(windowCpis.size() - 1);
+        relCi = 1.96 * std::sqrt(var / double(windowCpis.size())) / mean;
+    }
+
+    SimResult r;
+    r.totalCycles = Cycle(std::llround(cpi * double(total)));
+    r.instructions = total;
+    r.counters = std::move(measuredCounters);
+    r.meta["engine"] = "trace-sampled";
+    r.meta["trace_sha256"] = trace.sha256;
+    r.meta["program_sha256"] = trace.meta.programSha256;
+    r.meta["sample_period"] = std::to_string(opt.samplePeriod);
+    r.meta["sample_warmup"] = std::to_string(opt.sampleWarmup);
+    r.meta["sample_measure"] = std::to_string(opt.sampleMeasure);
+    r.meta["sample_windows"] = std::to_string(windowCpis.size());
+    r.meta["sampled_instructions"] = std::to_string(measuredInsts);
+    r.meta["cpi_estimate"] = std::to_string(cpi);
+    r.meta["cpi_rel_ci95"] = std::to_string(relCi);
+    // Counters sum only the measured windows; scale by
+    // instructions/sampled_instructions for whole-run estimates.
+    r.meta["counters_scope"] = "measured_windows";
+    return r;
+}
+
+} // namespace
+
+SimResult
+replayTrace(const SimConfig &config, const Program &program,
+            const Trace &trace, const ReplayOptions &options)
+{
+    checkReplayable(config, program, trace);
+    if (trace.records.empty())
+        fatal("trace replay: the trace holds no records");
+    if (options.samplePeriod == 0)
+        return replayExact(config, program, trace);
+    return replaySampled(config, program, trace, options);
+}
+
+} // namespace pipesim::replay

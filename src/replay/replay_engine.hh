@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Trace-driven simulation: replay a captured instruction stream
+ * through any machine configuration, without executing values.
+ *
+ * Two modes (docs/trace_replay.md documents the guarantees):
+ *
+ *  - Exact (samplePeriod == 0): a cycle-driven run with the real
+ *    fetch unit and memory system and a surrogate backend
+ *    (ReplayPipeline).  Miss counts, stall counters and the cycle
+ *    count are bit-exact against Simulator for the same config —
+ *    enforced by tests/test_replay.cc across the full Livermore
+ *    sweep grid.
+ *
+ *  - Sampled (samplePeriod > 0): SMARTS-style systematic sampling.
+ *    Every samplePeriod instructions a fresh machine replays
+ *    sampleWarmup instructions of detailed warm-up followed by
+ *    sampleMeasure measured instructions; the run's CPI is estimated
+ *    from the measured windows and the total cycle count
+ *    extrapolated.  Windows begin only at architectural sync points
+ *    (no load data or store data crossing the window boundary), so a
+ *    window can never deadlock on queue state it did not observe.
+ */
+
+#ifndef PIPESIM_REPLAY_REPLAY_ENGINE_HH
+#define PIPESIM_REPLAY_REPLAY_ENGINE_HH
+
+#include "replay/trace_format.hh"
+#include "sim/config.hh"
+#include "sim/simulator.hh"
+
+namespace pipesim::replay
+{
+
+/** How to replay; default is the exact mode. */
+struct ReplayOptions
+{
+    /**
+     * Sampling period in instructions; 0 selects the exact mode.
+     * Must be >= sampleWarmup + sampleMeasure when nonzero.
+     */
+    unsigned samplePeriod = 0;
+    unsigned sampleWarmup = 300;  //!< detailed warm-up per window
+    unsigned sampleMeasure = 700; //!< measured instructions per window
+};
+
+/**
+ * Replay @p trace through the machine described by @p config.
+ *
+ * The result's counters use the same names as the cycle simulator's;
+ * result.meta records the engine, the trace and program hashes, and
+ * (when sampling) the window parameters and the CPI confidence
+ * interval.
+ *
+ * @throws FatalError when the trace was not captured from @p program
+ *         (hash mismatch or per-record divergence) or when fault
+ *         injection is requested (replay has no fault injector).
+ * @throws SimAbort on the same watchdogs as the cycle simulator.
+ */
+SimResult replayTrace(const SimConfig &config, const Program &program,
+                      const Trace &trace,
+                      const ReplayOptions &options = {});
+
+} // namespace pipesim::replay
+
+#endif // PIPESIM_REPLAY_REPLAY_ENGINE_HH

@@ -1,39 +1,86 @@
-#include "cpu/pipeline.hh"
+#include "replay/replay_pipeline.hh"
 
 #include <ostream>
 
 #include "common/log.hh"
 #include "isa/opcodes.hh"
 
-namespace pipesim
+namespace pipesim::replay
 {
 
 using isa::Cond;
 using isa::Opcode;
 
-Pipeline::Pipeline(const PipelineConfig &config, FetchUnit &fetch,
-                   MemorySystem &mem)
-    : _cfg(config), _fetch(fetch), _mem(mem), _dataPort(*this),
+namespace
+{
+
+/**
+ * Opcodes whose execution produces an ALU result (the `result`
+ * optional in Pipeline::execute()): these, and only these, write a
+ * destination register or push the SDQ, so they are the ones whose
+ * issue sets a busy-until timestamp.  Must track Pipeline::execute's
+ * switch; the cross-engine validation tests catch drift.
+ */
+bool
+producesAluResult(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Sra:
+      case Opcode::Addi:
+      case Opcode::Subi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Slli:
+      case Opcode::Srli:
+      case Opcode::Srai:
+      case Opcode::Li:
+      case Opcode::Lui:
+      case Opcode::Mov:
+      case Opcode::Not:
+      case Opcode::Neg:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+ReplayPipeline::ReplayPipeline(const PipelineConfig &config,
+                               FetchUnit &fetch, MemorySystem &mem,
+                               const Trace &trace,
+                               std::size_t firstRecord)
+    : _cfg(config), _fetch(fetch), _mem(mem), _trace(trace),
+      _dataPort(*this),
       _queues(config.laqEntries, config.ldqEntries, config.saqEntries,
-              config.sdqEntries)
+              config.sdqEntries),
+      _cursor(firstRecord)
 {
     _mem.setDataClient(&_dataPort);
 }
 
-Pipeline::~Pipeline()
+ReplayPipeline::~ReplayPipeline()
 {
     _mem.setDataClient(nullptr);
 }
 
 bool
-Pipeline::drained() const
+ReplayPipeline::drained() const
 {
     return _queues.laq().empty() && _queues.saq().empty() &&
            _queues.sdq().empty() && _loadsIssued == _loadsDelivered;
 }
 
 std::optional<MemRequest>
-Pipeline::peekDataOp()
+ReplayPipeline::peekDataOp()
 {
     const auto &laq = _queues.laq();
     const auto &saq = _queues.saq();
@@ -55,15 +102,14 @@ Pipeline::peekDataOp()
         req.addr = laq.front().addr;
         req.isStore = false;
         req.dataSeq = _loadsAccepted;
-        req.onData = [this](Word value) {
+        req.onData = [this](Word) {
             PIPESIM_ASSERT(!_queues.ldq().full(),
                            "LDQ overflow: reservation logic broken");
-            _queues.ldq().push(value);
+            // The loaded value is timing-irrelevant; park a zero.
+            _queues.ldq().push(0);
             ++_loadsDelivered;
         };
     } else {
-        // A store needs its data; program order blocks behind it
-        // until the SDQ entry is produced.
         if (_queues.sdq().empty())
             return std::nullopt;
         req.addr = saq.front().addr;
@@ -74,7 +120,7 @@ Pipeline::peekDataOp()
 }
 
 void
-Pipeline::dataOpAccepted()
+ReplayPipeline::dataOpAccepted()
 {
     auto &laq = _queues.laq();
     auto &saq = _queues.saq();
@@ -97,19 +143,19 @@ Pipeline::dataOpAccepted()
 }
 
 std::optional<MemRequest>
-Pipeline::DataPort::peek()
+ReplayPipeline::DataPort::peek()
 {
     return _owner.peekDataOp();
 }
 
 void
-Pipeline::DataPort::accepted()
+ReplayPipeline::DataPort::accepted()
 {
     _owner.dataOpAccepted();
 }
 
-Pipeline::StallReason
-Pipeline::issueHazard(const isa::Instruction &inst, Cycle now) const
+ReplayPipeline::StallReason
+ReplayPipeline::issueHazard(const isa::Instruction &inst, Cycle now) const
 {
     unsigned ldq_pops = 0;
     for (std::uint8_t r : inst.srcRegs()) {
@@ -126,8 +172,6 @@ Pipeline::issueHazard(const isa::Instruction &inst, Cycle now) const
     if (inst.isLoad()) {
         if (_queues.laq().full())
             return StallReason::LaqFull;
-        // Reserve an LDQ slot: entries present, minus the ones this
-        // instruction pops, plus loads still in flight, plus this one.
         const std::size_t in_flight = _loadsIssued - _loadsDelivered;
         if (_queues.ldq().size() - ldq_pops + in_flight + 1 >
             _queues.ldq().capacity())
@@ -138,103 +182,75 @@ Pipeline::issueHazard(const isa::Instruction &inst, Cycle now) const
     return StallReason::None;
 }
 
-Word
-Pipeline::readSource(unsigned r)
+const TraceRecord &
+ReplayPipeline::recordFor(const isa::FetchedInst &fi)
 {
-    if (r == isa::queueReg)
-        return _queues.ldq().pop();
-    return _regs.read(r);
+    if (_cursor >= _trace.records.size())
+        fatal("trace replay: the fetch stream issued instruction #",
+              _cursor, " at pc 0x", std::hex, fi.pc, std::dec,
+              " but the trace holds only ", _trace.records.size(),
+              " records — the trace does not match this program "
+              "(capture provenance: ",
+              _trace.meta.provenance.empty() ? "none"
+                                             : _trace.meta.provenance,
+              ")");
+    const TraceRecord &r = _trace.records[_cursor];
+    const isa::Instruction &inst = fi.inst;
+    const bool mismatch =
+        r.pc != fi.pc ||
+        r.hasMemAddr != (inst.isLoad() || inst.isStore()) ||
+        r.memIsStore != inst.isStore() || r.isPbr != inst.isPbr();
+    if (mismatch)
+        fatal("trace replay diverged at record #", _cursor,
+              ": trace says pc 0x", std::hex, r.pc,
+              " but the machine issued pc 0x", fi.pc, std::dec,
+              " — the trace was captured from a different program "
+              "(capture provenance: ",
+              _trace.meta.provenance.empty() ? "none"
+                                             : _trace.meta.provenance,
+              ")");
+    ++_cursor;
+    return r;
 }
 
 void
-Pipeline::execute(const isa::FetchedInst &fi, Cycle now)
+ReplayPipeline::execute(const isa::FetchedInst &fi, Cycle now)
 {
     const isa::Instruction &inst = fi.inst;
     const auto &info = isa::opcodeInfo(inst.op);
+    const TraceRecord &rec = recordFor(fi);
 
-    Word a = 0;
-    Word b = 0;
-    if (info.hasRs1 || (inst.op == Opcode::Pbr && inst.cond != Cond::Always))
-        a = readSource(inst.rs1);
-    if (info.hasRs2)
-        b = readSource(inst.rs2);
-
-    _execNote = ExecAnnotation{};
-
-    const Word imm = Word(inst.imm);
-    // Logical immediates are zero-extended (so lui+ori can build full
-    // 32-bit constants); arithmetic immediates are sign-extended.
-    const Word uimm = imm & 0xffff;
-    std::optional<Word> result;
+    // Source reads: only the r7 pops matter (register values are
+    // never consumed for timing); the hazard check already proved the
+    // LDQ holds enough entries.
+    for (std::uint8_t r : inst.srcRegs())
+        if (r == isa::queueReg)
+            _queues.ldq().pop();
 
     switch (inst.op) {
-      case Opcode::Add: result = a + b; break;
-      case Opcode::Sub: result = a - b; break;
-      case Opcode::And: result = a & b; break;
-      case Opcode::Or: result = a | b; break;
-      case Opcode::Xor: result = a ^ b; break;
-      case Opcode::Sll: result = a << (b & 31); break;
-      case Opcode::Srl: result = a >> (b & 31); break;
-      case Opcode::Sra: result = Word(SWord(a) >> (b & 31)); break;
-      case Opcode::Addi: result = a + imm; break;
-      case Opcode::Subi: result = a - imm; break;
-      case Opcode::Andi: result = a & uimm; break;
-      case Opcode::Ori: result = a | uimm; break;
-      case Opcode::Xori: result = a ^ uimm; break;
-      case Opcode::Slli: result = a << (imm & 31); break;
-      case Opcode::Srli: result = a >> (imm & 31); break;
-      case Opcode::Srai: result = Word(SWord(a) >> (imm & 31)); break;
-      case Opcode::Li: result = imm; break;
-      case Opcode::Lui: result = imm << 16; break;
-      case Opcode::Mov: result = a; break;
-      case Opcode::Not: result = ~a; break;
-      case Opcode::Neg: result = Word(-SWord(a)); break;
       case Opcode::Ld:
-      case Opcode::LdX: {
-        const Addr addr = a + (inst.op == Opcode::Ld ? imm : b);
-        _queues.laq().push(PendingAccess{_memOpSeq++, addr});
+      case Opcode::LdX:
+        _queues.laq().push(PendingAccess{_memOpSeq++, rec.memAddr});
         ++_loadsIssued;
         ++_loads;
-        _execNote.hasMemAddr = true;
-        _execNote.memAddr = addr;
         break;
-      }
       case Opcode::St:
-      case Opcode::StX: {
-        const Addr addr = a + (inst.op == Opcode::St ? imm : b);
-        _queues.saq().push(PendingAccess{_memOpSeq++, addr});
+      case Opcode::StX:
+        _queues.saq().push(PendingAccess{_memOpSeq++, rec.memAddr});
         ++_stores;
-        _execNote.hasMemAddr = true;
-        _execNote.memIsStore = true;
-        _execNote.memAddr = addr;
         break;
-      }
       case Opcode::Lbr:
-        _regs.writeBranch(inst.br, Addr(inst.imm) & 0xffff);
-        break;
-      case Opcode::Pbr: {
-        bool taken = false;
-        const SWord v = SWord(a);
-        switch (inst.cond) {
-          case Cond::Always: taken = true; break;
-          case Cond::Eqz: taken = v == 0; break;
-          case Cond::Nez: taken = v != 0; break;
-          case Cond::Ltz: taken = v < 0; break;
-          case Cond::Gez: taken = v >= 0; break;
-          case Cond::Gtz: taken = v > 0; break;
-          case Cond::Lez: taken = v <= 0; break;
-        }
-        if (taken)
+        break; // branch registers are bypassed by the trace targets
+      case Opcode::Pbr:
+        if (rec.branchTaken)
             ++_pbrTaken;
         else
             ++_pbrNotTaken;
-        _pendingResolve = Resolve{taken, _regs.readBranch(inst.br)};
-        _execNote.hasBranch = true;
-        _execNote.branchTaken = taken;
-        _execNote.branchTarget = _pendingResolve->target;
+        _pendingResolve = Resolve{rec.branchTaken, rec.branchTarget};
         break;
-      }
       case Opcode::Rsw:
+        // Bank switches redirect which busy-until slots later reads
+        // check, so they are timing-relevant.
         _regs.switchBanks();
         break;
       case Opcode::Nop:
@@ -244,23 +260,24 @@ Pipeline::execute(const isa::FetchedInst &fi, Cycle now)
         _haltCycle = now;
         break;
       default:
-        panic("unexecutable opcode ", unsigned(inst.op));
+        PIPESIM_ASSERT(producesAluResult(inst.op),
+                       "unexecutable opcode in trace replay");
+        break;
     }
 
-    if (result && info.hasRd) {
+    if (producesAluResult(inst.op) && info.hasRd) {
         if (inst.rd == isa::queueReg) {
-            _queues.sdq().push(*result);
+            _queues.sdq().push(0); // value is timing-irrelevant
         } else {
-            _regs.write(inst.rd, *result);
             _regs.setBusyUntil(inst.rd, now + _cfg.aluLatency);
         }
     }
 }
 
 void
-Pipeline::tick(Cycle now)
+ReplayPipeline::tick(Cycle now)
 {
-    // 1. PBR direction returns from ALU1 (one cycle after issue).
+    // Mirror of Pipeline::tick, step for step.
     if (_pendingResolve) {
         _fetch.branchResolved(_pendingResolve->taken,
                               _pendingResolve->target);
@@ -268,107 +285,58 @@ Pipeline::tick(Cycle now)
     }
 
     _queues.sampleOccupancy();
-    if (_probes && _probes->queueSample.active()) {
-        _probes->queueSample.notify(obs::QueueSampleEvent{
-            now, std::uint8_t(_queues.laq().size()),
-            std::uint8_t(_queues.ldq().size()),
-            std::uint8_t(_queues.saq().size()),
-            std::uint8_t(_queues.sdq().size())});
-    }
 
-    // Cycle accounting: every tick is attributed to exactly one
-    // class.  The tick on which HALT issues starts the drain phase,
-    // so the non-Drain classes sum exactly to haltCycle().
-    obs::CycleClass cls = obs::CycleClass::FetchStarve;
-
-    // 2. Issue at most one instruction.
     if (_halted) {
-        cls = obs::CycleClass::Drain;
+        // Drain phase: nothing issues.
     } else if (_issueLatch) {
         const StallReason hazard = issueHazard(_issueLatch->inst, now);
         switch (hazard) {
           case StallReason::None:
             execute(*_issueLatch, now);
             ++_retired;
-            cls = _halted ? obs::CycleClass::Drain
-                          : obs::CycleClass::Issue;
-            if (_probes && _probes->retire.active())
-                _probes->retire.notify(obs::RetireEvent{
-                    now, *_issueLatch, _execNote.hasMemAddr,
-                    _execNote.memIsStore, _execNote.memAddr,
-                    _execNote.hasBranch, _execNote.branchTaken,
-                    _execNote.branchTarget});
             _issueLatch.reset();
             break;
           case StallReason::RegBusy:
             ++_issueStallRegBusy;
-            cls = obs::CycleClass::RegBusy;
             break;
           case StallReason::LdqEmpty:
             ++_issueStallLdqEmpty;
-            cls = obs::CycleClass::LoadDataWait;
             break;
           case StallReason::SdqFull:
             ++_issueStallSdqFull;
-            cls = obs::CycleClass::QueueFull;
             break;
           case StallReason::LaqFull:
             ++_issueStallLaqFull;
-            cls = obs::CycleClass::QueueFull;
             break;
           case StallReason::LdqReserved:
             ++_issueStallLdqReserved;
-            cls = obs::CycleClass::QueueFull;
             break;
           case StallReason::SaqFull:
             ++_issueStallSaqFull;
-            cls = obs::CycleClass::QueueFull;
             break;
         }
     }
 
-    // 3. Advance the decode latch into the issue latch.
     if (!_issueLatch && _idLatch) {
         _issueLatch = _idLatch;
         _idLatch.reset();
     }
 
-    // 4. Fetch into the decode latch.
     if (!_halted && !_idLatch) {
         if (_fetch.instructionReady())
             _idLatch = _fetch.take();
         else
             ++_fetchStarveCycles;
     }
-
-    if (_probes)
-        _probes->cycleClass.notify(obs::CycleClassEvent{now, cls});
 }
 
 void
-Pipeline::dumpState(std::ostream &os) const
+ReplayPipeline::dumpState(std::ostream &os) const
 {
-    const auto flags = os.flags();
-    os << "pipeline: " << (_halted ? "halted" : "running")
-       << ", retired " << _retired.value() << " instruction(s)";
-    if (_halted)
-        os << " (HALT issued at cycle " << _haltCycle << ")";
-    os << "\n";
-    const auto latch = [&os](const char *name,
-                             const std::optional<isa::FetchedInst> &l) {
-        os << "  " << name << ": ";
-        if (l)
-            os << isa::mnemonic(l->inst.op) << " @ 0x" << std::hex
-               << l->pc << std::dec;
-        else
-            os << "empty";
-        os << "\n";
-    };
-    latch("decode latch", _idLatch);
-    latch("issue latch", _issueLatch);
-    if (_pendingResolve)
-        os << "  pending branch resolution: "
-           << (_pendingResolve->taken ? "taken" : "not taken") << "\n";
+    os << "replay pipeline: " << (_halted ? "halted" : "running")
+       << ", retired " << _retired.value() << " instruction(s), next "
+       << "trace record #" << _cursor << " of "
+       << _trace.records.size() << "\n";
     os << "  queues: laq " << _queues.laq().size() << "/"
        << _queues.laq().capacity() << ", ldq " << _queues.ldq().size()
        << "/" << _queues.ldq().capacity() << ", saq "
@@ -377,12 +345,13 @@ Pipeline::dumpState(std::ostream &os) const
        << _queues.sdq().capacity() << "\n";
     os << "  loads issued/accepted/delivered: " << _loadsIssued << "/"
        << _loadsAccepted << "/" << _loadsDelivered << "\n";
-    os.flags(flags);
 }
 
 void
-Pipeline::regStats(StatGroup &stats, const std::string &prefix)
+ReplayPipeline::regStats(StatGroup &stats, const std::string &prefix)
 {
+    // Counter names match cpu/pipeline.cc exactly, so a replayed
+    // SimResult is key-compatible with the cycle simulator's.
     stats.regCounter(prefix + ".retired", &_retired,
                      "instructions issued/retired");
     stats.regCounter(prefix + ".stall_reg_busy", &_issueStallRegBusy,
@@ -409,4 +378,4 @@ Pipeline::regStats(StatGroup &stats, const std::string &prefix)
     _queues.regStats(stats, prefix + ".queues");
 }
 
-} // namespace pipesim
+} // namespace pipesim::replay

@@ -5,7 +5,9 @@
 #include <sstream>
 
 #include "common/abort.hh"
+#include "common/log.hh"
 #include "common/thread_pool.hh"
+#include "replay/replay_engine.hh"
 
 namespace pipesim
 {
@@ -136,6 +138,18 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
               const std::function<void(const std::string &, unsigned,
                                        const SimResult &)> &on_point)
 {
+    if (spec.engine == SweepEngine::Trace) {
+        if (!spec.trace)
+            fatal("trace-engine sweep requested without a trace "
+                  "(SweepSpec::trace is null)");
+        if (spec.fault.kinds != fault::None)
+            fatal("trace-engine sweep cannot inject faults; use the "
+                  "cycle engine for fault experiments");
+        if (spec.preRun || spec.postRun)
+            warn("trace-engine sweep: preRun/postRun callbacks do not "
+                 "fire (no Simulator exists under replay)");
+    }
+
     std::vector<std::string> headers = {"cache_bytes"};
     for (const auto &s : spec.strategies)
         headers.push_back(s);
@@ -165,7 +179,23 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
     // to the point's worker; only the user callbacks share state, so
     // they are serialized under this mutex (see SweepSpec::preRun).
     std::mutex callbacks;
+    auto attemptTracePoint = [&](SweepPoint &p) {
+        const replay::ReplayOptions opts{spec.samplePeriod,
+                                         spec.sampleWarmup,
+                                         spec.sampleMeasure};
+        const SimResult result =
+            replay::replayTrace(p.cfg, program, *spec.trace, opts);
+        cells[p.row][p.col] = std::to_string(result.totalCycles);
+        if (on_point) {
+            std::lock_guard<std::mutex> lock(callbacks);
+            on_point(*p.strategy, p.cacheBytes, result);
+        }
+    };
     auto attemptPoint = [&](SweepPoint &p) {
+        if (spec.engine == SweepEngine::Trace) {
+            attemptTracePoint(p);
+            return;
+        }
         Simulator sim(p.cfg, program);
         if (spec.preRun) {
             std::lock_guard<std::mutex> lock(callbacks);

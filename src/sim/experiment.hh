@@ -26,6 +26,25 @@
 namespace pipesim
 {
 
+namespace replay
+{
+struct Trace;
+} // namespace replay
+
+/** Which engine executes each sweep point. */
+enum class SweepEngine
+{
+    /** Full cycle-accurate simulation (Simulator). */
+    Cycle,
+    /**
+     * Trace-driven replay (replay::replayTrace) of SweepSpec::trace.
+     * Exact by default; SweepSpec::samplePeriod selects sampling.
+     * preRun/postRun do not fire (there is no Simulator to attach
+     * probes to); on_point still fires for every completed point.
+     */
+    Trace,
+};
+
 /** How runCacheSweep treats a failing point. */
 enum class SweepFailurePolicy
 {
@@ -107,6 +126,22 @@ struct SweepSpec
 
     /** What to do when a point's Simulator throws. */
     SweepFailurePolicy failurePolicy = SweepFailurePolicy::FailFast;
+
+    /** Which engine runs each point. */
+    SweepEngine engine = SweepEngine::Cycle;
+
+    /**
+     * The captured trace replayed by the Trace engine (must outlive
+     * the sweep; one capture drives every point because the committed
+     * instruction stream is config-independent).  Required when
+     * engine == SweepEngine::Trace; fault injection is rejected there.
+     */
+    const replay::Trace *trace = nullptr;
+
+    /** Trace engine: sampling period in instructions (0 = exact). */
+    unsigned samplePeriod = 0;
+    unsigned sampleWarmup = 300;  //!< warm-up instructions per window
+    unsigned sampleMeasure = 700; //!< measured instructions per window
 
     /**
      * Extra attempts granted to a failing point before its failure

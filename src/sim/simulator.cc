@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
-#include "core/conventional_fetch.hh"
-#include "core/pipe_fetch.hh"
-#include "core/tib_fetch.hh"
+#include "core/fetch_factory.hh"
 
 namespace pipesim
 {
@@ -29,20 +27,7 @@ Simulator::Simulator(const SimConfig &config, const Program &program)
     _dataMem.loadProgram(program);
     _mem = std::make_unique<MemorySystem>(config.mem, _dataMem);
 
-    switch (config.fetch.strategy) {
-      case FetchStrategy::Pipe:
-        _fetch = std::make_unique<PipeFetchUnit>(config.fetch, program,
-                                                 *_mem);
-        break;
-      case FetchStrategy::Conventional:
-        _fetch = std::make_unique<ConventionalFetchUnit>(config.fetch,
-                                                         program, *_mem);
-        break;
-      case FetchStrategy::Tib:
-        _fetch = std::make_unique<TibFetchUnit>(config.fetch, program,
-                                                *_mem);
-        break;
-    }
+    _fetch = makeFetchUnit(config.fetch, program, *_mem);
 
     _pipeline = std::make_unique<Pipeline>(config.cpu, *_fetch, *_mem);
 

@@ -39,6 +39,15 @@ struct SimResult
     std::uint64_t instructions = 0; //!< dynamic instruction count
     std::map<std::string, std::uint64_t> counters;
 
+    /**
+     * Free-form provenance attached to the run and emitted in the
+     * --stats-json "meta" object: the replay engine records the
+     * trace's SHA-256 and the program hash here ("trace_sha256",
+     * "program_sha256", "engine", sampling parameters), so every
+     * replayed result is attributable to an exact capture.
+     */
+    std::map<std::string, std::string> meta;
+
     /** Cycles per instruction. */
     double
     cpi() const
@@ -76,6 +85,7 @@ class Simulator
     DataMemory &dataMemory() { return _dataMem; }
     StatGroup &stats() { return _stats; }
     const SimConfig &config() const { return _config; }
+    const Program &program() const { return _program; }
 
     /** The machine's probe bus (attach observability listeners here). */
     obs::ProbeBus &probes() { return _probes; }

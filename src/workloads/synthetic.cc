@@ -1,5 +1,7 @@
 #include "workloads/synthetic.hh"
 
+#include <algorithm>
+
 #include "codegen/codegen.hh" // Layout constants
 #include "common/log.hh"
 #include "isa/build.hh"
@@ -145,6 +147,117 @@ buildBranchyProgram(const BranchySpec &spec)
 
     p.addDataWords(out.accSlot, {0, 0});
     return out;
+}
+
+namespace
+{
+
+/** One synthetic-stream loop trip applied to the accumulator: the 12
+ *  body ops plus the two PBR delay-slot ops, in program order. */
+std::uint32_t
+streamStep(std::uint32_t acc)
+{
+    std::uint32_t tmp = acc << 7;
+    acc ^= tmp;
+    acc += 13u;
+    tmp = acc >> 3;
+    acc ^= tmp;
+    acc -= 5u;
+    acc |= 1u;
+    tmp = acc << 2;
+    acc += tmp;
+    acc ^= 0x2du;
+    tmp = acc & 0xffu;
+    acc += tmp;
+    // Delay slots (run on both branch paths, so on every trip).
+    acc += 1u;
+    acc ^= 3u;
+    return acc;
+}
+
+/** Committed instructions per synthetic-stream loop trip: 12 body
+ *  ops, the counter decrement, the PBR and its 2 delay slots. */
+constexpr unsigned streamPerIteration = 16;
+/** Preamble (5) + epilogue (3) committed instructions. */
+constexpr unsigned streamFixedInsts = 8;
+
+} // namespace
+
+SyntheticStream
+buildSyntheticStream(std::uint64_t targetInstructions)
+{
+    if (targetInstructions == 0)
+        fatal("synthetic stream needs a nonzero instruction target");
+
+    SyntheticStream out;
+    out.perIteration = streamPerIteration;
+    out.iterations =
+        targetInstructions <= streamFixedInsts
+            ? 1
+            : (targetInstructions - streamFixedInsts +
+               streamPerIteration - 1) /
+                  streamPerIteration;
+    // The trip counter is one 32-bit register.
+    out.iterations = std::min<std::uint64_t>(out.iterations, 0xffffffffu);
+    out.instructions =
+        streamFixedInsts + out.iterations * streamPerIteration;
+    out.accSlot = codegen::Layout::scalarBase;
+
+    Program &p = out.program;
+    const auto iters = std::uint32_t(out.iterations);
+
+    // Preamble: counter, accumulator, result pointer, loop branch.
+    Instruction lui_iter;
+    lui_iter.op = Opcode::Lui;
+    lui_iter.rd = regCounter;
+    lui_iter.imm = std::int32_t(iters >> 16);
+    p.append(lui_iter);
+    p.append(rri(Opcode::Ori, regCounter, regCounter,
+                 std::int32_t(iters & 0xffff)));
+    p.append(li(regAcc, 0));
+    p.append(li(regResult, std::int32_t(out.accSlot)));
+    const Addr lbr_at = p.nextCodeAddr();
+    const unsigned lbr_size = unsigned(encode(
+        build::lbr(outerBr, 0), p.mode()).size()) * parcelBytes;
+    p.append(build::lbr(outerBr, lbr_at + lbr_size));
+    p.defineSymbol("loop_head", p.nextCodeAddr());
+
+    // 12-op body; keep in lockstep with streamStep().
+    p.append(rri(Opcode::Slli, regTmp, regAcc, 7));
+    p.append(rrr(Opcode::Xor, regAcc, regAcc, regTmp));
+    p.append(rri(Opcode::Addi, regAcc, regAcc, 13));
+    p.append(rri(Opcode::Srli, regTmp, regAcc, 3));
+    p.append(rrr(Opcode::Xor, regAcc, regAcc, regTmp));
+    p.append(rri(Opcode::Subi, regAcc, regAcc, 5));
+    p.append(rri(Opcode::Ori, regAcc, regAcc, 1));
+    p.append(rri(Opcode::Slli, regTmp, regAcc, 2));
+    p.append(rrr(Opcode::Add, regAcc, regAcc, regTmp));
+    p.append(rri(Opcode::Xori, regAcc, regAcc, 0x2d));
+    p.append(rri(Opcode::Andi, regTmp, regAcc, 0xff));
+    p.append(rrr(Opcode::Add, regAcc, regAcc, regTmp));
+
+    // Loop close with two delay slots.
+    p.append(rri(Opcode::Subi, regCounter, regCounter, 1));
+    p.append(build::pbr(outerBr, 2, Cond::Nez, regCounter));
+    p.append(rri(Opcode::Addi, regAcc, regAcc, 1));
+    p.append(rri(Opcode::Xori, regAcc, regAcc, 3));
+
+    // Epilogue: store the checksum.
+    p.append(st(regResult, 0));
+    p.append(mov(isa::queueReg, regAcc));
+    p.append(build::halt());
+
+    p.addDataWords(out.accSlot, {0});
+    return out;
+}
+
+std::uint32_t
+syntheticStreamReference(std::uint64_t iterations)
+{
+    std::uint32_t acc = 0;
+    for (std::uint64_t i = 0; i < iterations; ++i)
+        acc = streamStep(acc);
+    return acc;
 }
 
 BranchyReference

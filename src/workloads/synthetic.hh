@@ -67,6 +67,31 @@ struct BranchyReference
 /** Execute the same computation on the host. */
 BranchyReference runBranchyReference(const BranchySpec &spec);
 
+/**
+ * A deterministic ALU-loop program sized to approximately a target
+ * dynamic instruction count — built for trace-replay scale testing
+ * (docs/trace_replay.md): the paper-size Livermore run is ~150k
+ * instructions, but replay throughput and sampling error only become
+ * interesting at millions, which the cycle simulator is too slow to
+ * sweep.  The loop body is pure integer arithmetic on an accumulator
+ * whose final value the host model reproduces exactly.
+ */
+struct SyntheticStream
+{
+    Program program;
+    std::uint64_t iterations = 0;    //!< loop trips emitted
+    unsigned perIteration = 0;       //!< dynamic insts per trip
+    std::uint64_t instructions = 0;  //!< exact dynamic count
+    Addr accSlot = 0;                //!< final accumulator address
+};
+
+/** Build a stream of at least @p targetInstructions (>= 1) dynamic
+ *  instructions; the exact count is in the result. */
+SyntheticStream buildSyntheticStream(std::uint64_t targetInstructions);
+
+/** Host-model accumulator value for @p iterations loop trips. */
+std::uint32_t syntheticStreamReference(std::uint64_t iterations);
+
 } // namespace pipesim::workloads
 
 #endif // PIPESIM_WORKLOADS_SYNTHETIC_HH

@@ -115,3 +115,81 @@ TEST(SubblockCacheTest, BadGeometryRejected)
     EXPECT_THROW(SubblockCache(64, 16, 32), FatalError);
     EXPECT_THROW(SubblockCache(32, 64, 4), FatalError);
 }
+
+TEST(SubblockCacheTest, ColdStartNothingIsValid)
+{
+    // Fresh cache: no tag matches, no valid bits, and probing must
+    // not disturb state (cold-start queries are pure).
+    SubblockCache c(64, 16, 4);
+    for (Addr a = 0; a < 64; a += 4) {
+        EXPECT_FALSE(c.linePresent(a));
+        EXPECT_FALSE(c.subblockValid(a));
+        EXPECT_FALSE(c.bytesValid(a, 4));
+    }
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(SubblockCacheTest, ValidBitHitAfterPartialLineFill)
+{
+    // The defining sub-block property: after a partial fill, the
+    // filled sub-block hits while its line-mates still miss.
+    SubblockCache c(128, 16, 4);
+    c.allocate(0x20);
+    c.fill(0x28, 4); // third sub-block only
+    EXPECT_TRUE(c.linePresent(0x20));
+    EXPECT_TRUE(c.subblockValid(0x28));
+    EXPECT_TRUE(c.bytesValid(0x28, 4));
+    EXPECT_TRUE(c.bytesValid(0x2a, 2)); // interior of the sub-block
+    EXPECT_FALSE(c.subblockValid(0x20));
+    EXPECT_FALSE(c.subblockValid(0x24));
+    EXPECT_FALSE(c.subblockValid(0x2c));
+    EXPECT_FALSE(c.bytesValid(0x24, 8)); // spans valid + invalid
+}
+
+TEST(SubblockCacheTest, TagReplacementMidFillDropsOldBits)
+{
+    SubblockCache c(32, 16, 4); // two frames: conflict at +0x20
+    c.allocate(0x00);
+    c.fill(0x00, 4);
+    c.fill(0x08, 4); // line half-filled when the conflict arrives
+    c.allocate(0x20); // same frame, new tag, mid-fill of 0x00's line
+    EXPECT_FALSE(c.linePresent(0x00));
+    EXPECT_TRUE(c.linePresent(0x20));
+    // The old line's valid bits must not leak into the new tenant —
+    // especially at the offsets that were valid before.
+    EXPECT_FALSE(c.subblockValid(0x20));
+    EXPECT_FALSE(c.subblockValid(0x28));
+    EXPECT_FALSE(c.bytesValid(0x20, 16));
+    // Filling the new tenant works from the cleared state.
+    c.fill(0x24, 4);
+    EXPECT_TRUE(c.subblockValid(0x24));
+    EXPECT_FALSE(c.subblockValid(0x20));
+    // And the evicted line stays gone even after the new fill.
+    EXPECT_FALSE(c.subblockValid(0x00));
+    EXPECT_FALSE(c.subblockValid(0x08));
+}
+
+TEST(SubblockCacheTest, ReallocatingTheSameLineClearsItsBits)
+{
+    // allocate() on a line already present is a self-eviction: the
+    // tag stays but every valid bit resets (cold restart of a fill).
+    SubblockCache c(64, 16, 4);
+    c.allocate(0x10);
+    c.fill(0x10, 8);
+    EXPECT_TRUE(c.bytesValid(0x10, 8));
+    c.allocate(0x10);
+    EXPECT_TRUE(c.linePresent(0x10));
+    EXPECT_FALSE(c.subblockValid(0x10));
+    EXPECT_FALSE(c.subblockValid(0x14));
+}
+
+TEST(SubblockCacheTest, LookupAccountingSeparatesHitsAndMisses)
+{
+    SubblockCache c(64, 16, 4);
+    c.recordLookup(false);
+    c.recordLookup(false);
+    c.recordLookup(true);
+    EXPECT_EQ(c.misses(), 2u);
+    EXPECT_EQ(c.hits(), 1u);
+}

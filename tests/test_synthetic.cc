@@ -179,3 +179,30 @@ TEST(Synthetic, MoreBlocksMeanMoreInstructions)
     const auto rb = runSimulation(cfg, built_big.program);
     EXPECT_GT(rb.instructions, rs.instructions);
 }
+
+TEST(SyntheticStream, InstructionCountIsExact)
+{
+    const auto stream = workloads::buildSyntheticStream(5000);
+    EXPECT_GE(stream.instructions, 5000u);
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("16-16", 128);
+    Simulator sim(cfg, stream.program);
+    const auto res = sim.run();
+    EXPECT_EQ(res.instructions, stream.instructions);
+    EXPECT_EQ(sim.dataMemory().readWord(stream.accSlot),
+              workloads::syntheticStreamReference(stream.iterations));
+}
+
+TEST(SyntheticStream, TinyTargetStillRunsOneIteration)
+{
+    const auto stream = workloads::buildSyntheticStream(1);
+    EXPECT_EQ(stream.iterations, 1u);
+    SimConfig cfg;
+    const auto res = runSimulation(cfg, stream.program);
+    EXPECT_EQ(res.instructions, stream.instructions);
+}
+
+TEST(SyntheticStream, ZeroTargetIsFatal)
+{
+    EXPECT_THROW(workloads::buildSyntheticStream(0), FatalError);
+}

@@ -112,3 +112,39 @@ TEST(TableTest, NegativeAndDoubleCells)
     t2.cell(3.14159, 3);
     EXPECT_EQ(t2.at(0, 0), "3.142");
 }
+
+TEST(TableTest, CsvBlanksSentinelsWithNoteColumn)
+{
+    // sampleTable row 2 holds a "-" (not-run) cell: the CSV must not
+    // carry the sentinel into the numeric column; instead the field
+    // is empty and a trailing quoted note column explains it.
+    const std::string csv = sampleTable().toCsv();
+    EXPECT_NE(csv.find("size,conv,pipe,note"), std::string::npos);
+    EXPECT_NE(csv.find("16,100,80,\n"), std::string::npos);
+    EXPECT_NE(csv.find("32,,2.5,\"conv=no data\"\n"),
+              std::string::npos);
+    EXPECT_EQ(csv.find(",-,"), std::string::npos);
+}
+
+TEST(TableTest, CsvErrSentinelNamesEveryColumn)
+{
+    Table t({"size", "conv", "pipe"});
+    t.beginRow();
+    t.cell(64u);
+    t.cell("ERR");
+    t.cell("-");
+    const std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("64,,,\"conv=ERR; pipe=no data\""),
+              std::string::npos);
+}
+
+TEST(TableTest, CsvWithoutSentinelsHasNoNoteColumn)
+{
+    Table t({"a", "b"});
+    t.beginRow();
+    t.cell(1u);
+    t.cell(2u);
+    const std::string csv = t.toCsv();
+    EXPECT_EQ(csv.find("note"), std::string::npos);
+    EXPECT_NE(csv.find("a,b\n1,2\n"), std::string::npos);
+}
