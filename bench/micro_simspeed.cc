@@ -15,18 +15,26 @@
 #include <benchmark/benchmark.h>
 
 #include <sstream>
+#include <vector>
 
 #include "assembler/assembler.hh"
+#include "common/log.hh"
+#include "obs/bench_json.hh"
 #include "obs/trace_export.hh"
 #include "sim/experiment.hh"
 #include "sim/guard.hh"
 #include "sim/simulator.hh"
+#include "sim/standard_flags.hh"
 #include "workloads/benchmark_program.hh"
 
 using namespace pipesim;
 
 namespace
 {
+
+/** Standard flags (fault injection, profiling) applied to every BM_
+ *  body; filled by main() before RunSpecifiedBenchmarks. */
+StandardFlags g_flags;
 
 const workloads::Benchmark &
 smallBench()
@@ -42,6 +50,7 @@ BM_SimulatePipe(benchmark::State &state)
     cfg.fetch = pipeConfigFor("16-16", 128);
     cfg.mem.accessTime = unsigned(state.range(0));
     cfg.cpiStack = false; // raw rate: no probe listener attached
+    cfg.fault = g_flags.fault;
     std::uint64_t cycles = 0;
     for (auto _ : state) {
         const auto res = runSimulation(cfg, smallBench().program);
@@ -59,6 +68,7 @@ BM_SimulateConventional(benchmark::State &state)
     cfg.fetch = conventionalConfigFor(128, 16);
     cfg.mem.accessTime = unsigned(state.range(0));
     cfg.cpiStack = false; // raw rate: no probe listener attached
+    cfg.fault = g_flags.fault;
     std::uint64_t cycles = 0;
     for (auto _ : state) {
         const auto res = runSimulation(cfg, smallBench().program);
@@ -76,6 +86,7 @@ BM_SimulatePipeCpiStack(benchmark::State &state)
     cfg.fetch = pipeConfigFor("16-16", 128);
     cfg.mem.accessTime = unsigned(state.range(0));
     cfg.cpiStack = true; // the default: cycle accountant attached
+    cfg.fault = g_flags.fault;
     std::uint64_t cycles = 0;
     for (auto _ : state) {
         const auto res = runSimulation(cfg, smallBench().program);
@@ -130,6 +141,7 @@ BM_SweepThroughput(benchmark::State &state)
 {
     SweepSpec spec;
     spec.jobs = unsigned(state.range(0));
+    spec.fault = g_flags.fault;
     spec.mem.accessTime = 6;
     spec.mem.busWidthBytes = 8;
     unsigned valid = 0;
@@ -185,19 +197,101 @@ BM_Assemble(benchmark::State &state)
 }
 BENCHMARK(BM_Assemble);
 
+/**
+ * ConsoleReporter that additionally captures every per-iteration run
+ * into a pipesim-bench report: the printed output is unchanged, but
+ * --bench-json gets a machine-readable copy with raw counter values
+ * and their rate forms (scripts/perf_report.py diffs these).
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit CapturingReporter(obs::BenchReport &report)
+        : _report(report)
+    {
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.run_type != Run::RT_Iteration ||
+                run.error_occurred)
+                continue;
+            obs::BenchRecord &rec = _report.add(run.benchmark_name());
+            rec.metrics["iterations"] = double(run.iterations);
+            rec.metrics["real_time_s_per_iter"] =
+                run.iterations
+                    ? run.real_accumulated_time / double(run.iterations)
+                    : 0.0;
+            // Counters reach the reporter already "finished" (rate
+            // counters hold the displayed per-second value).
+            for (const auto &[name, counter] : run.counters)
+                rec.metrics[name] = counter.value;
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    obs::BenchReport &_report;
+};
+
 } // namespace
 
-// Hand-rolled benchmark main (instead of benchmark::benchmark_main)
-// so the standard error guard applies here too.
+// Guarded main on the standard flag surface: pipesim options (fault
+// injection, host profiling, --bench-json) parse through CliParser,
+// while --benchmark_* arguments pass through to google-benchmark.
 int
 main(int argc, char **argv)
 {
     return pipesim::runGuardedMain([&]() -> int {
-        benchmark::Initialize(&argc, argv);
-        if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        // Split argv: google-benchmark flags keep their --benchmark_*
+        // prefix; everything else (argv[0] included) is ours.
+        std::vector<char *> gbArgs = {argv[0]};
+        std::vector<const char *> ourArgs = {argv[0]};
+        for (int i = 1; i < argc; ++i) {
+            if (std::string(argv[i]).rfind("--benchmark", 0) == 0)
+                gbArgs.push_back(argv[i]);
+            else
+                ourArgs.push_back(argv[i]);
+        }
+
+        CliParser cli("Simulator throughput microbenchmarks "
+                      "(google-benchmark); also accepts --benchmark_* "
+                      "arguments");
+        registerStandardFlags(cli, {false, false});
+        cli.addOption("bench-json", "",
+                      "write the results as a pipesim-bench JSON "
+                      "document to this file");
+        if (!cli.parse(int(ourArgs.size()), ourArgs.data()))
+            return 0;
+        g_flags = standardFlagsFromCli(cli, {false, false});
+        if (g_flags.obs.any())
+            warn("--cpi-stack/--trace-json/--stats-json have no effect "
+                 "here: the microbenchmarks run thousands of "
+                 "simulations; use an example or figure bench for "
+                 "per-run observability outputs");
+        const std::string benchJson = cli.get("bench-json");
+
+        int gbArgc = int(gbArgs.size());
+        benchmark::Initialize(&gbArgc, gbArgs.data());
+        if (benchmark::ReportUnrecognizedArguments(gbArgc,
+                                                   gbArgs.data()))
             return 1;
-        benchmark::RunSpecifiedBenchmarks();
+
+        obs::BenchReport report;
+        report.tool = "micro_simspeed";
+        report.config["workload"] = "livermore";
+        report.config["fault_kinds"] =
+            g_flags.fault.enabled() ? "enabled" : "none";
+        CapturingReporter reporter(report);
+        benchmark::RunSpecifiedBenchmarks(&reporter);
         benchmark::Shutdown();
+
+        if (!benchJson.empty()) {
+            report.writeFile(benchJson);
+            std::cerr << "wrote bench results to " << benchJson << "\n";
+        }
         return 0;
     });
 }

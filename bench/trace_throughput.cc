@@ -10,6 +10,8 @@
 #include <iostream>
 
 #include "bench_common.hh"
+#include "obs/bench_json.hh"
+#include "obs/profiler.hh"
 #include "replay/capture.hh"
 #include "replay/replay_engine.hh"
 #include "sim/simulator.hh"
@@ -45,8 +47,13 @@ run(int argc, char **argv)
                   "sampled replay period (insts)");
     cli.addOption("reps", "3", "timing repetitions (best-of)");
     cli.addFlag("csv", "CSV output");
+    cli.addOption("bench-json", "",
+                  "write the results as a pipesim-bench JSON document "
+                  "to this file");
+    obs::ProfileOptions::addOptions(cli);
     if (!cli.parse(argc, argv))
         return 0;
+    obs::activateProfiling(obs::ProfileOptions::fromCli(cli));
 
     const unsigned reps = unsigned(cli.getInt("reps"));
     SimConfig cfg;
@@ -71,6 +78,13 @@ run(int argc, char **argv)
 
     replay::ReplayOptions sampled;
     sampled.samplePeriod = unsigned(cli.getInt("sample-period"));
+
+    obs::BenchReport report;
+    report.tool = "trace_throughput";
+    report.config["scale"] = cli.get("scale");
+    report.config["synth"] = cli.get("synth");
+    report.config["sample_period"] = cli.get("sample-period");
+    report.config["reps"] = cli.get("reps");
 
     Table table({"workload", "insts", "engine", "est_cycles",
                  "wall_ms", "minsts_per_s", "speedup"});
@@ -103,6 +117,15 @@ run(int argc, char **argv)
             table.cell(secs * 1e3);
             table.cell(insts / secs / 1e6);
             table.cell(cycleS / secs);
+
+            obs::BenchRecord &rec = report.add(w.name + "/" + engine);
+            rec.config["workload"] = w.name;
+            rec.config["engine"] = engine;
+            rec.metrics["insts"] = insts;
+            rec.metrics["est_cycles"] = double(res.totalCycles);
+            rec.metrics["wall_ms"] = secs * 1e3;
+            rec.metrics["minsts_per_s"] = insts / secs / 1e6;
+            rec.metrics["speedup_vs_cycle"] = cycleS / secs;
         };
         row("cycle", cycleRes, cycleS);
         row("trace-exact", exactRes, exactS);
@@ -110,6 +133,11 @@ run(int argc, char **argv)
     }
     std::cout << (cli.getFlag("csv") ? table.toCsv() : table.toText())
               << "\n";
+    const std::string benchJson = cli.get("bench-json");
+    if (!benchJson.empty()) {
+        report.writeFile(benchJson);
+        std::cerr << "wrote bench results to " << benchJson << "\n";
+    }
     return 0;
 }
 

@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Validate, render and diff pipesim benchmark result documents.
+
+The C++ side (obs/bench_json.hh) emits two JSON schemas:
+
+  pipesim-bench v1    bench results: host info, git rev, config,
+                      named records with numeric metrics, plus the
+                      host profile and metrics snapshots
+  pipesim-profile v1  a standalone host profile (--profile-json)
+
+This script is the other half of the perf-trajectory pipeline:
+
+  perf_report.py --check FILE...      validate schema (CI perf-smoke)
+  perf_report.py render FILE...       human-readable tables
+  perf_report.py diff OLD NEW         delta table, (name, metric) keyed
+
+Stdlib only — no pip installs.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMAS = {"pipesim-bench", "pipesim-profile"}
+SUPPORTED_VERSION = 1
+
+
+def fail(path, msg):
+    raise ValueError(f"{path}: {msg}")
+
+
+def _check_string_map(path, doc, key, required=True):
+    if key not in doc:
+        if required:
+            fail(path, f"missing '{key}' object")
+        return
+    obj = doc[key]
+    if not isinstance(obj, dict):
+        fail(path, f"'{key}' must be an object")
+    for k, v in obj.items():
+        if not isinstance(v, str):
+            fail(path, f"'{key}.{k}' must be a string, got {type(v).__name__}")
+
+
+def _check_profile(path, profile):
+    if not isinstance(profile, dict):
+        fail(path, "'profile' must be an object")
+    for key in ("enabled", "wall_ns", "coverage", "dropped_spans", "phases"):
+        if key not in profile:
+            fail(path, f"profile missing '{key}'")
+    if not isinstance(profile["phases"], list):
+        fail(path, "'profile.phases' must be an array")
+    for i, phase in enumerate(profile["phases"]):
+        for key in ("path", "ns", "count"):
+            if key not in phase:
+                fail(path, f"profile.phases[{i}] missing '{key}'")
+
+
+def check_document(path, doc):
+    """Raise ValueError when the document violates its schema."""
+    if not isinstance(doc, dict):
+        fail(path, "top level must be an object")
+    schema = doc.get("schema")
+    if schema not in SCHEMAS:
+        fail(path, f"unknown schema {schema!r} (expected one of {sorted(SCHEMAS)})")
+    version = doc.get("schema_version")
+    if version != SUPPORTED_VERSION:
+        fail(path, f"unsupported {schema} schema_version {version!r}")
+    for key in ("git_rev", "host", "profile", "metrics", "histograms"):
+        if key not in doc:
+            fail(path, f"missing '{key}'")
+    _check_string_map(path, doc, "host")
+    _check_profile(path, doc["profile"])
+    if not isinstance(doc["metrics"], dict):
+        fail(path, "'metrics' must be an object")
+    if not isinstance(doc["histograms"], dict):
+        fail(path, "'histograms' must be an object")
+
+    if schema == "pipesim-bench":
+        for key in ("tool", "generated_unix", "results"):
+            if key not in doc:
+                fail(path, f"missing '{key}'")
+        _check_string_map(path, doc, "config")
+        if not isinstance(doc["results"], list):
+            fail(path, "'results' must be an array")
+        for i, rec in enumerate(doc["results"]):
+            if "name" not in rec:
+                fail(path, f"results[{i}] missing 'name'")
+            metrics = rec.get("metrics")
+            if not isinstance(metrics, dict):
+                fail(path, f"results[{i}] missing 'metrics' object")
+            for m, v in metrics.items():
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    fail(path, f"results[{i}].metrics.{m} must be numeric")
+    return doc
+
+
+def load(path):
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(path, f"not valid JSON: {e}")
+    return check_document(path, doc)
+
+
+def flatten(doc):
+    """(record name, metric) -> value for every numeric result."""
+    out = {}
+    for rec in doc.get("results", []):
+        for metric, value in rec["metrics"].items():
+            out[(rec["name"], metric)] = value
+    return out
+
+
+def fmt(value):
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    if abs(value) >= 1e6 or (value != 0 and abs(value) < 1e-3):
+        return f"{value:.4g}"
+    return f"{value:.4f}"
+
+
+def print_table(rows, headers):
+    widths = [
+        max(len(headers[c]), max((len(r[c]) for r in rows), default=0))
+        for c in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("  ".join("-" * w for w in widths))
+    for r in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+
+
+def cmd_check(paths):
+    for path in paths:
+        doc = load(path)
+        n = len(doc.get("results", []))
+        kind = doc["schema"]
+        print(f"{path}: OK ({kind} v{doc['schema_version']}, "
+              f"{n} result(s), git {doc['git_rev']})")
+    return 0
+
+
+def cmd_render(paths):
+    for path in paths:
+        doc = load(path)
+        tool = doc.get("tool", doc["schema"])
+        print(f"== {path}: {tool} @ {doc['git_rev']} ==")
+        rows = [
+            [name, metric, fmt(value)]
+            for (name, metric), value in sorted(flatten(doc).items())
+        ]
+        if rows:
+            print_table(rows, ["result", "metric", "value"])
+        profile = doc["profile"]
+        if profile.get("enabled") and profile.get("phases"):
+            print(f"\nhost profile (coverage "
+                  f"{100.0 * profile['coverage']:.1f}%):")
+            for phase in profile["phases"]:
+                indent = "  " * phase.get("depth", 0)
+                ms = phase["ns"] / 1e6
+                print(f"  {indent}{phase['path'].split('/')[-1]:24s} "
+                      f"{ms:10.2f} ms  x{phase['count']}")
+        print()
+    return 0
+
+
+def cmd_diff(old_path, new_path):
+    old, new = load(old_path), load(new_path)
+    a, b = flatten(old), flatten(new)
+    print(f"perf trajectory: {old['git_rev']} -> {new['git_rev']}")
+    rows = []
+    for key in sorted(a.keys() | b.keys()):
+        name, metric = key
+        if key not in a:
+            rows.append([name, metric, "-", fmt(b[key]), "new"])
+        elif key not in b:
+            rows.append([name, metric, fmt(a[key]), "-", "gone"])
+        else:
+            va, vb = a[key], b[key]
+            delta = "n/a" if va == 0 else f"{100.0 * (vb - va) / va:+.1f}%"
+            rows.append([name, metric, fmt(va), fmt(vb), delta])
+    print_table(rows, ["result", "metric", "old", "new", "delta"])
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", nargs="+", metavar="FILE",
+                        help="validate files against their schema and exit")
+    sub = parser.add_subparsers(dest="command")
+    p_render = sub.add_parser("render", help="print result tables")
+    p_render.add_argument("files", nargs="+")
+    p_diff = sub.add_parser("diff", help="delta table between two documents")
+    p_diff.add_argument("old")
+    p_diff.add_argument("new")
+    p_check = sub.add_parser("check", help="same as --check")
+    p_check.add_argument("files", nargs="+")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.check:
+            return cmd_check(args.check)
+        if args.command == "render":
+            return cmd_render(args.files)
+        if args.command == "diff":
+            return cmd_diff(args.old, args.new)
+        if args.command == "check":
+            return cmd_check(args.files)
+    except (ValueError, OSError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

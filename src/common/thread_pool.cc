@@ -1,12 +1,28 @@
 #include "common/thread_pool.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <string>
 
 #include "common/log.hh"
+#include "obs/metrics.hh"
 
 namespace pipesim
 {
+
+namespace
+{
+
+std::uint64_t
+nowNs()
+{
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
 
 unsigned
 resolveJobCount(unsigned requested)
@@ -31,9 +47,10 @@ resolveJobCount(unsigned requested)
 ThreadPool::ThreadPool(unsigned workers)
 {
     const unsigned n = resolveJobCount(workers);
+    _stats.resize(n);
     _workers.reserve(n);
     for (unsigned i = 0; i < n; ++i)
-        _workers.emplace_back([this] { workerLoop(); });
+        _workers.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -45,6 +62,7 @@ ThreadPool::~ThreadPool()
     _wakeWorker.notify_all();
     for (auto &w : _workers)
         w.join();
+    publishMetrics();
 }
 
 std::future<void>
@@ -52,13 +70,18 @@ ThreadPool::submit(std::function<void()> task)
 {
     std::packaged_task<void()> wrapped(std::move(task));
     std::future<void> future = wrapped.get_future();
+    std::size_t depth = 0;
     {
         std::lock_guard<std::mutex> lock(_mutex);
         if (!_accepting)
             panic("ThreadPool::submit after shutdown began");
         _queue.push_back(std::move(wrapped));
         ++_pending;
+        depth = _queue.size();
     }
+    obs::MetricsRegistry::instance()
+        .histogram("pool.queue_depth")
+        .sample(depth);
     _wakeWorker.notify_one();
     return future;
 }
@@ -77,25 +100,61 @@ ThreadPool::pendingTasks() const
     return _pending;
 }
 
+std::vector<WorkerStats>
+ThreadPool::workerStats() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _stats;
+}
+
 void
-ThreadPool::workerLoop()
+ThreadPool::publishMetrics()
+{
+    WorkerStats total;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        for (const WorkerStats &s : _stats) {
+            total.busyNs += s.busyNs;
+            total.idleNs += s.idleNs;
+            total.tasks += s.tasks;
+            total.emptyWakeups += s.emptyWakeups;
+        }
+    }
+    auto &reg = obs::MetricsRegistry::instance();
+    reg.counter("pool.tasks").add(total.tasks);
+    reg.counter("pool.busy_ns").add(total.busyNs);
+    reg.counter("pool.idle_ns").add(total.idleNs);
+    reg.counter("pool.empty_wakeups").add(total.emptyWakeups);
+    reg.gauge("pool.workers").set(std::int64_t(_workers.size()));
+}
+
+void
+ThreadPool::workerLoop(std::size_t index)
 {
     for (;;) {
         std::packaged_task<void()> task;
         {
             std::unique_lock<std::mutex> lock(_mutex);
-            _wakeWorker.wait(lock, [this] {
+            const std::uint64_t waitStart = nowNs();
+            _wakeWorker.wait(lock, [this, index] {
+                if (_queue.empty() && _accepting)
+                    ++_stats[index].emptyWakeups;
                 return !_queue.empty() || !_accepting;
             });
+            _stats[index].idleNs += nowNs() - waitStart;
             // Shutdown drains: only exit once the queue is empty.
             if (_queue.empty())
                 return;
             task = std::move(_queue.front());
             _queue.pop_front();
         }
+        const std::uint64_t taskStart = nowNs();
         task(); // exceptions land in the task's future
+        const std::uint64_t taskNs = nowNs() - taskStart;
         {
             std::lock_guard<std::mutex> lock(_mutex);
+            _stats[index].busyNs += taskNs;
+            ++_stats[index].tasks;
             if (--_pending == 0)
                 _idle.notify_all();
         }

@@ -11,6 +11,12 @@
  *
  * Exceptions thrown by a task are captured in the std::future
  * returned by submit(); they never escape a worker thread.
+ *
+ * The pool self-reports host telemetry: per-worker busy/idle wall
+ * time, executed-task counts and empty-queue wakeups (workerStats()),
+ * plus a queue-depth histogram.  On destruction the aggregates are
+ * published into the process-wide obs::MetricsRegistry under
+ * "pool.*" (see docs/observability.md, "Host-side profiling").
  */
 
 #ifndef PIPESIM_COMMON_THREAD_POOL_HH
@@ -36,6 +42,16 @@ namespace pipesim
  *   3. std::thread::hardware_concurrency(), never less than 1.
  */
 unsigned resolveJobCount(unsigned requested = 0);
+
+/** Host telemetry for one pool worker (wall-clock, not CPU time). */
+struct WorkerStats
+{
+    std::uint64_t busyNs = 0;  //!< time spent inside tasks
+    std::uint64_t idleNs = 0;  //!< time blocked waiting for work
+    std::uint64_t tasks = 0;   //!< tasks executed by this worker
+    /** Wakeups that found the queue empty (spurious or shutdown). */
+    std::uint64_t emptyWakeups = 0;
+};
 
 class ThreadPool
 {
@@ -70,14 +86,21 @@ class ThreadPool
     /** Tasks submitted but not yet finished (queued or running). */
     std::size_t pendingTasks() const;
 
+    /** Per-worker telemetry snapshot (index = worker ordinal). */
+    std::vector<WorkerStats> workerStats() const;
+
   private:
-    void workerLoop();
+    void workerLoop(std::size_t index);
+
+    /** Sum the per-worker stats into the global metrics registry. */
+    void publishMetrics();
 
     mutable std::mutex _mutex;
     std::condition_variable _wakeWorker; //!< signalled on new work/stop
     std::condition_variable _idle;       //!< signalled when work drains
     std::deque<std::packaged_task<void()>> _queue;
     std::vector<std::thread> _workers;
+    std::vector<WorkerStats> _stats; //!< guarded by _mutex
     std::size_t _pending = 0; //!< queued + currently running tasks
     bool _accepting = true;
 };

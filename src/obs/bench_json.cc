@@ -1,0 +1,148 @@
+#include "obs/bench_json.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <thread>
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/profiler.hh"
+
+#if __has_include(<sys/utsname.h>)
+#include <sys/utsname.h>
+#define PIPESIM_HAVE_UTSNAME 1
+#endif
+#if __has_include(<unistd.h>)
+#include <unistd.h>
+#define PIPESIM_HAVE_UNISTD 1
+#endif
+
+namespace pipesim::obs
+{
+
+std::map<std::string, std::string>
+hostInfo()
+{
+    std::map<std::string, std::string> h;
+#ifdef PIPESIM_HAVE_UNISTD
+    char name[256] = {};
+    if (gethostname(name, sizeof(name) - 1) == 0 && name[0])
+        h["hostname"] = name;
+#endif
+    if (!h.count("hostname"))
+        h["hostname"] = "unknown";
+    h["hardware_concurrency"] =
+        std::to_string(std::thread::hardware_concurrency());
+#ifdef PIPESIM_HAVE_UTSNAME
+    struct utsname u = {};
+    if (uname(&u) == 0)
+        h["os"] = std::string(u.sysname) + " " + u.release + " " +
+                  u.machine;
+#endif
+    if (!h.count("os"))
+        h["os"] = "unknown";
+#if defined(__VERSION__)
+    h["compiler"] = __VERSION__;
+#else
+    h["compiler"] = "unknown";
+#endif
+#ifdef NDEBUG
+    h["build"] = "release";
+#else
+    h["build"] = "debug";
+#endif
+    return h;
+}
+
+std::string
+gitRevision()
+{
+    if (const char *env = std::getenv("PIPESIM_GIT_REV"))
+        if (*env)
+            return env;
+#ifdef PIPESIM_HAVE_UNISTD
+    if (FILE *p = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+        char buf[128] = {};
+        const bool got = fgets(buf, sizeof(buf), p) != nullptr;
+        pclose(p);
+        if (got) {
+            const std::string rev{trim(buf)};
+            if (!rev.empty())
+                return rev;
+        }
+    }
+#endif
+    return "unknown";
+}
+
+BenchRecord &
+BenchReport::add(const std::string &name)
+{
+    records.push_back(BenchRecord{name, {}, {}});
+    return records.back();
+}
+
+void
+BenchReport::write(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value("pipesim-bench");
+    w.key("schema_version").value(std::int64_t(schemaVersion));
+    w.key("tool").value(tool);
+    w.key("generated_unix").value(std::uint64_t(std::time(nullptr)));
+    w.key("git_rev").value(gitRevision());
+
+    w.key("host").beginObject();
+    for (const auto &[k, v] : hostInfo())
+        w.key(k).value(v);
+    w.endObject();
+
+    w.key("config").beginObject();
+    for (const auto &[k, v] : config)
+        w.key(k).value(v);
+    w.endObject();
+
+    w.key("results").beginArray();
+    for (const BenchRecord &r : records) {
+        w.beginObject();
+        w.key("name").value(r.name);
+        w.key("metrics").beginObject();
+        for (const auto &[k, v] : r.metrics)
+            w.key(k).value(v);
+        w.endObject();
+        if (!r.config.empty()) {
+            w.key("config").beginObject();
+            for (const auto &[k, v] : r.config)
+                w.key(k).value(v);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("profile");
+    Profiler::instance().writeJson(w);
+    MetricsRegistry::instance().writeJson(w);
+
+    w.endObject();
+    os << "\n";
+}
+
+void
+BenchReport::writeFile(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal("cannot open bench-json output file '", path, "'");
+    write(f);
+    f << std::flush;
+    if (!f)
+        fatal("failed writing bench-json output file '", path, "'");
+}
+
+} // namespace pipesim::obs

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The machine-readable benchmark-result schema ("pipesim-bench" v1)
+ * that turns the perf trajectory into data instead of prose: every
+ * throughput bench can emit one JSON document carrying host info, the
+ * git revision, its configuration, a list of named results with
+ * numeric metrics, plus the host profile and metrics-registry
+ * snapshots.  scripts/perf_report.py validates (--check), renders and
+ * diffs these documents, and CI's perf-smoke job archives them — the
+ * baseline every ROADMAP item-4 optimisation must beat.
+ *
+ * Document shape:
+ *
+ *     {
+ *       "schema": "pipesim-bench", "schema_version": 1,
+ *       "tool": "micro_simspeed",
+ *       "generated_unix": 1790000000,
+ *       "git_rev": "ad2d25a",
+ *       "host": { "hostname":, "hardware_concurrency":,
+ *                 "os":, "compiler":, "build": },
+ *       "config": { ...free-form strings... },
+ *       "results": [
+ *         { "name": "BM_SimulatePipe/1",
+ *           "metrics": { "sim_cycles_per_s": 3.9e6, ... },
+ *           "config": { ...optional per-result strings... } }
+ *       ],
+ *       "profile": { ...Profiler::writeJson()... },
+ *       "metrics": { ... }, "histograms": { ... }
+ *     }
+ */
+
+#ifndef PIPESIM_OBS_BENCH_JSON_HH
+#define PIPESIM_OBS_BENCH_JSON_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pipesim::obs
+{
+
+/** One named measurement with its numeric metrics. */
+struct BenchRecord
+{
+    std::string name;
+    std::map<std::string, double> metrics;
+    std::map<std::string, std::string> config;
+};
+
+/** One complete pipesim-bench document. */
+struct BenchReport
+{
+    static constexpr int schemaVersion = 1;
+
+    std::string tool;
+    std::map<std::string, std::string> config;
+    std::vector<BenchRecord> records;
+
+    /** Append one record and return it for metric filling. */
+    BenchRecord &add(const std::string &name);
+
+    /** Serialise the complete document (profiler + metrics snapshots
+     *  are taken here). */
+    void write(std::ostream &os) const;
+
+    /** write() to @p path, creating/truncating the file.
+     *  @throws FatalError when the file cannot be opened. */
+    void writeFile(const std::string &path) const;
+};
+
+/** Host identification: hostname, hardware_concurrency, os,
+ *  compiler, build flavour. */
+std::map<std::string, std::string> hostInfo();
+
+/**
+ * The source revision: $PIPESIM_GIT_REV when set (CI), else
+ * `git rev-parse --short HEAD`, else "unknown".
+ */
+std::string gitRevision();
+
+} // namespace pipesim::obs
+
+#endif // PIPESIM_OBS_BENCH_JSON_HH

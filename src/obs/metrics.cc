@@ -1,0 +1,201 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "obs/json.hh"
+
+namespace pipesim::obs
+{
+
+unsigned
+LogHistogram::bucketIndex(std::uint64_t value)
+{
+    if (value == 0)
+        return 0;
+    unsigned i = 0;
+    while (value >>= 1)
+        ++i;
+    return i < numBuckets ? i : numBuckets - 1;
+}
+
+void
+LogHistogram::sample(std::uint64_t value)
+{
+    _buckets[bucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    _count.fetch_add(1, std::memory_order_relaxed);
+    _sum.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t seen = _min.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !_min.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+    seen = _max.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !_max.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+std::uint64_t
+LogHistogram::min() const
+{
+    const std::uint64_t m = _min.load(std::memory_order_relaxed);
+    return m == ~std::uint64_t(0) ? 0 : m;
+}
+
+double
+LogHistogram::mean() const
+{
+    const std::uint64_t n = count();
+    return n ? double(sum()) / double(n) : 0.0;
+}
+
+std::uint64_t
+LogHistogram::quantile(double q) const
+{
+    const std::uint64_t n = count();
+    if (n == 0)
+        return 0;
+    std::uint64_t seen = 0;
+    for (unsigned i = 0; i < numBuckets; ++i) {
+        seen += bucketCount(i);
+        if (seen > 0 && double(seen) >= q * double(n)) {
+            // Upper bound of the bucket, clamped to the observed max.
+            const std::uint64_t hi =
+                i + 1 >= 64 ? ~std::uint64_t(0)
+                            : (std::uint64_t(1) << (i + 1)) - 1;
+            return hi < max() ? hi : max();
+        }
+    }
+    return max();
+}
+
+void
+LogHistogram::reset()
+{
+    for (auto &b : _buckets)
+        b.store(0, std::memory_order_relaxed);
+    _count.store(0, std::memory_order_relaxed);
+    _sum.store(0, std::memory_order_relaxed);
+    _min.store(~std::uint64_t(0), std::memory_order_relaxed);
+    _max.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry r;
+    return r;
+}
+
+MetricCounter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    PIPESIM_ASSERT(!_gauges.count(name) && !_histograms.count(name),
+                   "metric '", name, "' already registered as another "
+                   "kind");
+    auto &slot = _counters[name];
+    if (!slot)
+        slot = std::make_unique<MetricCounter>();
+    return *slot;
+}
+
+MetricGauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    PIPESIM_ASSERT(!_counters.count(name) && !_histograms.count(name),
+                   "metric '", name, "' already registered as another "
+                   "kind");
+    auto &slot = _gauges[name];
+    if (!slot)
+        slot = std::make_unique<MetricGauge>();
+    return *slot;
+}
+
+LogHistogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    PIPESIM_ASSERT(!_counters.count(name) && !_gauges.count(name),
+                   "metric '", name, "' already registered as another "
+                   "kind");
+    auto &slot = _histograms[name];
+    if (!slot)
+        slot = std::make_unique<LogHistogram>();
+    return *slot;
+}
+
+bool
+MetricsRegistry::empty() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _counters.empty() && _gauges.empty() && _histograms.empty();
+}
+
+std::vector<MetricsRegistry::Entry>
+MetricsRegistry::entries() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::vector<Entry> out;
+    for (const auto &[name, c] : _counters)
+        out.push_back({name, Entry::Kind::Counter});
+    for (const auto &[name, g] : _gauges)
+        out.push_back({name, Entry::Kind::Gauge});
+    for (const auto &[name, h] : _histograms)
+        out.push_back({name, Entry::Kind::Histogram});
+    std::sort(out.begin(), out.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+void
+MetricsRegistry::writeJson(JsonWriter &w) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    w.key("metrics").beginObject();
+    {
+        // One sorted view over counters and gauges.
+        std::map<std::string, std::uint64_t> flat;
+        for (const auto &[name, c] : _counters)
+            flat.emplace(name, c->value());
+        for (const auto &[name, g] : _gauges) {
+            flat.emplace(name, std::uint64_t(g->value()));
+            flat.emplace(name + "_peak", std::uint64_t(g->max()));
+        }
+        for (const auto &[name, v] : flat)
+            w.key(name).value(v);
+    }
+    w.endObject();
+    w.key("histograms").beginObject();
+    for (const auto &[name, h] : _histograms) {
+        w.key(name).beginObject();
+        w.key("count").value(h->count());
+        w.key("min").value(h->min());
+        w.key("max").value(h->max());
+        w.key("mean").value(h->mean());
+        w.key("p50").value(h->quantile(0.50));
+        w.key("p90").value(h->quantile(0.90));
+        w.key("p99").value(h->quantile(0.99));
+        w.endObject();
+    }
+    w.endObject();
+}
+
+void
+MetricsRegistry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (auto &[name, c] : _counters)
+        c->reset();
+    for (auto &[name, g] : _gauges)
+        g->reset();
+    for (auto &[name, h] : _histograms)
+        h->reset();
+}
+
+} // namespace pipesim::obs

@@ -1,0 +1,495 @@
+#include "obs/profiler.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "common/log.hh"
+#include "obs/bench_json.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "sim/cli.hh"
+
+namespace pipesim::obs
+{
+
+std::atomic<bool> Profiler::_on{false};
+
+std::uint64_t
+profileNowNs()
+{
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** One phase in one thread's tree.  ns/count are relaxed atomics so
+ *  a snapshot can read while the owner thread keeps accumulating;
+ *  the child list only ever grows, under the owning ThreadState's
+ *  mutex (the owner is the only writer, snapshots are the only other
+ *  readers). */
+struct Profiler::Node
+{
+    const char *name;
+    Node *parent;
+    std::vector<std::unique_ptr<Node>> children;
+    std::atomic<std::uint64_t> ns{0};
+    std::atomic<std::uint64_t> count{0};
+
+    Node(const char *n, Node *p) : name(n), parent(p) {}
+};
+
+struct Profiler::ThreadState
+{
+    /** Bounded so a runaway coarse phase cannot eat the heap. */
+    static constexpr std::size_t maxSpans = 1 << 16;
+
+    struct RawSpan
+    {
+        const char *name;
+        std::string label;
+        std::uint64_t startNs;
+        std::uint64_t durNs;
+    };
+
+    std::uint64_t tid = 0;
+    Node root{"", nullptr};
+    Node *current = &root; //!< owner thread only
+    mutable std::mutex mutex; //!< guards children growth + spans
+    std::vector<RawSpan> spans;
+    std::atomic<std::uint64_t> droppedSpans{0};
+
+    Node *
+    child(Node *parent, const char *name)
+    {
+        // Owner-thread lookup needs no lock: only the owner appends,
+        // and appends happen under the mutex so concurrent snapshot
+        // walks never see a reallocating vector.
+        for (const auto &c : parent->children)
+            if (c->name == name || std::strcmp(c->name, name) == 0)
+                return c.get();
+        std::lock_guard<std::mutex> lock(mutex);
+        parent->children.push_back(
+            std::make_unique<Node>(name, parent));
+        return parent->children.back().get();
+    }
+
+    void
+    addSpan(const char *name, std::string label, std::uint64_t start,
+            std::uint64_t dur)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (spans.size() >= maxSpans) {
+            droppedSpans.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        spans.push_back(RawSpan{name, std::move(label), start, dur});
+    }
+};
+
+namespace
+{
+
+/** Registry of every thread that ever profiled.  States are kept for
+ *  the process lifetime so reports can still read trees of joined
+ *  worker threads. */
+struct ThreadRegistry
+{
+    std::mutex mutex;
+    std::vector<std::unique_ptr<Profiler::ThreadState>> states;
+    std::atomic<std::uint64_t> t0Ns{0}; //!< enable() timestamp
+};
+
+ThreadRegistry &
+registry()
+{
+    static ThreadRegistry *r = new ThreadRegistry; // never destroyed:
+    return *r; // worker threads may outlive static teardown
+}
+
+/** Where the --profile/--profile-json outputs go (set at activate). */
+struct PendingReport
+{
+    bool active = false;
+    ProfileOptions opts;
+};
+
+PendingReport &
+pendingReport()
+{
+    static PendingReport p;
+    return p;
+}
+
+} // namespace
+
+Profiler &
+Profiler::instance()
+{
+    static Profiler *p = new Profiler; // never destroyed (see registry)
+    return *p;
+}
+
+Profiler::ThreadState &
+Profiler::threadState()
+{
+    thread_local ThreadState *tls = nullptr;
+    if (!tls) {
+        auto state = std::make_unique<ThreadState>();
+        ThreadRegistry &reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        state->tid = reg.states.size();
+        tls = state.get();
+        reg.states.push_back(std::move(state));
+    }
+    return *tls;
+}
+
+Profiler::Node *
+Profiler::resolve(const char *name, Scope scope)
+{
+    ThreadState &ts = threadState();
+    Node *parent = scope == Scope::Root ? &ts.root : ts.current;
+    return ts.child(parent, name);
+}
+
+void
+Profiler::enable()
+{
+    ThreadRegistry &reg = registry();
+    std::uint64_t expected = 0;
+    reg.t0Ns.compare_exchange_strong(expected, profileNowNs());
+    _on.store(true, std::memory_order_relaxed);
+}
+
+void
+Profiler::disable()
+{
+    _on.store(false, std::memory_order_relaxed);
+}
+
+void
+Profiler::reset()
+{
+    // Requires no phase to be in flight on any thread (tests call
+    // this between cases, after every pool has drained).
+    ThreadRegistry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (auto &ts : reg.states) {
+        std::lock_guard<std::mutex> tlock(ts->mutex);
+        ts->root.children.clear();
+        ts->current = &ts->root;
+        ts->spans.clear();
+        ts->droppedSpans.store(0, std::memory_order_relaxed);
+    }
+    reg.t0Ns.store(enabled() ? profileNowNs() : 0,
+                   std::memory_order_relaxed);
+}
+
+std::uint64_t
+Profiler::wallNs() const
+{
+    const std::uint64_t t0 =
+        registry().t0Ns.load(std::memory_order_relaxed);
+    return t0 ? profileNowNs() - t0 : 0;
+}
+
+namespace
+{
+
+void
+mergeTree(const Profiler::Node &node, const std::string &prefix,
+          unsigned depth,
+          std::map<std::string, Profiler::Phase> &merged)
+{
+    for (const auto &childPtr : node.children) {
+        const Profiler::Node &c = *childPtr;
+        const std::string path =
+            prefix.empty() ? c.name : prefix + "/" + c.name;
+        Profiler::Phase &p = merged[path];
+        p.path = path;
+        p.depth = depth;
+        p.ns += c.ns.load(std::memory_order_relaxed);
+        p.count += c.count.load(std::memory_order_relaxed);
+        mergeTree(c, path, depth + 1, merged);
+    }
+}
+
+} // namespace
+
+std::vector<Profiler::Phase>
+Profiler::snapshot() const
+{
+    std::map<std::string, Phase> merged;
+    ThreadRegistry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto &ts : reg.states) {
+        std::lock_guard<std::mutex> tlock(ts->mutex);
+        mergeTree(ts->root, "", 0, merged);
+    }
+    // Depth-first order with children under their parent: sorting by
+    // path does exactly that ("sweep" < "sweep/point" < "sweep2").
+    std::vector<Phase> out;
+    out.reserve(merged.size());
+    for (auto &[path, p] : merged)
+        out.push_back(std::move(p));
+    return out;
+}
+
+std::vector<Profiler::Span>
+Profiler::spans() const
+{
+    std::vector<Span> out;
+    ThreadRegistry &reg = registry();
+    const std::uint64_t t0 = reg.t0Ns.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto &ts : reg.states) {
+        std::lock_guard<std::mutex> tlock(ts->mutex);
+        for (const auto &s : ts->spans)
+            out.push_back(Span{s.label.empty() ? s.name : s.label,
+                               ts->tid,
+                               s.startNs > t0 ? s.startNs - t0 : 0,
+                               s.durNs});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Span &a, const Span &b) {
+                  return a.tid != b.tid ? a.tid < b.tid
+                                        : a.startNs < b.startNs;
+              });
+    return out;
+}
+
+std::uint64_t
+Profiler::droppedSpans() const
+{
+    std::uint64_t n = 0;
+    ThreadRegistry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto &ts : reg.states)
+        n += ts->droppedSpans.load(std::memory_order_relaxed);
+    return n;
+}
+
+double
+Profiler::coverage() const
+{
+    const std::uint64_t wall = wallNs();
+    if (wall == 0)
+        return 0.0;
+    std::uint64_t top = 0;
+    for (const Phase &p : snapshot())
+        if (p.depth == 0)
+            top += p.ns;
+    const double c = double(top) / double(wall);
+    return c > 1.0 ? 1.0 : c;
+}
+
+namespace
+{
+
+std::string
+formatNs(std::uint64_t ns)
+{
+    std::ostringstream os;
+    os.precision(3);
+    if (ns >= 1000000000ull)
+        os << double(ns) / 1e9 << "s";
+    else if (ns >= 1000000ull)
+        os << double(ns) / 1e6 << "ms";
+    else if (ns >= 1000ull)
+        os << double(ns) / 1e3 << "us";
+    else
+        os << ns << "ns";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+Profiler::report() const
+{
+    const std::vector<Phase> phases = snapshot();
+    if (phases.empty())
+        return "";
+    const std::uint64_t wall = wallNs();
+    std::ostringstream os;
+    os << "== host profile (wall " << formatNs(wall) << ", coverage ";
+    os.precision(3);
+    os << coverage() * 100.0 << "%) ==\n";
+
+    const auto leafOf = [](const std::string &path) {
+        const std::size_t pos = path.rfind('/');
+        return pos == std::string::npos ? path : path.substr(pos + 1);
+    };
+    std::size_t nameWidth = 5;
+    for (const Phase &p : phases)
+        nameWidth =
+            std::max(nameWidth, 2 * p.depth + leafOf(p.path).size());
+    for (const Phase &p : phases) {
+        const std::string leaf = leafOf(p.path);
+        std::string line(2 * p.depth, ' ');
+        line += leaf;
+        line.resize(std::max(line.size(), nameWidth), ' ');
+        os << line << "  ";
+        std::ostringstream cells;
+        cells.precision(3);
+        cells << formatNs(p.ns) << " total, " << p.count << " call"
+              << (p.count == 1 ? "" : "s");
+        if (p.count > 0)
+            cells << ", " << formatNs(p.ns / p.count) << " avg";
+        if (wall > 0)
+            cells << ", " << double(p.ns) * 100.0 / double(wall)
+                  << "% of wall";
+        os << cells.str() << "\n";
+    }
+    const std::uint64_t dropped = droppedSpans();
+    if (dropped)
+        os << "(" << dropped << " span events dropped)\n";
+    return os.str();
+}
+
+void
+Profiler::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("enabled").value(enabled());
+    w.key("wall_ns").value(wallNs());
+    w.key("coverage").value(coverage());
+    w.key("dropped_spans").value(droppedSpans());
+    w.key("phases").beginArray();
+    for (const Phase &p : snapshot()) {
+        w.beginObject();
+        w.key("path").value(p.path);
+        w.key("ns").value(p.ns);
+        w.key("count").value(p.count);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+ScopedPhase::ScopedPhase(const char *name, Scope scope,
+                         std::string label)
+{
+    if (!Profiler::enabled())
+        return;
+    Profiler::ThreadState &ts = Profiler::threadState();
+    _node = Profiler::resolve(name, scope);
+    _prev = ts.current;
+    ts.current = _node;
+    _span = scope != Scope::Nested;
+    _label = std::move(label);
+    _start = profileNowNs();
+}
+
+ScopedPhase::~ScopedPhase()
+{
+    if (!_node)
+        return;
+    const std::uint64_t end = profileNowNs();
+    const std::uint64_t dur = end > _start ? end - _start : 0;
+    _node->ns.fetch_add(dur, std::memory_order_relaxed);
+    _node->count.fetch_add(1, std::memory_order_relaxed);
+    Profiler::ThreadState &ts = Profiler::threadState();
+    ts.current = _prev;
+    if (_span)
+        ts.addSpan(_node->name, std::move(_label), _start, dur);
+}
+
+CachedPhase::CachedPhase(const char *name)
+{
+    if (!Profiler::enabled())
+        return;
+    _node = Profiler::resolve(name, Scope::Nested);
+}
+
+void
+CachedPhase::add(std::uint64_t ns, std::uint64_t count)
+{
+    if (!_node)
+        return;
+    _node->ns.fetch_add(ns, std::memory_order_relaxed);
+    _node->count.fetch_add(count, std::memory_order_relaxed);
+}
+
+void
+ProfileOptions::addOptions(CliParser &cli)
+{
+    cli.addFlag("profile",
+                "profile the host (phase timers) and print the "
+                "breakdown to stderr on exit");
+    cli.addOption("profile-json", "",
+                  "write the host profile (phases, metrics, host "
+                  "info) as JSON to this file on exit");
+}
+
+ProfileOptions
+ProfileOptions::fromCli(const CliParser &cli)
+{
+    ProfileOptions o;
+    o.report = cli.getFlag("profile");
+    o.jsonPath = cli.get("profile-json");
+    return o;
+}
+
+void
+activateProfiling(const ProfileOptions &opts)
+{
+    if (!opts.any())
+        return;
+    PendingReport &p = pendingReport();
+    p.active = true;
+    p.opts = opts;
+    Profiler::instance().enable();
+}
+
+void
+flushProfileReport()
+{
+    PendingReport &p = pendingReport();
+    if (!p.active)
+        return;
+    p.active = false;
+    if (p.opts.report)
+        std::cerr << Profiler::instance().report();
+    if (!p.opts.jsonPath.empty()) {
+        std::ofstream f(p.opts.jsonPath);
+        if (!f) {
+            warn("cannot open profile output file '" + p.opts.jsonPath +
+                 "'");
+        } else {
+            writeProfileJson(f);
+            std::cerr << "wrote host profile to " << p.opts.jsonPath
+                      << "\n";
+        }
+    }
+    Profiler::instance().disable();
+}
+
+void
+writeProfileJson(std::ostream &os)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value("pipesim-profile");
+    w.key("schema_version").value(std::int64_t(1));
+    w.key("git_rev").value(gitRevision());
+    w.key("host").beginObject();
+    for (const auto &[k, v] : hostInfo())
+        w.key(k).value(v);
+    w.endObject();
+    w.key("profile");
+    Profiler::instance().writeJson(w);
+    MetricsRegistry::instance().writeJson(w);
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace pipesim::obs

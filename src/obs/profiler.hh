@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Host-side hierarchical wall-clock profiler.
+ *
+ * Where the probe bus (obs/probe.hh) watches the *simulated* machine,
+ * the profiler watches the *host*: where the process spends its
+ * wall-clock while simulating.  It is the measurement substrate for
+ * ROADMAP item 4 ("10x the hot loop") — every optimisation claim is
+ * made against a phase breakdown recorded here.
+ *
+ * Design points:
+ *
+ *  - **Zero cost when detached.**  The profiler is off by default;
+ *    a ScopedPhase on a disabled profiler is one relaxed atomic load
+ *    and nothing else.  Hot loops (the cycle engine) go further and
+ *    check Profiler::enabled() once per run, so the per-tick path is
+ *    completely untouched when detached — guarded by the
+ *    probe-overhead benchmark (bench/micro_simspeed).
+ *
+ *  - **Hierarchical, merged by path.**  Each thread keeps its own
+ *    phase tree (no cross-thread contention on the hot path); a
+ *    snapshot merges all trees by slash-joined path ("sweep/point/
+ *    sim.run/fetch").  A phase opened with Scope::Root always starts
+ *    at the thread root, so sweep points produce the same paths
+ *    whether they run inline (--jobs 1) or on a worker thread.
+ *
+ *  - **Aggregate counters, optional coarse span events.**  Every
+ *    phase accumulates {total ns, count}; phases opened as Coarse
+ *    (or Root) additionally record begin/end span events (bounded
+ *    per-thread buffer) for the Chrome-trace host lane that
+ *    ChromeTraceWriter emits beside the simulated-time lanes.
+ *
+ * Typical wiring: obs::ProfileOptions parses --profile /
+ * --profile-json, activateProfiling() turns the global profiler on,
+ * and runGuardedMain() flushes the report on exit (stderr tree and/or
+ * JSON document) — so every bench, example and pipesim-trace supports
+ * host profiling for free.
+ */
+
+#ifndef PIPESIM_OBS_PROFILER_HH
+#define PIPESIM_OBS_PROFILER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pipesim
+{
+class CliParser;
+} // namespace pipesim
+
+namespace pipesim::obs
+{
+
+class JsonWriter;
+
+/** How a ScopedPhase nests and whether it records span events. */
+enum class Scope : std::uint8_t
+{
+    Nested, //!< child of the thread's current phase; aggregate only
+    Coarse, //!< child of current phase; also records a span event
+    Root,   //!< always a child of the thread root; records a span
+};
+
+class Profiler
+{
+  public:
+    /** One merged phase in a snapshot. */
+    struct Phase
+    {
+        std::string path; //!< slash-joined ("sweep/point/sim.run")
+        unsigned depth = 0;
+        std::uint64_t ns = 0;
+        std::uint64_t count = 0;
+    };
+
+    /** One recorded coarse span (for the Chrome-trace host lane). */
+    struct Span
+    {
+        std::string name;     //!< phase name, or its label override
+        std::uint64_t tid;    //!< stable per-profiled-thread ordinal
+        std::uint64_t startNs; //!< relative to profiling activation
+        std::uint64_t durNs;
+    };
+
+    // Implementation types, public so the merging/registry helpers in
+    // profiler.cc can name them; not part of the consumer API.
+    struct Node;
+    struct ThreadState;
+
+    /** The process-wide profiler. */
+    static Profiler &instance();
+
+    /** @return true when profiling is on (one relaxed load). */
+    static bool
+    enabled()
+    {
+        return _on.load(std::memory_order_relaxed);
+    }
+
+    /** Turn profiling on (idempotent); stamps the activation time. */
+    void enable();
+
+    /** Turn profiling off.  Recorded data stays until reset(). */
+    void disable();
+
+    /** Drop every phase, span and thread registration. */
+    void reset();
+
+    /** Wall-clock ns since enable() (0 when never enabled). */
+    std::uint64_t wallNs() const;
+
+    /**
+     * Merge every thread's tree by path.  Deterministic order:
+     * depth-first, children sorted by path.  Safe to call while other
+     * threads are still timing (their in-flight phase is simply not
+     * yet included).
+     */
+    std::vector<Phase> snapshot() const;
+
+    /** Recorded coarse spans, in (tid, start) order. */
+    std::vector<Span> spans() const;
+
+    /** Span events dropped because a thread's buffer filled up. */
+    std::uint64_t droppedSpans() const;
+
+    /**
+     * Fraction of wallNs() covered by the calling process's top-level
+     * phases, summed across threads and clamped to 1.0.  The
+     * acceptance guard for "the breakdown explains the run": a
+     * serial (--jobs 1) profiled sweep must report >= 0.95.
+     */
+    double coverage() const;
+
+    /** Human-readable indented tree with %-of-wall, for stderr. */
+    std::string report() const;
+
+    /**
+     * Emit the profile as one JSON object on @p w (the "profile"
+     * section of the pipesim-bench / pipesim-profile schemas):
+     * {"enabled":, "wall_ns":, "coverage":, "dropped_spans":,
+     *  "phases":[{"path":,"ns":,"count":}...]}.
+     */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    friend class ScopedPhase;
+    friend class CachedPhase;
+
+    static ThreadState &threadState();
+    static Node *resolve(const char *name, Scope scope);
+
+    static std::atomic<bool> _on;
+};
+
+/**
+ * RAII phase timer.  On a disabled profiler, construction and
+ * destruction are no-ops (one relaxed load each).
+ *
+ *     { obs::ScopedPhase p("sweep.enumerate"); ... }
+ *     { obs::ScopedPhase p("point", obs::Scope::Root, "16-16:128"); }
+ *
+ * @p name must be a string literal (stored by pointer).  The optional
+ * label overrides the span-event name (aggregation still merges under
+ * @p name, keeping the phase key set independent of sweep contents).
+ */
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(const char *name, Scope scope = Scope::Nested,
+                         std::string label = "");
+    ~ScopedPhase();
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    Profiler::Node *_node = nullptr; //!< null when profiler disabled
+    Profiler::Node *_prev = nullptr;
+    std::uint64_t _start = 0;
+    std::string _label;
+    bool _span = false;
+};
+
+/**
+ * A pre-resolved phase for hot loops: resolve once under the current
+ * phase, then add() measured intervals without any lookup.  add() on
+ * a default-constructed (or disabled-profiler) handle is a no-op.
+ *
+ *     obs::CachedPhase fetch("fetch"), mem("mem");
+ *     ... fetch.add(t1 - t0); mem.add(t2 - t1); ...
+ */
+class CachedPhase
+{
+  public:
+    CachedPhase() = default;
+
+    /** Resolve @p name as a child of the calling thread's current
+     *  phase (null handle when the profiler is disabled). */
+    explicit CachedPhase(const char *name);
+
+    /** Accumulate @p ns (and one count) onto the phase. */
+    void add(std::uint64_t ns, std::uint64_t count = 1);
+
+  private:
+    Profiler::Node *_node = nullptr;
+};
+
+/** steady_clock::now() as a raw ns count (for interval chaining). */
+std::uint64_t profileNowNs();
+
+/** Parsed --profile / --profile-json options. */
+struct ProfileOptions
+{
+    bool report = false;    //!< --profile: stderr tree at exit
+    std::string jsonPath;   //!< --profile-json: write document here
+
+    bool any() const { return report || !jsonPath.empty(); }
+
+    static void addOptions(CliParser &cli);
+    static ProfileOptions fromCli(const CliParser &cli);
+};
+
+/**
+ * Enable the global profiler when @p opts asks for any output, and
+ * remember where the report goes.  Call right after CLI parsing so
+ * workload construction is covered too.
+ */
+void activateProfiling(const ProfileOptions &opts);
+
+/**
+ * Write the pending profile outputs (stderr tree for --profile, a
+ * pipesim-profile JSON document for --profile-json) and deactivate.
+ * No-op when profiling was never activated.  runGuardedMain() calls
+ * this on every exit path, so tools need no explicit teardown.
+ */
+void flushProfileReport();
+
+/**
+ * Serialise a complete pipesim-profile document (schema
+ * "pipesim-profile" v1: host info, git rev, profile, metrics).
+ */
+void writeProfileJson(std::ostream &os);
+
+} // namespace pipesim::obs
+
+#endif // PIPESIM_OBS_PROFILER_HH

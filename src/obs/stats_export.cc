@@ -1,6 +1,8 @@
 #include "obs/stats_export.hh"
 
 #include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/profiler.hh"
 
 namespace pipesim::obs
 {
@@ -33,6 +35,17 @@ writeStatsJson(std::ostream &os, const SimResult &result,
         w.key("formulas").beginObject();
         for (const auto &name : stats->formulaNames())
             w.key(name).value(stats->formulaValue(name));
+        w.endObject();
+    }
+
+    // Host-side observability rides along only when the profiler is
+    // attached (--profile / --profile-json): detached runs emit
+    // byte-identical stats documents to the pre-profiler ones.
+    if (Profiler::enabled()) {
+        w.key("host").beginObject();
+        w.key("profile");
+        Profiler::instance().writeJson(w);
+        MetricsRegistry::instance().writeJson(w);
         w.endObject();
     }
 

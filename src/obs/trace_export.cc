@@ -1,7 +1,10 @@
 #include "obs/trace_export.hh"
 
+#include <map>
+
 #include "isa/opcodes.hh"
 #include "obs/json.hh"
+#include "obs/profiler.hh"
 
 namespace pipesim::obs
 {
@@ -229,6 +232,45 @@ ChromeTraceWriter::write(std::ostream &os) const
         emit(e);
     for (const Event &e : tail)
         emit(e);
+
+    // Host lane: when the wall-clock profiler is attached, its coarse
+    // spans land in a second process (pid 1, ts in microseconds since
+    // profiling activation) beside the simulated-time lanes, so a
+    // trace viewer shows where the host spent real time producing the
+    // simulated activity above.
+    if (Profiler::enabled()) {
+        w.beginObject();
+        w.key("name").value("process_name");
+        w.key("ph").value("M");
+        w.key("ts").value(std::uint64_t(0));
+        w.key("pid").value(std::uint64_t(1));
+        w.key("args").beginObject().key("name").value("host").endObject();
+        w.endObject();
+        std::map<std::uint64_t, bool> named;
+        for (const Profiler::Span &s : Profiler::instance().spans()) {
+            if (!named[s.tid]) {
+                named[s.tid] = true;
+                w.beginObject();
+                w.key("name").value("thread_name");
+                w.key("ph").value("M");
+                w.key("ts").value(std::uint64_t(0));
+                w.key("pid").value(std::uint64_t(1));
+                w.key("tid").value(s.tid);
+                w.key("args").beginObject().key("name")
+                    .value("host-thread-" + std::to_string(s.tid))
+                    .endObject();
+                w.endObject();
+            }
+            w.beginObject();
+            w.key("name").value(s.name);
+            w.key("ph").value("X");
+            w.key("ts").value(s.startNs / 1000);
+            w.key("dur").value(s.durNs / 1000);
+            w.key("pid").value(std::uint64_t(1));
+            w.key("tid").value(s.tid);
+            w.endObject();
+        }
+    }
 
     w.endArray();
     w.endObject();

@@ -62,11 +62,11 @@ class ChromeTraceWriter
 
     struct Event
     {
-        Kind kind;
-        std::uint8_t tid;
-        Cycle ts;
-        Cycle dur;               //!< spans only
-        const char *name;        //!< static string (class/track names)
+        Kind kind = Kind::Instant;
+        std::uint8_t tid = 0;
+        Cycle ts = 0;
+        Cycle dur = 0;           //!< spans only
+        const char *name = nullptr; //!< static (class/track names)
         std::string label;       //!< overrides name when non-empty
         std::uint64_t arg0 = 0;  //!< pc / addr / ldq occupancy
         std::uint64_t arg1 = 0;  //!< sdq occupancy (counters)

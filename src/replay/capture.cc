@@ -1,5 +1,6 @@
 #include "replay/capture.hh"
 
+#include "obs/profiler.hh"
 #include "sim/simulator.hh"
 
 namespace pipesim::replay
@@ -45,6 +46,7 @@ Trace
 captureTrace(const SimConfig &config, const Program &program,
              const std::string &provenance)
 {
+    obs::ScopedPhase phase("capture", obs::Scope::Coarse);
     Simulator sim(config, program);
     TraceCapture capture(sim, provenance);
     sim.run();

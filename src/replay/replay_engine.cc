@@ -12,6 +12,7 @@
 #include "core/fetch_factory.hh"
 #include "mem/data_memory.hh"
 #include "mem/fpu.hh"
+#include "obs/profiler.hh"
 #include "replay/replay_pipeline.hh"
 
 namespace pipesim::replay
@@ -106,6 +107,7 @@ SimResult
 replayExact(const SimConfig &config, const Program &program,
             const Trace &trace)
 {
+    obs::ScopedPhase phase("replay.exact", obs::Scope::Coarse);
     DataMemory dataMem;
     dataMem.loadProgram(program);
     ReplayMachine m(config, program, trace, 0, dataMem);
@@ -148,6 +150,7 @@ replayExact(const SimConfig &config, const Program &program,
 std::vector<std::size_t>
 computeSyncPoints(const Program &program, const Trace &trace)
 {
+    obs::ScopedPhase phase("replay.sync_scan", obs::Scope::Coarse);
     // The scan touches every trace record but the program's static
     // footprint is small, so decode each pc once and replay the scan
     // from the cache — this is what keeps sampled replay fast on
@@ -226,12 +229,23 @@ replaySampled(const SimConfig &config, const Program &program,
               ") must cover warmup (", opt.sampleWarmup,
               ") + measure (", opt.sampleMeasure, ")");
 
+    obs::ScopedPhase samplePhase("replay.sampled", obs::Scope::Coarse);
     const std::size_t total = trace.records.size();
     const std::vector<std::size_t> syncPoints =
         computeSyncPoints(program, trace);
 
     DataMemory dataMem;
     dataMem.loadProgram(program);
+
+    // Warm-up vs measurement attribution across all windows (the
+    // paper's sampling cost model: warm-up is pure overhead).  The
+    // clock is only read when the profiler is attached.
+    const bool prof = obs::Profiler::enabled();
+    obs::CachedPhase warmPhase, measurePhase;
+    if (prof) {
+        warmPhase = obs::CachedPhase("window.warmup");
+        measurePhase = obs::CachedPhase("window.measure");
+    }
 
     std::map<std::string, std::uint64_t> measuredCounters;
     std::vector<double> windowCpis;
@@ -257,10 +271,14 @@ replaySampled(const SimConfig &config, const Program &program,
         ReplayMachine m(config, program, trace, start, dataMem);
         m.fetch->reset(trace.records[start].pc);
 
+        const std::uint64_t warmStartNs =
+            prof ? obs::profileNowNs() : 0;
         while (m.pipe.cursor() < warmEnd && !m.done()) {
             m.step();
             m.watchdogs(config);
         }
+        if (prof)
+            warmPhase.add(obs::profileNowNs() - warmStartNs);
         if (m.pipe.cursor() < warmEnd)
             break; // trace (and program) ended inside the warm-up
 
@@ -271,10 +289,14 @@ replaySampled(const SimConfig &config, const Program &program,
         for (const auto &name : names)
             before.push_back(m.stats.counterValue(name));
 
+        const std::uint64_t measureStartNs =
+            prof ? obs::profileNowNs() : 0;
         while (m.pipe.cursor() < measureEnd && !m.done()) {
             m.step();
             m.watchdogs(config);
         }
+        if (prof)
+            measurePhase.add(obs::profileNowNs() - measureStartNs);
 
         const std::uint64_t insts = m.pipe.cursor() - warmEnd;
         const Cycle cycles = m.now - warmEndCycle;

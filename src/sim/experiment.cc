@@ -1,5 +1,7 @@
 #include "sim/experiment.hh"
 
+#include <atomic>
+#include <cstdio>
 #include <exception>
 #include <mutex>
 #include <sstream>
@@ -7,6 +9,8 @@
 #include "common/abort.hh"
 #include "common/log.hh"
 #include "common/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "obs/profiler.hh"
 #include "replay/replay_engine.hh"
 
 namespace pipesim
@@ -107,6 +111,11 @@ struct SweepPoint
      *  point's own worker; read only after all workers joined). */
     std::optional<PointFailure> failure;
     std::exception_ptr error;
+
+    /** Host telemetry, written by the point's own worker and read
+     *  only after all workers joined (same publication rule). */
+    std::uint64_t wallNs = 0;
+    unsigned attemptsUsed = 0;
 };
 
 /** Turn the exception behind @p error into a structured record. */
@@ -131,6 +140,71 @@ describeFailure(const SweepPoint &p, unsigned attempts)
     return f;
 }
 
+/**
+ * Throttled progress heartbeat for a running sweep.  Writes only to
+ * stderr, so the rendered table on stdout stays byte-identical
+ * whether or not --progress is on and for any worker count.
+ */
+class ProgressReporter
+{
+  public:
+    ProgressReporter(bool enabled, std::size_t total)
+        : _enabled(enabled && total > 0), _total(total),
+          _startNs(obs::profileNowNs())
+    {
+    }
+
+    /** Record one finished point; prints at most every ~200 ms, but
+     *  always prints the final point. */
+    void pointDone()
+    {
+        if (!_enabled)
+            return;
+        const std::size_t done = ++_completed;
+        std::lock_guard<std::mutex> lock(_mutex);
+        const std::uint64_t now = obs::profileNowNs();
+        if (done < _total && now - _lastPrintNs < kThrottleNs)
+            return;
+        _lastPrintNs = now;
+        const double elapsed = double(now - _startNs) * 1e-9;
+        const double eta =
+            elapsed / double(done) * double(_total - done);
+        std::fprintf(
+            stderr, "[sweep] %zu/%zu points (%d%%) elapsed %.1fs eta %.1fs\n",
+            done, _total, int(100.0 * double(done) / double(_total)),
+            elapsed, eta);
+    }
+
+  private:
+    static constexpr std::uint64_t kThrottleNs = 200'000'000;
+
+    const bool _enabled;
+    const std::size_t _total;
+    const std::uint64_t _startNs;
+    std::mutex _mutex; //!< guards _lastPrintNs and stderr interleaving
+    std::atomic<std::size_t> _completed{0};
+    std::uint64_t _lastPrintNs = 0;
+};
+
+/**
+ * Pre-create every host metric a sweep can emit, so the exported key
+ * set is identical for any worker count (the key-set contract in
+ * obs/metrics.hh: a jobs=1 sweep never constructs a ThreadPool, so
+ * the pool would otherwise only register its metrics when jobs>1).
+ */
+void
+touchSweepMetrics()
+{
+    auto &reg = obs::MetricsRegistry::instance();
+    reg.counter("pool.tasks");
+    reg.counter("pool.busy_ns");
+    reg.counter("pool.idle_ns");
+    reg.counter("pool.empty_wakeups");
+    reg.gauge("pool.workers");
+    reg.histogram("pool.queue_depth");
+    reg.histogram("sweep.point_ns");
+}
+
 } // namespace
 
 SweepResult
@@ -138,6 +212,9 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
               const std::function<void(const std::string &, unsigned,
                                        const SimResult &)> &on_point)
 {
+    obs::ScopedPhase sweepPhase("sweep", obs::Scope::Coarse);
+    touchSweepMetrics();
+
     if (spec.engine == SweepEngine::Trace) {
         if (!spec.trace)
             fatal("trace-engine sweep requested without a trace "
@@ -163,17 +240,21 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
         rows, std::vector<std::string>(cols, "-"));
     std::vector<SweepPoint> points;
     points.reserve(rows * cols);
-    for (std::size_t r = 0; r < rows; ++r) {
-        for (std::size_t c = 0; c < cols; ++c) {
-            auto cfg = makeValidSweepConfig(spec, spec.strategies[c],
-                                            spec.cacheSizes[r]);
-            if (!cfg)
-                continue;
-            points.push_back({r, c, spec.cacheSizes[r],
-                              &spec.strategies[c], std::move(*cfg),
-                              std::nullopt, nullptr});
+    {
+        obs::ScopedPhase phase("enumerate");
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < cols; ++c) {
+                auto cfg = makeValidSweepConfig(
+                    spec, spec.strategies[c], spec.cacheSizes[r]);
+                if (!cfg)
+                    continue;
+                points.push_back({r, c, spec.cacheSizes[r],
+                                  &spec.strategies[c], std::move(*cfg),
+                                  std::nullopt, nullptr});
+            }
         }
     }
+    ProgressReporter progress(spec.progress, points.size());
 
     // Per-run state (Simulator, StatGroup, probe bus) is thread-local
     // to the point's worker; only the user callbacks share state, so
@@ -216,40 +297,61 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
     // point itself and dispositioned after every worker has joined,
     // so one bad point cannot take the sweep down mid-flight.
     auto runPoint = [&](SweepPoint &p) {
+        // Scope::Root: the phase attaches at the executing thread's
+        // root, so the aggregated "point" path is identical whether
+        // the point ran inline (jobs=1) or on a pool worker.
+        obs::ScopedPhase phase("point", obs::Scope::Root,
+                               *p.strategy + ":" +
+                                   std::to_string(p.cacheBytes));
+        const std::uint64_t start = obs::profileNowNs();
         const unsigned attempts = 1 + spec.pointRetries;
         for (unsigned a = 1; a <= attempts; ++a) {
             try {
                 attemptPoint(p);
-                return;
+                p.attemptsUsed = a;
+                break;
             } catch (...) {
                 if (a == attempts) {
+                    p.attemptsUsed = a;
                     p.error = std::current_exception();
                     p.failure = describeFailure(p, a);
                     cells[p.row][p.col] = "ERR";
                 }
             }
         }
+        p.wallNs = obs::profileNowNs() - start;
+        obs::MetricsRegistry::instance()
+            .histogram("sweep.point_ns")
+            .sample(p.wallNs);
+        progress.pointDone();
     };
 
     const unsigned jobs = resolveJobCount(spec.jobs);
-    if (jobs <= 1 || points.size() <= 1) {
-        // Serial: run in deterministic (size, strategy) order on the
-        // calling thread.
-        for (auto &p : points)
-            runPoint(p);
-    } else {
-        ThreadPool pool(std::min<std::size_t>(jobs, points.size()));
-        std::vector<std::future<void>> futures;
-        futures.reserve(points.size());
-        for (auto &p : points)
-            futures.push_back(pool.submit([&runPoint, &p] {
+    {
+        // Same phase name for both execution shapes, so profiler key
+        // sets match across worker counts.
+        obs::ScopedPhase phase("run_points");
+        if (jobs <= 1 || points.size() <= 1) {
+            // Serial: run in deterministic (size, strategy) order on
+            // the calling thread.
+            for (auto &p : points)
                 runPoint(p);
-            }));
-        // runPoint captures failures instead of throwing; waiting on
-        // every future is a pure join.
-        for (auto &f : futures)
-            f.get();
+        } else {
+            ThreadPool pool(std::min<std::size_t>(jobs, points.size()));
+            std::vector<std::future<void>> futures;
+            futures.reserve(points.size());
+            for (auto &p : points)
+                futures.push_back(pool.submit([&runPoint, &p] {
+                    runPoint(p);
+                }));
+            // runPoint captures failures instead of throwing; waiting
+            // on every future is a pure join.
+            for (auto &f : futures)
+                f.get();
+        }
     }
+
+    obs::ScopedPhase assemblePhase("assemble");
 
     // Disposition failures in enumeration order, so the report (and
     // the FailFast choice of exception) is identical for any --jobs.
@@ -265,6 +367,15 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
     if (spec.failurePolicy == SweepFailurePolicy::FailFast && first)
         std::rethrow_exception(first);
 
+    // Timings mirror enumeration order: deterministic key sequence
+    // (strategy, cacheBytes, attempts) for any worker count, with
+    // only wallNs carrying host timing.
+    std::vector<PointTiming> timings;
+    timings.reserve(points.size());
+    for (const auto &p : points)
+        timings.push_back(
+            {*p.strategy, p.cacheBytes, p.attemptsUsed, p.wallNs});
+
     for (std::size_t r = 0; r < rows; ++r) {
         table.beginRow();
         table.cell(spec.cacheSizes[r]);
@@ -274,7 +385,8 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
 
     if (spec.onSweepEnd)
         spec.onSweepEnd();
-    return SweepResult{std::move(table), std::move(failures)};
+    return SweepResult{std::move(table), std::move(failures),
+                       std::move(timings)};
 }
 
 } // namespace pipesim

@@ -73,11 +73,29 @@ struct PointFailure
     std::string snapshot;  //!< machine snapshot (SimAbort only)
 };
 
+/**
+ * Host-side timing record for one completed (or failed) sweep point.
+ * Records come back in enumeration order for every worker count, so
+ * the (strategy, cacheBytes, attempts) key sequence is deterministic;
+ * only wallNs carries nondeterministic host timing.
+ */
+struct PointTiming
+{
+    std::string strategy;
+    unsigned cacheBytes = 0;
+    unsigned attempts = 0;   //!< runs tried (failed attempts included)
+    std::uint64_t wallNs = 0; //!< host wall-clock across all attempts
+};
+
 /** What a sweep produced: the table plus any per-point failures. */
 struct SweepResult
 {
     Table table;
     std::vector<PointFailure> failures;
+
+    /** Per-point host timings, in enumeration order (valid points
+     *  only — one entry per non-"-" cell). */
+    std::vector<PointTiming> timings;
 
     /** @return true if every valid point completed. */
     bool ok() const { return failures.empty(); }
@@ -126,6 +144,15 @@ struct SweepSpec
 
     /** What to do when a point's Simulator throws. */
     SweepFailurePolicy failurePolicy = SweepFailurePolicy::FailFast;
+
+    /**
+     * Emit a throttled progress heartbeat with ETA on stderr while
+     * the sweep runs ("[sweep] 12/31 points (38%) elapsed 1.2s eta
+     * 1.9s").  Heartbeats never touch stdout, so the rendered table
+     * stays byte-identical for any worker count (--progress on every
+     * bench; see docs/observability.md).
+     */
+    bool progress = false;
 
     /** Which engine runs each point. */
     SweepEngine engine = SweepEngine::Cycle;

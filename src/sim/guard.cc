@@ -5,13 +5,30 @@
 
 #include "common/abort.hh"
 #include "common/log.hh"
+#include "obs/profiler.hh"
 
 namespace pipesim
 {
 
+namespace
+{
+
+/**
+ * Flush pending --profile/--profile-json output on every exit path
+ * (success and all the error taxonomies below) so tools never need
+ * explicit profiler teardown.
+ */
+struct ProfileFlusher
+{
+    ~ProfileFlusher() { obs::flushProfileReport(); }
+};
+
+} // namespace
+
 int
 runGuardedMain(const std::function<int()> &body)
 {
+    ProfileFlusher flusher;
     try {
         return body();
     } catch (const FatalError &e) {

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/fetch_factory.hh"
+#include "obs/profiler.hh"
 
 namespace pipesim
 {
@@ -82,21 +83,85 @@ Simulator::done() const
            _mem->quiescent();
 }
 
+void
+Simulator::checkWatchdogs()
+{
+    if (_now > _config.maxCycles)
+        simAbort("simulation exceeded ", _config.maxCycles, " cycles");
+    if (!_pipeline->halted() &&
+        _now - _lastProgressCycle > _config.progressWindow)
+        simAbort("no instruction retired for ", _config.progressWindow,
+                 " cycles: machine deadlocked at cycle ", _now);
+}
+
+void
+Simulator::runLoop()
+{
+    while (!done()) {
+        step();
+        checkWatchdogs();
+    }
+}
+
+void
+Simulator::runLoopProfiled()
+{
+    obs::ScopedPhase runPhase("sim.run", obs::Scope::Coarse);
+    obs::CachedPhase fetchPhase("fetch"), memPhase("mem"),
+        pipePhase("pipeline"), otherPhase("other");
+
+    // Chained timestamps: four clock reads per cycle, every interval
+    // attributed to some phase ("other" absorbs done()/watchdog/loop
+    // bookkeeping), so the phase sum equals the loop's wall-clock.
+    // Accumulated in locals and flushed once, to keep the profiled
+    // loop's own overhead out of the attribution.
+    std::uint64_t fetchNs = 0, memNs = 0, pipeNs = 0, otherNs = 0;
+    std::uint64_t cycles = 0;
+    auto flush = [&] {
+        fetchPhase.add(fetchNs, cycles);
+        memPhase.add(memNs, cycles);
+        pipePhase.add(pipeNs, cycles);
+        otherPhase.add(otherNs, cycles);
+    };
+    std::uint64_t t3 = obs::profileNowNs();
+    try {
+        while (!done()) {
+            const std::uint64_t t0 = obs::profileNowNs();
+            otherNs += t0 - t3;
+            _fetch->tick(_now);
+            const std::uint64_t t1 = obs::profileNowNs();
+            _mem->tick(_now);
+            const std::uint64_t t2 = obs::profileNowNs();
+            _pipeline->tick(_now);
+            t3 = obs::profileNowNs();
+            fetchNs += t1 - t0;
+            memNs += t2 - t1;
+            pipeNs += t3 - t2;
+            ++cycles;
+            if (_pipeline->instructionsRetired() != _lastRetired) {
+                _lastRetired = _pipeline->instructionsRetired();
+                _lastProgressCycle = _now;
+            }
+            ++_now;
+            checkWatchdogs();
+        }
+    } catch (...) {
+        flush();
+        throw;
+    }
+    flush();
+}
+
 SimResult
 Simulator::run()
 {
     try {
-        while (!done()) {
-            step();
-            if (_now > _config.maxCycles)
-                simAbort("simulation exceeded ", _config.maxCycles,
-                         " cycles");
-            if (!_pipeline->halted() &&
-                _now - _lastProgressCycle > _config.progressWindow)
-                simAbort("no instruction retired for ",
-                         _config.progressWindow,
-                         " cycles: machine deadlocked at cycle ", _now);
-        }
+        // One enabled() check per run: the detached hot path is the
+        // exact pre-profiler loop, untouched (see obs/profiler.hh).
+        if (obs::Profiler::enabled())
+            runLoopProfiled();
+        else
+            runLoop();
     } catch (const SimAbort &e) {
         // Components raise SimAbort without forensic context (they
         // cannot see the whole machine); decorate it here, once.

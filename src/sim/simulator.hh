@@ -109,6 +109,20 @@ class Simulator
     MachineSnapshot snapshot() const;
 
   private:
+    /** The plain run loop: zero host-profiling cost. */
+    void runLoop();
+
+    /**
+     * The same loop with per-cycle phase attribution (fetch/mem/
+     * pipeline/other) under the host profiler.  Selected by run()
+     * with a single obs::Profiler::enabled() check, so the detached
+     * hot path carries no probe cost at all.
+     */
+    void runLoopProfiled();
+
+    /** Watchdog checks shared by both loops. */
+    void checkWatchdogs();
+
     SimConfig _config;
     const Program &_program;
     DataMemory _dataMem;

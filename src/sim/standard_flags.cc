@@ -16,6 +16,7 @@ void
 registerStandardFlags(CliParser &cli, const StandardFlagGroups &groups)
 {
     obs::ObsOptions::addOptions(cli);
+    obs::ProfileOptions::addOptions(cli);
     fault::addFaultOptions(cli);
     if (groups.sweep) {
         cli.addOption("jobs", "0",
@@ -32,6 +33,9 @@ registerStandardFlags(CliParser &cli, const StandardFlagGroups &groups)
                     "of rendering ERR cells and reporting at the end");
         cli.addOption("point-retries", "0",
                       "extra attempts granted to a failing sweep point");
+        cli.addFlag("progress",
+                    "emit a throttled sweep heartbeat with ETA on "
+                    "stderr (stdout tables are unaffected)");
     }
     if (groups.engine) {
         cli.addOption("engine", "cycle",
@@ -71,6 +75,10 @@ standardFlagsFromCli(const CliParser &cli, const StandardFlagGroups &groups)
 {
     StandardFlags f;
     f.obs = obs::ObsOptions::fromCli(cli);
+    f.profile = obs::ProfileOptions::fromCli(cli);
+    // Activate now so workload construction and capture are covered
+    // too; runGuardedMain() flushes the report on every exit path.
+    obs::activateProfiling(f.profile);
     f.fault = fault::faultConfigFromCli(cli);
     if (groups.sweep) {
         f.jobs = nonNegative(cli, "jobs");
@@ -78,6 +86,7 @@ standardFlagsFromCli(const CliParser &cli, const StandardFlagGroups &groups)
         f.faultPoint = cli.get("fi-point");
         f.failFast = cli.getFlag("fail-fast");
         f.pointRetries = nonNegative(cli, "point-retries");
+        f.progress = cli.getFlag("progress");
     }
     if (groups.engine) {
         const std::string engine = cli.get("engine");
@@ -141,6 +150,7 @@ void
 applyStandardFlags(SweepSpec &spec, const StandardFlags &flags)
 {
     spec.jobs = flags.jobs;
+    spec.progress = flags.progress;
     spec.fault = flags.fault;
     spec.faultPoint = flags.faultPoint;
     spec.pointRetries = flags.pointRetries;

@@ -4,9 +4,10 @@
  * example binary, registered in one place instead of per tool:
  *
  *   observability   --cpi-stack, --trace-json, --stats-json
+ *   host profiling  --profile, --profile-json
  *   fault injection --fi-kind, --fi-seed, --fi-rate
  *   sweep control   --jobs, --obs-point, --fi-point, --fail-fast,
- *                   --point-retries
+ *                   --point-retries, --progress
  *   engine          --engine cycle|trace, --trace-file,
  *                   --sample-period, --sample-warmup, --sample-measure
  *
@@ -26,6 +27,7 @@
 
 #include "fault/fault.hh"
 #include "obs/obs_cli.hh"
+#include "obs/profiler.hh"
 #include "sim/cli.hh"
 #include "sim/experiment.hh"
 
@@ -48,6 +50,7 @@ struct StandardFlagGroups
 struct StandardFlags
 {
     obs::ObsOptions obs;
+    obs::ProfileOptions profile; //!< host profiler (--profile[-json])
     fault::FaultConfig fault;
 
     // Sweep group.
@@ -56,6 +59,7 @@ struct StandardFlags
     std::string faultPoint; //!< restrict injection to this point
     bool failFast = false;  //!< rethrow instead of collecting failures
     unsigned pointRetries = 0;
+    bool progress = false;  //!< --progress: stderr sweep heartbeat
 
     // Engine group.
     SweepEngine engine = SweepEngine::Cycle;
@@ -72,6 +76,11 @@ void registerStandardFlags(CliParser &cli,
 /**
  * Read the standard flags back after cli.parse().  Pass the same
  * @p groups as registration; unregistered groups keep their defaults.
+ *
+ * Side effect: when --profile / --profile-json was given, the global
+ * host profiler is activated here (obs::activateProfiling), so
+ * everything after CLI parsing — workload build, capture, sweep — is
+ * covered; runGuardedMain() flushes the report on exit.
  */
 StandardFlags standardFlagsFromCli(const CliParser &cli,
                                    const StandardFlagGroups &groups = {});

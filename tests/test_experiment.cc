@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
+#include <tuple>
 #include <utility>
 
 #include "common/abort.hh"
 #include "common/log.hh"
 
+#include "obs/metrics.hh"
+#include "obs/profiler.hh"
 #include "sim/experiment.hh"
 #include "workloads/benchmark_program.hh"
 
@@ -237,6 +241,97 @@ TEST(ExperimentTest, ObserverSeesEveryValidPoint)
                       EXPECT_GT(r.totalCycles, 0u);
                   });
     EXPECT_EQ(points, 3u); // 32-32 at 16 bytes is skipped
+}
+
+TEST(ExperimentTest, TimingsFollowEnumerationOrder)
+{
+    SweepSpec spec;
+    spec.cacheSizes = {16, 32};
+    spec.strategies = {"conv", "32-32"};
+    const SweepResult r = runCacheSweep(spec, tinyBenchmark().program);
+    // One timing per valid point, in enumeration order (size-major,
+    // matching the table's row-then-column walk).
+    ASSERT_EQ(r.timings.size(), 3u); // 32-32 at 16 bytes is skipped
+    EXPECT_EQ(r.timings[0].strategy, "conv");
+    EXPECT_EQ(r.timings[0].cacheBytes, 16u);
+    EXPECT_EQ(r.timings[1].strategy, "conv");
+    EXPECT_EQ(r.timings[1].cacheBytes, 32u);
+    EXPECT_EQ(r.timings[2].strategy, "32-32");
+    EXPECT_EQ(r.timings[2].cacheBytes, 32u);
+    for (const auto &t : r.timings) {
+        EXPECT_EQ(t.attempts, 1u);
+        EXPECT_GT(t.wallNs, 0u);
+    }
+}
+
+TEST(ExperimentTest, ObservabilityPreservesDeterminism)
+{
+    // The full telemetry surface on (--progress, profiler enabled)
+    // must not perturb results: tables stay byte-identical between
+    // --jobs 1 and --jobs 8, the profiler records the same phase
+    // paths (Scope::Root detaches sweep points from the worker
+    // context), and the metrics key set is identical even though
+    // --jobs 1 never constructs a thread pool (key-set contract).
+    struct ProfilerGuard
+    {
+        ~ProfilerGuard()
+        {
+            obs::Profiler::instance().disable();
+            obs::Profiler::instance().reset();
+        }
+    } guard;
+    obs::Profiler::instance().disable();
+    obs::Profiler::instance().reset();
+    obs::Profiler::instance().enable();
+
+    SweepSpec spec;
+    spec.cacheSizes = {16, 32, 64};
+    spec.strategies = {"conv", "8-8", "16-16"};
+    spec.progress = true;
+
+    auto phasePaths = [] {
+        std::set<std::string> paths;
+        for (const auto &p : obs::Profiler::instance().snapshot())
+            paths.insert(p.path);
+        return paths;
+    };
+    auto metricKeys = [] {
+        std::set<std::string> keys;
+        for (const auto &e : obs::MetricsRegistry::instance().entries())
+            keys.insert(e.name);
+        return keys;
+    };
+    using TimingKey = std::tuple<std::string, unsigned, unsigned>;
+    auto timingKeys = [](const SweepResult &r) {
+        std::vector<TimingKey> keys;
+        for (const auto &t : r.timings)
+            keys.emplace_back(t.strategy, t.cacheBytes, t.attempts);
+        return keys;
+    };
+
+    spec.jobs = 1;
+    const SweepResult serial =
+        runCacheSweep(spec, tinyBenchmark().program);
+    const auto serialPaths = phasePaths();
+    const auto serialKeys = metricKeys();
+    // --jobs 1 runs inline, yet the pool metrics must already exist.
+    EXPECT_TRUE(serialKeys.count("pool.tasks"));
+    EXPECT_TRUE(serialKeys.count("pool.workers"));
+    EXPECT_TRUE(serialKeys.count("sweep.point_ns"));
+    EXPECT_TRUE(serialPaths.count("sweep/run_points"));
+    EXPECT_TRUE(serialPaths.count("point/sim.run"));
+
+    obs::Profiler::instance().reset();
+    obs::Profiler::instance().enable();
+    spec.jobs = 8;
+    const SweepResult parallel =
+        runCacheSweep(spec, tinyBenchmark().program);
+
+    EXPECT_EQ(serial.table.toText(), parallel.table.toText());
+    EXPECT_EQ(serial.table.toCsv(), parallel.table.toCsv());
+    EXPECT_EQ(timingKeys(serial), timingKeys(parallel));
+    EXPECT_EQ(serialPaths, phasePaths());
+    EXPECT_EQ(serialKeys, metricKeys());
 }
 
 TEST(ExperimentTest, BiggerCacheNeverMuchWorse)

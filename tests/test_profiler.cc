@@ -1,0 +1,492 @@
+/**
+ * Host-side observability tests: the hierarchical wall-clock profiler
+ * (obs/profiler.hh), the metrics registry (obs/metrics.hh) and their
+ * exports (--stats-json "host" section, pipesim-profile documents,
+ * the Chrome-trace host lane).
+ *
+ * The profiler and registry are process-wide singletons, so every
+ * fixture resets them; tests here must not assume a pristine process.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "common/log.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/profiler.hh"
+#include "obs/stats_export.hh"
+#include "obs/trace_export.hh"
+#include "sim/config.hh"
+#include "sim/simulator.hh"
+#include "workloads/benchmark_program.hh"
+
+using namespace pipesim;
+
+namespace
+{
+
+/** Spin for roughly @p ns of wall-clock (coarse, but monotone). */
+void
+busyWait(std::uint64_t ns)
+{
+    const std::uint64_t start = obs::profileNowNs();
+    while (obs::profileNowNs() - start < ns) {
+    }
+}
+
+class ProfilerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        obs::Profiler::instance().disable();
+        obs::Profiler::instance().reset();
+    }
+
+    void
+    TearDown() override
+    {
+        obs::Profiler::instance().disable();
+        obs::Profiler::instance().reset();
+    }
+
+    const obs::Profiler::Phase *
+    phaseByPath(const std::vector<obs::Profiler::Phase> &phases,
+                const std::string &path)
+    {
+        for (const auto &p : phases)
+            if (p.path == path)
+                return &p;
+        return nullptr;
+    }
+};
+
+TEST_F(ProfilerTest, DisabledByDefaultAndScopedPhaseIsNoOp)
+{
+    ASSERT_FALSE(obs::Profiler::enabled());
+    {
+        obs::ScopedPhase p("never");
+        obs::ScopedPhase q("never/child", obs::Scope::Coarse);
+    }
+    EXPECT_TRUE(obs::Profiler::instance().snapshot().empty());
+    EXPECT_TRUE(obs::Profiler::instance().spans().empty());
+    EXPECT_EQ(obs::Profiler::instance().wallNs(), 0u);
+}
+
+TEST_F(ProfilerTest, CachedPhaseOnDisabledProfilerIsNoOp)
+{
+    obs::CachedPhase c("never");
+    c.add(123456);
+    EXPECT_TRUE(obs::Profiler::instance().snapshot().empty());
+}
+
+TEST_F(ProfilerTest, NestedPhasesBuildSlashPaths)
+{
+    obs::Profiler::instance().enable();
+    {
+        obs::ScopedPhase outer("outer");
+        {
+            obs::ScopedPhase inner("inner");
+            busyWait(100'000);
+        }
+        {
+            obs::ScopedPhase inner("inner");
+            busyWait(100'000);
+        }
+    }
+    const auto phases = obs::Profiler::instance().snapshot();
+    const auto *outer = phaseByPath(phases, "outer");
+    const auto *inner = phaseByPath(phases, "outer/inner");
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(outer->count, 1u);
+    EXPECT_EQ(inner->count, 2u);
+    EXPECT_EQ(outer->depth, 0u);
+    EXPECT_EQ(inner->depth, 1u);
+}
+
+TEST_F(ProfilerTest, ChildTimeSumsIntoParentWithinTolerance)
+{
+    obs::Profiler::instance().enable();
+    {
+        obs::ScopedPhase outer("outer");
+        {
+            obs::ScopedPhase a("a");
+            busyWait(2'000'000);
+        }
+        {
+            obs::ScopedPhase b("b");
+            busyWait(2'000'000);
+        }
+    }
+    const auto phases = obs::Profiler::instance().snapshot();
+    const auto *outer = phaseByPath(phases, "outer");
+    const auto *a = phaseByPath(phases, "outer/a");
+    const auto *b = phaseByPath(phases, "outer/b");
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    // Children nest strictly inside the parent, so their sum can
+    // never exceed it; the parent adds only scope-entry overhead, so
+    // the children must dominate (generous floor for busy machines).
+    EXPECT_LE(a->ns + b->ns, outer->ns);
+    EXPECT_GE(double(a->ns + b->ns), 0.5 * double(outer->ns));
+}
+
+TEST_F(ProfilerTest, RootScopeAttachesAtThreadRoot)
+{
+    obs::Profiler::instance().enable();
+    {
+        obs::ScopedPhase outer("outer");
+        obs::ScopedPhase point("point", obs::Scope::Root, "label");
+        busyWait(10'000);
+    }
+    const auto phases = obs::Profiler::instance().snapshot();
+    EXPECT_NE(phaseByPath(phases, "point"), nullptr);
+    EXPECT_EQ(phaseByPath(phases, "outer/point"), nullptr);
+}
+
+TEST_F(ProfilerTest, MergesIdenticalPathsAcrossThreads)
+{
+    obs::Profiler::instance().enable();
+    auto work = [] {
+        obs::ScopedPhase p("worker", obs::Scope::Root);
+        busyWait(100'000);
+    };
+    std::thread t1(work), t2(work);
+    t1.join();
+    t2.join();
+    work(); // and once on this thread
+
+    const auto phases = obs::Profiler::instance().snapshot();
+    const auto *merged = phaseByPath(phases, "worker");
+    ASSERT_NE(merged, nullptr);
+    EXPECT_EQ(merged->count, 3u);
+
+    // Spans stay per-thread (three distinct tids for the host lane).
+    const auto spans = obs::Profiler::instance().spans();
+    ASSERT_EQ(spans.size(), 3u);
+    std::set<std::uint64_t> tids;
+    for (const auto &s : spans)
+        tids.insert(s.tid);
+    EXPECT_EQ(tids.size(), 3u);
+}
+
+TEST_F(ProfilerTest, CoarseScopeRecordsSpansWithLabels)
+{
+    obs::Profiler::instance().enable();
+    {
+        obs::ScopedPhase p("phase", obs::Scope::Coarse, "the-label");
+        busyWait(10'000);
+    }
+    {
+        obs::ScopedPhase p("phase", obs::Scope::Coarse);
+        busyWait(10'000);
+    }
+    const auto spans = obs::Profiler::instance().spans();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0].name, "the-label");
+    EXPECT_EQ(spans[1].name, "phase");
+    EXPECT_GT(spans[1].startNs, spans[0].startNs);
+    // Aggregation merges under the literal name, label or not.
+    const auto phases = obs::Profiler::instance().snapshot();
+    const auto *merged = phaseByPath(phases, "phase");
+    ASSERT_NE(merged, nullptr);
+    EXPECT_EQ(merged->count, 2u);
+}
+
+TEST_F(ProfilerTest, CoverageCountsTopLevelPhases)
+{
+    obs::Profiler::instance().enable();
+    {
+        obs::ScopedPhase p("top");
+        busyWait(5'000'000);
+    }
+    // The busy-wait dominates this test body, so top-level coverage
+    // must be substantial (not ~0, not above 1).
+    const double c = obs::Profiler::instance().coverage();
+    EXPECT_GT(c, 0.2);
+    EXPECT_LE(c, 1.0);
+}
+
+TEST_F(ProfilerTest, ResetDropsEverything)
+{
+    obs::Profiler::instance().enable();
+    {
+        obs::ScopedPhase p("gone", obs::Scope::Coarse);
+    }
+    ASSERT_FALSE(obs::Profiler::instance().snapshot().empty());
+    obs::Profiler::instance().reset();
+    EXPECT_TRUE(obs::Profiler::instance().snapshot().empty());
+    EXPECT_TRUE(obs::Profiler::instance().spans().empty());
+}
+
+TEST_F(ProfilerTest, ReportNamesEveryPhase)
+{
+    obs::Profiler::instance().enable();
+    {
+        obs::ScopedPhase outer("alpha");
+        obs::ScopedPhase inner("beta");
+        busyWait(10'000);
+    }
+    const std::string report = obs::Profiler::instance().report();
+    EXPECT_NE(report.find("alpha"), std::string::npos);
+    EXPECT_NE(report.find("beta"), std::string::npos);
+    EXPECT_NE(report.find("% of wall"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, ProfileJsonDocumentValidates)
+{
+    obs::Profiler::instance().enable();
+    {
+        obs::ScopedPhase p("doc");
+        busyWait(10'000);
+    }
+    std::ostringstream os;
+    obs::writeProfileJson(os);
+    const auto doc = obs::parseJson(os.str());
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->isObject());
+    ASSERT_NE(doc->find("schema"), nullptr);
+    EXPECT_EQ(doc->find("schema")->string, "pipesim-profile");
+    EXPECT_EQ(doc->find("schema_version")->number, 1.0);
+    ASSERT_NE(doc->find("host"), nullptr);
+    ASSERT_NE(doc->find("git_rev"), nullptr);
+    const auto *profile = doc->find("profile");
+    ASSERT_NE(profile, nullptr);
+    EXPECT_EQ(profile->find("enabled")->boolean, true);
+    const auto *phases = profile->find("phases");
+    ASSERT_NE(phases, nullptr);
+    ASSERT_TRUE(phases->isArray());
+    ASSERT_EQ(phases->array.size(), 1u);
+    EXPECT_EQ(phases->array[0].find("path")->string, "doc");
+    EXPECT_NE(doc->find("metrics"), nullptr);
+    EXPECT_NE(doc->find("histograms"), nullptr);
+}
+
+TEST_F(ProfilerTest, StatsJsonOmitsHostSectionWhenDetached)
+{
+    SimResult r;
+    r.totalCycles = 10;
+    r.instructions = 5;
+    std::ostringstream os;
+    obs::writeStatsJson(os, r, nullptr, "label");
+    const auto doc = obs::parseJson(os.str());
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("host"), nullptr);
+}
+
+TEST_F(ProfilerTest, StatsJsonCarriesHostSectionWhenProfiling)
+{
+    obs::Profiler::instance().enable();
+    obs::MetricsRegistry::instance().counter("test.stats_json").add(7);
+    {
+        obs::ScopedPhase p("export");
+        busyWait(10'000);
+    }
+    SimResult r;
+    r.totalCycles = 10;
+    r.instructions = 5;
+    std::ostringstream os;
+    obs::writeStatsJson(os, r, nullptr, "label");
+    const auto doc = obs::parseJson(os.str());
+    ASSERT_TRUE(doc.has_value());
+    const auto *host = doc->find("host");
+    ASSERT_NE(host, nullptr);
+    ASSERT_NE(host->find("profile"), nullptr);
+    const auto *metrics = host->find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_NE(metrics->find("test.stats_json"), nullptr);
+    EXPECT_EQ(metrics->find("test.stats_json")->number, 7.0);
+}
+
+TEST_F(ProfilerTest, ChromeTraceGrowsHostLaneWhenProfiling)
+{
+    obs::Profiler::instance().enable();
+
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("16-16", 128);
+    const auto bench = workloads::buildLivermoreBenchmark(0.02);
+
+    Simulator sim(cfg, bench.program);
+    obs::ChromeTraceWriter trace;
+    trace.attach(sim.probes());
+    sim.run();
+    trace.detach();
+
+    std::ostringstream os;
+    trace.write(os);
+    const auto doc = obs::parseJson(os.str());
+    ASSERT_TRUE(doc.has_value());
+    const auto *events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    unsigned hostSpans = 0, hostMeta = 0;
+    for (const auto &e : events->array) {
+        if (e.find("pid") == nullptr || e.find("pid")->number != 1.0)
+            continue;
+        const std::string ph = e.find("ph")->string;
+        if (ph == "X")
+            ++hostSpans;
+        if (ph == "M")
+            ++hostMeta;
+    }
+    // At least the sim.run coarse span, plus process/thread metadata.
+    EXPECT_GE(hostSpans, 1u);
+    EXPECT_GE(hostMeta, 2u);
+}
+
+TEST_F(ProfilerTest, SimulatorPhaseBreakdownCoversTheRun)
+{
+    obs::Profiler::instance().enable();
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("16-16", 128);
+    const auto bench = workloads::buildLivermoreBenchmark(0.02);
+    runSimulation(cfg, bench.program);
+
+    const auto phases = obs::Profiler::instance().snapshot();
+    const auto *run = phaseByPath(phases, "sim.run");
+    ASSERT_NE(run, nullptr);
+    std::uint64_t childSum = 0;
+    for (const char *name : {"fetch", "mem", "pipeline", "other"}) {
+        const auto *p =
+            phaseByPath(phases, std::string("sim.run/") + name);
+        ASSERT_NE(p, nullptr) << name;
+        EXPECT_GT(p->count, 0u) << name;
+        childSum += p->ns;
+    }
+    // Chained timestamps: the four phases partition the loop, so they
+    // must explain nearly all of sim.run (>= 95% acceptance bar).
+    EXPECT_LE(childSum, run->ns);
+    EXPECT_GE(double(childSum), 0.95 * double(run->ns));
+}
+
+class MetricsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        obs::MetricsRegistry::instance().resetAll();
+    }
+};
+
+TEST_F(MetricsTest, CounterAccumulates)
+{
+    auto &c = obs::MetricsRegistry::instance().counter("test.counter");
+    c.reset();
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST_F(MetricsTest, GaugeTracksPeak)
+{
+    auto &g = obs::MetricsRegistry::instance().gauge("test.gauge");
+    g.reset();
+    g.set(5);
+    g.set(9);
+    g.set(2);
+    EXPECT_EQ(g.value(), 2);
+    EXPECT_EQ(g.max(), 9);
+}
+
+TEST_F(MetricsTest, RegistryReturnsSameObjectPerName)
+{
+    auto &reg = obs::MetricsRegistry::instance();
+    EXPECT_EQ(&reg.counter("test.same"), &reg.counter("test.same"));
+    EXPECT_EQ(&reg.histogram("test.same_h"),
+              &reg.histogram("test.same_h"));
+}
+
+TEST_F(MetricsTest, NameKindConflictPanics)
+{
+    auto &reg = obs::MetricsRegistry::instance();
+    reg.counter("test.kind_conflict");
+    EXPECT_THROW(reg.gauge("test.kind_conflict"), PanicError);
+    EXPECT_THROW(reg.histogram("test.kind_conflict"), PanicError);
+}
+
+TEST_F(MetricsTest, LogHistogramBucketBoundariesAreFixed)
+{
+    using H = obs::LogHistogram;
+    EXPECT_EQ(H::bucketLowerBound(0), 0u);
+    EXPECT_EQ(H::bucketLowerBound(1), 2u);
+    EXPECT_EQ(H::bucketLowerBound(2), 4u);
+    EXPECT_EQ(H::bucketLowerBound(10), 1024u);
+
+    EXPECT_EQ(H::bucketIndex(0), 0u);
+    EXPECT_EQ(H::bucketIndex(1), 0u);
+    EXPECT_EQ(H::bucketIndex(2), 1u);
+    EXPECT_EQ(H::bucketIndex(3), 1u);
+    EXPECT_EQ(H::bucketIndex(4), 2u);
+    EXPECT_EQ(H::bucketIndex(1023), 9u);
+    EXPECT_EQ(H::bucketIndex(1024), 10u);
+    EXPECT_EQ(H::bucketIndex(~std::uint64_t(0)), 63u);
+
+    // Every bucket's lower bound indexes into itself (stability).
+    for (unsigned i = 0; i < H::numBuckets; ++i)
+        EXPECT_EQ(H::bucketIndex(H::bucketLowerBound(i)), i) << i;
+}
+
+TEST_F(MetricsTest, LogHistogramStats)
+{
+    auto &h = obs::MetricsRegistry::instance().histogram("test.hist");
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    for (std::uint64_t v : {1, 2, 4, 8, 1000})
+        h.sample(v);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 1015u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_DOUBLE_EQ(h.mean(), 1015.0 / 5.0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+    // Quantiles are monotone and bounded by the observed extremes.
+    EXPECT_LE(h.quantile(0.50), h.quantile(0.90));
+    EXPECT_LE(h.quantile(0.90), h.quantile(0.99));
+    EXPECT_LE(h.quantile(0.99), h.max());
+}
+
+TEST_F(MetricsTest, WriteJsonExportsSortedKeysAndGaugePeaks)
+{
+    auto &reg = obs::MetricsRegistry::instance();
+    reg.counter("test.json_c").add(3);
+    reg.gauge("test.json_g").set(5);
+    reg.gauge("test.json_g").set(1);
+    reg.histogram("test.json_h").sample(100);
+
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.beginObject();
+    reg.writeJson(w);
+    w.endObject();
+    const auto doc = obs::parseJson(os.str());
+    ASSERT_TRUE(doc.has_value());
+    const auto *metrics = doc->find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_EQ(metrics->find("test.json_c")->number, 3.0);
+    EXPECT_EQ(metrics->find("test.json_g")->number, 1.0);
+    EXPECT_EQ(metrics->find("test.json_g_peak")->number, 5.0);
+    const auto *hist = doc->find("histograms");
+    ASSERT_NE(hist, nullptr);
+    const auto *h = hist->find("test.json_h");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->find("count")->number, 1.0);
+    EXPECT_EQ(h->find("min")->number, 100.0);
+    EXPECT_EQ(h->find("max")->number, 100.0);
+    ASSERT_NE(h->find("p50"), nullptr);
+    ASSERT_NE(h->find("p90"), nullptr);
+    ASSERT_NE(h->find("p99"), nullptr);
+}
+
+} // namespace

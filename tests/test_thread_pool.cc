@@ -8,6 +8,7 @@
 
 #include "common/log.hh"
 #include "common/thread_pool.hh"
+#include "obs/metrics.hh"
 
 using namespace pipesim;
 
@@ -159,4 +160,39 @@ TEST(ThreadPoolTest, WaitBlocksUntilAllTasksFinish)
     EXPECT_EQ(pool.pendingTasks(), 0u);
     // wait() with nothing in flight returns immediately.
     pool.wait();
+}
+
+TEST(ThreadPoolTest, WorkerStatsAccountForTasks)
+{
+    const unsigned workers = 3;
+    const int tasks = 60;
+    std::uint64_t poolTasksBefore =
+        obs::MetricsRegistry::instance().counter("pool.tasks").value();
+    {
+        ThreadPool pool(workers);
+        for (int i = 0; i < tasks; ++i)
+            pool.submit([] {
+                // Enough work to register on the busy clock.
+                volatile unsigned v = 0;
+                for (unsigned j = 0; j < 20000; ++j)
+                    v = v + j;
+            });
+        pool.wait();
+
+        const auto stats = pool.workerStats();
+        ASSERT_EQ(stats.size(), workers);
+        std::uint64_t taskSum = 0, busySum = 0;
+        for (const auto &s : stats) {
+            taskSum += s.tasks;
+            busySum += s.busyNs;
+        }
+        EXPECT_EQ(taskSum, std::uint64_t(tasks));
+        EXPECT_GT(busySum, 0u);
+    }
+    // Destruction publishes the aggregates into the global registry.
+    auto &reg = obs::MetricsRegistry::instance();
+    EXPECT_EQ(reg.counter("pool.tasks").value() - poolTasksBefore,
+              std::uint64_t(tasks));
+    EXPECT_EQ(reg.gauge("pool.workers").value(),
+              std::int64_t(workers));
 }

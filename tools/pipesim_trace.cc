@@ -20,6 +20,7 @@
 #include <string>
 
 #include "common/log.hh"
+#include "obs/profiler.hh"
 #include "obs/stats_export.hh"
 #include "replay/capture.hh"
 #include "replay/replay_engine.hh"
@@ -172,8 +173,10 @@ run(int argc, char **argv)
                   "sampled replay: measured instructions per window");
     cli.addOption("stats-json", "",
                   "replay: write the result as JSON ('-' = stdout)");
+    obs::ProfileOptions::addOptions(cli);
     if (!cli.parse(argc, argv))
         return 0;
+    obs::activateProfiling(obs::ProfileOptions::fromCli(cli));
 
     const auto &args = cli.positional();
     if (args.empty())
