@@ -121,6 +121,11 @@ run(int argc, char **argv)
             obs::BenchRecord &rec = report.add(w.name + "/" + engine);
             rec.config["workload"] = w.name;
             rec.config["engine"] = engine;
+            // The sampling confidence interval is a string on purpose:
+            // a single-window run reports "n/a", not a fake 0.
+            if (const auto ci = res.meta.find("cpi_rel_ci95");
+                ci != res.meta.end())
+                rec.config["cpi_rel_ci95"] = ci->second;
             rec.metrics["insts"] = insts;
             rec.metrics["est_cycles"] = double(res.totalCycles);
             rec.metrics["wall_ms"] = secs * 1e3;

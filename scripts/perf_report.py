@@ -92,6 +92,14 @@ def check_document(path, doc):
             for m, v in metrics.items():
                 if not isinstance(v, (int, float)) or isinstance(v, bool):
                     fail(path, f"results[{i}].metrics.{m} must be numeric")
+            config = rec.get("config")
+            if config is not None:
+                if not isinstance(config, dict):
+                    fail(path, f"results[{i}].config must be an object")
+                for k, v in config.items():
+                    if not isinstance(v, str):
+                        fail(path, f"results[{i}].config.{k} must be a "
+                                   f"string")
     return doc
 
 
@@ -110,6 +118,24 @@ def flatten(doc):
     for rec in doc.get("results", []):
         for metric, value in rec["metrics"].items():
             out[(rec["name"], metric)] = value
+    return out
+
+
+# Per-result config keys that are really annotations on the
+# measurement (rendered alongside the metrics).  They stay strings
+# because they have non-numeric states: a single-window sampled run
+# reports cpi_rel_ci95 as "n/a" rather than a fake 0.
+RENDERED_CONFIG_KEYS = ("cpi_rel_ci95",)
+
+
+def flatten_annotations(doc):
+    """(record name, key) -> string for rendered per-result config."""
+    out = {}
+    for rec in doc.get("results", []):
+        for key in RENDERED_CONFIG_KEYS:
+            value = rec.get("config", {}).get(key)
+            if value is not None:
+                out[(rec["name"], key)] = value
     return out
 
 
@@ -148,9 +174,11 @@ def cmd_render(paths):
         doc = load(path)
         tool = doc.get("tool", doc["schema"])
         print(f"== {path}: {tool} @ {doc['git_rev']} ==")
+        cells = {k: fmt(v) for k, v in flatten(doc).items()}
+        cells.update(flatten_annotations(doc))
         rows = [
-            [name, metric, fmt(value)]
-            for (name, metric), value in sorted(flatten(doc).items())
+            [name, metric, value]
+            for (name, metric), value in sorted(cells.items())
         ]
         if rows:
             print_table(rows, ["result", "metric", "value"])

@@ -11,7 +11,11 @@
 #   3. the replay stats JSON attributes the run to the trace (engine,
 #      trace_sha256, program_sha256);
 #   4. a truncated trace file raises a FatalError diagnostic (exit 1),
-#      never a crash or hang.
+#      never a crash or hang;
+#   5. live-points checkpoints: --ckpt-create snapshots the sampling
+#      windows, restores at --jobs 1 and --jobs 8 produce byte-identical
+#      stats to the cold serial run, the checkpoint inspects cleanly,
+#      and the cold-vs-checkpointed wall-clock ratio is reported.
 #
 # Usage: scripts/trace_smoke.sh [build-dir]
 set -euo pipefail
@@ -52,6 +56,40 @@ echo "== cycle sweep vs trace sweep: identical tables"
     --trace-file "$WORK/livermore.pipetrc" > "$WORK/trace_j8.txt"
 cmp "$WORK/cycle.txt" "$WORK/trace_j1.txt"
 cmp "$WORK/trace_j1.txt" "$WORK/trace_j8.txt"
+
+echo "== checkpointed sampled replay: identical at any job count"
+SAMPLE_ARGS=(--scale "$SCALE" --sample-period 2000)
+# The checkpoint mode is the only legitimate difference between the
+# stats documents, so strip it before the byte comparison.
+strip_mode() { sed 's/"ckpt_mode":"[a-z]*",\{0,1\}//' "$1"; }
+replay_stats() { # out.json extra-args...
+    local out="$1"; shift
+    "$TOOL" replay "$WORK/livermore.pipetrc" "${SAMPLE_ARGS[@]}" \
+        --stats-json "$out" "$@" > /dev/null
+}
+ms_now() { echo $(( $(date +%s%N) / 1000000 )); }
+
+T0=$(ms_now)
+replay_stats "$WORK/cold.json"
+T1=$(ms_now)
+replay_stats "$WORK/ck_create.json" --ckpt-dir "$WORK/ck" --ckpt-create
+T2=$(ms_now)
+replay_stats "$WORK/ck_r1.json" --ckpt-dir "$WORK/ck" --jobs 1
+T3=$(ms_now)
+replay_stats "$WORK/ck_r8.json" --ckpt-dir "$WORK/ck" --jobs 8
+grep -q '"ckpt_mode":"create"' "$WORK/ck_create.json"
+grep -q '"ckpt_mode":"restore"' "$WORK/ck_r1.json"
+for v in ck_create ck_r1 ck_r8; do
+    diff <(strip_mode "$WORK/cold.json") <(strip_mode "$WORK/$v.json")
+done
+awk -v c=$((T1-T0)) -v s=$((T2-T1)) -v r=$((T3-T2)) 'BEGIN {
+    printf "cold %dms, create %dms, checkpointed %dms (%.1fx vs cold)\n",
+        c, s, r, (r > 0 ? c / r : 0) }'
+
+echo "== checkpoint file inspects cleanly"
+"$TOOL" checkpoint "$WORK"/ck/ckpt-*.pipeckpt > "$WORK/ckpt.txt"
+grep -q "windows:" "$WORK/ckpt.txt"
+grep -q "config hash:" "$WORK/ckpt.txt"
 
 echo "== corrupted trace raises FatalError, never a crash"
 head -c 100 "$WORK/livermore.pipetrc" > "$WORK/truncated.pipetrc"

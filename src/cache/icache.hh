@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "common/state_io.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -75,6 +76,33 @@ class InstructionCache
 
     std::uint64_t hits() const { return _hits.value(); }
     std::uint64_t misses() const { return _misses.value(); }
+
+    void saveState(StateWriter &w) const
+    {
+        w.u32(unsigned(_lines.size()));
+        for (const Line &l : _lines) {
+            w.b(l.tagValid);
+            w.u32(l.base);
+            w.u32(l.validBytes);
+        }
+        w.u64(_hits.value());
+        w.u64(_misses.value());
+        w.u64(_fills.value());
+    }
+
+    void restoreState(StateReader &r)
+    {
+        if (r.u32() != _lines.size())
+            r.fail("icache geometry mismatch");
+        for (Line &l : _lines) {
+            l.tagValid = r.b();
+            l.base = r.u32();
+            l.validBytes = r.u32();
+        }
+        _hits.set(r.u64());
+        _misses.set(r.u64());
+        _fills.set(r.u64());
+    }
 
   private:
     struct Line

@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "common/state_io.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -73,6 +74,36 @@ class SubblockCache
 
     std::uint64_t hits() const { return _hits.value(); }
     std::uint64_t misses() const { return _misses.value(); }
+
+    void saveState(StateWriter &w) const
+    {
+        w.u32(unsigned(_lines.size()));
+        w.u32(subblocksPerLine());
+        for (const Line &l : _lines) {
+            w.b(l.tagValid);
+            w.u32(l.base);
+            for (bool v : l.valid)
+                w.b(v);
+        }
+        w.u64(_hits.value());
+        w.u64(_misses.value());
+        w.u64(_fills.value());
+    }
+
+    void restoreState(StateReader &r)
+    {
+        if (r.u32() != _lines.size() || r.u32() != subblocksPerLine())
+            r.fail("subblock cache geometry mismatch");
+        for (Line &l : _lines) {
+            l.tagValid = r.b();
+            l.base = r.u32();
+            for (std::size_t i = 0; i < l.valid.size(); ++i)
+                l.valid[i] = r.b();
+        }
+        _hits.set(r.u64());
+        _misses.set(r.u64());
+        _fills.set(r.u64());
+    }
 
   private:
     struct Line

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Little-endian binary state serialization for machine checkpoints.
+ *
+ * StateWriter appends primitive values to a byte buffer; StateReader
+ * reads them back with bounds checking.  Every component that can be
+ * checkpointed (replay/checkpoint.hh) implements
+ * saveState(StateWriter&) / restoreState(StateReader&) on top of
+ * these primitives, so the payload layout is defined entirely by the
+ * order of the calls — no per-field tags, no padding, no host
+ * endianness leaks.
+ *
+ * A StateReader never trusts its input: short payloads, impossible
+ * enum values and capacity mismatches all surface as FatalError via
+ * fail(), naming the byte offset, in the same spirit as the PIPETRC
+ * decoder (replay/trace_format.cc).
+ */
+
+#ifndef PIPESIM_COMMON_STATE_IO_HH
+#define PIPESIM_COMMON_STATE_IO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace pipesim
+{
+
+/** Append-only little-endian encoder for checkpoint payloads. */
+class StateWriter
+{
+  public:
+    void u8(std::uint8_t v) { _bytes.push_back(v); }
+
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    void u32(std::uint32_t v)
+    {
+        u8(std::uint8_t(v & 0xff));
+        u8(std::uint8_t((v >> 8) & 0xff));
+        u8(std::uint8_t((v >> 16) & 0xff));
+        u8(std::uint8_t((v >> 24) & 0xff));
+    }
+
+    void u64(std::uint64_t v)
+    {
+        u32(std::uint32_t(v & 0xffffffffu));
+        u32(std::uint32_t(v >> 32));
+    }
+
+    /** Raw byte run (length must be framed by the caller). */
+    void bytes(const std::uint8_t *data, std::size_t len)
+    {
+        _bytes.insert(_bytes.end(), data, data + len);
+    }
+
+    const std::vector<std::uint8_t> &data() const { return _bytes; }
+    std::vector<std::uint8_t> take() { return std::move(_bytes); }
+
+  private:
+    std::vector<std::uint8_t> _bytes;
+};
+
+/** Bounds-checked little-endian decoder for checkpoint payloads. */
+class StateReader
+{
+  public:
+    /** @param label Context prefix for diagnostics ("checkpoint
+     *         window 3" and the like). */
+    StateReader(const std::vector<std::uint8_t> &bytes,
+                std::string label)
+        : _bytes(bytes.data()), _size(bytes.size()),
+          _label(std::move(label))
+    {
+    }
+
+    std::uint8_t u8()
+    {
+        if (_pos >= _size)
+            fail("payload truncated");
+        return _bytes[_pos++];
+    }
+
+    bool b()
+    {
+        const std::uint8_t v = u8();
+        if (v > 1)
+            fail("bool field holds ", unsigned(v));
+        return v != 0;
+    }
+
+    std::uint32_t u32()
+    {
+        std::uint32_t v = u8();
+        v |= std::uint32_t(u8()) << 8;
+        v |= std::uint32_t(u8()) << 16;
+        v |= std::uint32_t(u8()) << 24;
+        return v;
+    }
+
+    std::uint64_t u64()
+    {
+        std::uint64_t v = u32();
+        v |= std::uint64_t(u32()) << 32;
+        return v;
+    }
+
+    void bytes(std::uint8_t *out, std::size_t len)
+    {
+        if (len > remaining())
+            fail("payload truncated (need ", len, " bytes, have ",
+                 remaining(), ")");
+        for (std::size_t i = 0; i < len; ++i)
+            out[i] = _bytes[_pos + i];
+        _pos += len;
+    }
+
+    std::size_t remaining() const { return _size - _pos; }
+    std::size_t pos() const { return _pos; }
+
+    /** Require that the payload was consumed exactly. */
+    void expectEnd()
+    {
+        if (_pos != _size)
+            fail("payload has ", remaining(), " trailing bytes");
+    }
+
+    /** Abort restore with a corruption diagnostic naming the offset. */
+    template <typename... Args>
+    [[noreturn]] void fail(Args &&...what) const
+    {
+        fatal(_label, ": corrupt state at byte ", _pos, ": ",
+              std::forward<Args>(what)...);
+    }
+
+  private:
+    const std::uint8_t *_bytes;
+    std::size_t _size;
+    std::size_t _pos = 0;
+    std::string _label;
+};
+
+} // namespace pipesim
+
+#endif // PIPESIM_COMMON_STATE_IO_HH

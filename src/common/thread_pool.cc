@@ -136,9 +136,14 @@ ThreadPool::workerLoop(std::size_t index)
         {
             std::unique_lock<std::mutex> lock(_mutex);
             const std::uint64_t waitStart = nowNs();
-            _wakeWorker.wait(lock, [this, index] {
-                if (_queue.empty() && _accepting)
+            // wait() evaluates its predicate once on entry, before
+            // any wakeup; counting that evaluation would charge one
+            // phantom empty wakeup per executed task.
+            bool woken = false;
+            _wakeWorker.wait(lock, [this, index, &woken] {
+                if (woken && _queue.empty() && _accepting)
                     ++_stats[index].emptyWakeups;
+                woken = true;
                 return !_queue.empty() || !_accepting;
             });
             _stats[index].idleNs += nowNs() - waitStart;

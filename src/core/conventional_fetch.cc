@@ -83,6 +83,13 @@ ConventionalFetchUnit::makeRequest(Addr addr, ReqClass cls)
     req.bytes = _busRegionBytes;
     req.isStore = false;
     req.cls = cls;
+    bindRequestCallbacks(req);
+    return req;
+}
+
+void
+ConventionalFetchUnit::bindRequestCallbacks(MemRequest &req)
+{
     req.onBeat = [this](Addr a, unsigned n) { onBeatArrived(a, n); };
     req.onComplete = [this]() {
         if (_probes && _probes->fetchFill.active()) {
@@ -98,7 +105,12 @@ ConventionalFetchUnit::makeRequest(Addr addr, ReqClass cls)
         _outstanding = false;
         noteParityError(_outstandingAddr, _outstandingBytes);
     };
-    return req;
+}
+
+void
+ConventionalFetchUnit::rebindRequest(MemRequest &req)
+{
+    bindRequestCallbacks(req);
 }
 
 void
@@ -254,6 +266,55 @@ ConventionalFetchUnit::dumpState(std::ostream &os) const
     os << "  consecutive parity errors: " << _consecutiveParityErrors
        << "\n";
     os.flags(flags);
+}
+
+void
+ConventionalFetchUnit::saveState(StateWriter &w) const
+{
+    saveBaseState(w);
+    _follower.saveState(w);
+    _cache.saveState(w);
+    w.b(_want.has_value());
+    if (_want)
+        saveMemRequest(w, *_want);
+    w.b(_outstanding);
+    w.u32(_outstandingAddr);
+    w.u32(_outstandingBytes);
+    w.b(_prefetchAddr.has_value());
+    if (_prefetchAddr)
+        w.u32(*_prefetchAddr);
+    w.b(_missRecordedFor.has_value());
+    if (_missRecordedFor)
+        w.u32(*_missRecordedFor);
+    w.u64(_deliveredInsts.value());
+    w.u64(_demandFetches.value());
+    w.u64(_prefetchFetches.value());
+}
+
+void
+ConventionalFetchUnit::restoreState(StateReader &r)
+{
+    restoreBaseState(r);
+    _follower.restoreState(r);
+    _cache.restoreState(r);
+    _want.reset();
+    if (r.b()) {
+        MemRequest req = restoreMemRequest(r);
+        bindRequestCallbacks(req);
+        _want = std::move(req);
+    }
+    _outstanding = r.b();
+    _outstandingAddr = r.u32();
+    _outstandingBytes = r.u32();
+    _prefetchAddr.reset();
+    if (r.b())
+        _prefetchAddr = r.u32();
+    _missRecordedFor.reset();
+    if (r.b())
+        _missRecordedFor = r.u32();
+    _deliveredInsts.set(r.u64());
+    _demandFetches.set(r.u64());
+    _prefetchFetches.set(r.u64());
 }
 
 void

@@ -49,6 +49,9 @@ class ConventionalFetchUnit : public FetchUnit
     void branchResolved(bool taken, Addr target) override;
     void regStats(StatGroup &stats, const std::string &prefix) override;
     void dumpState(std::ostream &os) const override;
+    void saveState(StateWriter &w) const override;
+    void restoreState(StateReader &r) override;
+    void rebindRequest(MemRequest &req) override;
 
     const SubblockCache &cache() const { return _cache; }
 
@@ -67,6 +70,9 @@ class ConventionalFetchUnit : public FetchUnit
     bool inflightCovers(Addr addr) const;
 
     void onBeatArrived(Addr addr, unsigned bytes);
+
+    /** Attach the fill callbacks to @p req (creation and rebind). */
+    void bindRequestCallbacks(MemRequest &req);
 
     FetchConfig _cfg;
     SubblockCache _cache;

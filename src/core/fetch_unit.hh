@@ -118,6 +118,24 @@ class FetchUnit
     /** Write the unit's internal state (forensic snapshots). */
     virtual void dumpState(std::ostream &os) const = 0;
 
+    /** Serialize the unit's full state for a checkpoint. */
+    virtual void saveState(StateWriter &w) const = 0;
+
+    /**
+     * Restore state saved by saveState() on a unit built from the
+     * same FetchConfig and Program; re-binds the callbacks of any
+     * pending request the unit holds.
+     */
+    virtual void restoreState(StateReader &r) = 0;
+
+    /**
+     * Re-attach this unit's callbacks to an in-flight instruction
+     * fill restored by MemorySystem::restoreState (the request's
+     * address identifies the fill; the unit's restored fill state
+     * must agree with it).
+     */
+    virtual void rebindRequest(MemRequest &req) = 0;
+
     /**
      * Attach the probe bus the unit emits into: icacheAccess on every
      * cache/buffer lookup, fetchRequest when an off-chip line request
@@ -177,6 +195,24 @@ class FetchUnit
 
     /** Register the shared parity-retry counter under @p prefix. */
     void regParityStats(StatGroup &stats, const std::string &prefix);
+
+    /** Serialize the base-class state shared by every strategy. */
+    void saveBaseState(StateWriter &w) const
+    {
+        w.u32(_parityRetryLimit);
+        w.u32(_consecutiveParityErrors);
+        w.u64(_parityRetries.value());
+        w.u64(_obsNow);
+    }
+
+    void restoreBaseState(StateReader &r)
+    {
+        if (r.u32() != _parityRetryLimit)
+            r.fail("parity retry limit mismatch");
+        _consecutiveParityErrors = r.u32();
+        _parityRetries.set(r.u64());
+        _obsNow = r.u64();
+    }
 
     const Program &_program;
     MemorySystem &_mem;

@@ -281,6 +281,13 @@ PipeFetchUnit::startFillIfNeeded()
         ++_offchipDemandLines;
     else
         ++_offchipPrefetchLines;
+    bindFillCallbacks(req);
+    _want = std::move(req);
+}
+
+void
+PipeFetchUnit::bindFillCallbacks(MemRequest &req)
+{
     req.onBeat = [this](Addr addr, unsigned bytes) {
         onBeatArrived(addr, bytes);
     };
@@ -301,7 +308,12 @@ PipeFetchUnit::startFillIfNeeded()
         if (!dead)
             noteParityError(line, _cfg.lineBytes);
     };
-    _want = std::move(req);
+}
+
+void
+PipeFetchUnit::rebindRequest(MemRequest &req)
+{
+    bindFillCallbacks(req);
 }
 
 void
@@ -448,6 +460,85 @@ PipeFetchUnit::dumpState(std::ostream &os) const
        << ", consecutive parity errors: " << _consecutiveParityErrors
        << "\n";
     os.flags(flags);
+}
+
+void
+PipeFetchUnit::saveState(StateWriter &w) const
+{
+    saveBaseState(w);
+    _follower.saveState(w);
+    _cache.saveState(w);
+    w.u32(std::uint32_t(_buffer.size()));
+    for (const Segment &seg : _buffer) {
+        w.u32(seg.start);
+        w.u32(seg.len);
+    }
+    w.u32(_occupancy);
+    w.b(_fill.has_value());
+    if (_fill) {
+        w.u32(_fill->lineBase);
+        w.u32(_fill->nextByte);
+        w.u32(_fill->bufferCap);
+        w.b(_fill->offchip);
+        w.b(_fill->newSegment);
+        w.b(_fill->dead);
+    }
+    w.b(_want.has_value());
+    if (_want)
+        saveMemRequest(w, *_want);
+    w.b(_offchipInFlight);
+    w.u64(_squashDoneId);
+    w.u64(_targetPlannedId);
+    w.u64(_deliveredInsts.value());
+    w.u64(_offchipDemandLines.value());
+    w.u64(_offchipPrefetchLines.value());
+    w.u64(_squashedBytes.value());
+    w.u64(_blockedOnGuarantee.value());
+}
+
+void
+PipeFetchUnit::restoreState(StateReader &r)
+{
+    restoreBaseState(r);
+    _follower.restoreState(r);
+    _cache.restoreState(r);
+    _buffer.clear();
+    const std::uint32_t segs = r.u32();
+    for (std::uint32_t i = 0; i < segs; ++i) {
+        Segment seg;
+        seg.start = r.u32();
+        seg.len = r.u32();
+        _buffer.push_back(seg);
+    }
+    _occupancy = r.u32();
+    if (_occupancy > _capacity)
+        r.fail("buffer occupancy ", _occupancy, " > capacity ",
+               _capacity);
+    _fill.reset();
+    if (r.b()) {
+        Fill f;
+        f.lineBase = r.u32();
+        f.nextByte = r.u32();
+        f.bufferCap = r.u32();
+        f.offchip = r.b();
+        f.newSegment = r.b();
+        f.dead = r.b();
+        _fill = f;
+    }
+    _want.reset();
+    if (r.b()) {
+        MemRequest req = restoreMemRequest(r);
+        bindFillCallbacks(req);
+        _want = std::move(req);
+    }
+    _offchipInFlight = r.b();
+    _squashDoneId = r.u64();
+    _targetPlannedId = r.u64();
+    _deliveredInsts.set(r.u64());
+    _offchipDemandLines.set(r.u64());
+    _offchipPrefetchLines.set(r.u64());
+    _squashedBytes.set(r.u64());
+    _blockedOnGuarantee.set(r.u64());
 }
 
 void

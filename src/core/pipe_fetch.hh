@@ -58,6 +58,9 @@ class PipeFetchUnit : public FetchUnit
     void branchResolved(bool taken, Addr target) override;
     void regStats(StatGroup &stats, const std::string &prefix) override;
     void dumpState(std::ostream &os) const override;
+    void saveState(StateWriter &w) const override;
+    void restoreState(StateReader &r) override;
+    void rebindRequest(MemRequest &req) override;
 
     const InstructionCache &cache() const { return _cache; }
 
@@ -118,6 +121,9 @@ class PipeFetchUnit : public FetchUnit
 
     void onBeatArrived(Addr addr, unsigned bytes);
     void onFillComplete();
+
+    /** Attach the fill callbacks to @p req (creation and rebind). */
+    void bindFillCallbacks(MemRequest &req);
 
     FetchConfig _cfg;
     InstructionCache _cache;

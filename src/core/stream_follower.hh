@@ -21,6 +21,7 @@
 #include <deque>
 #include <optional>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 #include "isa/instruction.hh"
 
@@ -93,6 +94,37 @@ class StreamFollower
      * fetch control apply squash/retarget actions exactly once.
      */
     std::uint64_t frontId() const;
+
+    void saveState(StateWriter &w) const
+    {
+        w.u32(_next);
+        w.u64(_nextId);
+        w.u32(std::uint32_t(_pending.size()));
+        for (const Pending &p : _pending) {
+            w.u32(p.slotsLeft);
+            w.u64(p.id);
+            w.b(p.resolvedFlag);
+            w.b(p.taken);
+            w.u32(p.target);
+        }
+    }
+
+    void restoreState(StateReader &r)
+    {
+        _next = r.u32();
+        _nextId = r.u64();
+        _pending.clear();
+        const std::uint32_t n = r.u32();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            Pending p;
+            p.slotsLeft = r.u32();
+            p.id = r.u64();
+            p.resolvedFlag = r.b();
+            p.taken = r.b();
+            p.target = r.u32();
+            _pending.push_back(p);
+        }
+    }
 
   private:
     /** Apply the front redirect if the stream has reached it. */

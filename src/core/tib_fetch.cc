@@ -224,6 +224,18 @@ TibFetchUnit::startFetchIfNeeded()
     req.isStore = false;
     const bool demand = decoderStarving() || _buffer.empty();
     req.cls = demand ? ReqClass::IFetchDemand : ReqClass::IPrefetch;
+    bindFetchCallbacks(req);
+    _want = std::move(req);
+    ++_offchipFetches;
+}
+
+void
+TibFetchUnit::bindFetchCallbacks(MemRequest &req)
+{
+    // The fetch's base address identifies it in the callbacks; taking
+    // it from the request (rather than a captured local) lets restored
+    // in-flight requests re-bind with identical behaviour.
+    const Addr start = req.addr;
     req.onBeat = [this](Addr addr, unsigned bytes) {
         onBeatArrived(addr, bytes);
     };
@@ -255,8 +267,12 @@ TibFetchUnit::startFetchIfNeeded()
             _pendingTargets.push_front(start);
         noteParityError(start, _entryBytes);
     };
-    _want = std::move(req);
-    ++_offchipFetches;
+}
+
+void
+TibFetchUnit::rebindRequest(MemRequest &req)
+{
+    bindFetchCallbacks(req);
 }
 
 void
@@ -376,6 +392,101 @@ TibFetchUnit::dumpState(std::ostream &os) const
        << ", consecutive parity errors: " << _consecutiveParityErrors
        << "\n";
     os.flags(flags);
+}
+
+void
+TibFetchUnit::saveState(StateWriter &w) const
+{
+    saveBaseState(w);
+    _follower.saveState(w);
+    w.u32(std::uint32_t(_entries.size()));
+    for (const TibEntry &e : _entries) {
+        w.b(e.valid);
+        w.u32(e.target);
+        w.u32(e.validBytes);
+    }
+    w.u32(std::uint32_t(_buffer.size()));
+    for (const Segment &seg : _buffer) {
+        w.u32(seg.start);
+        w.u32(seg.len);
+    }
+    w.u32(_occupancy);
+    w.b(_fetch.has_value());
+    if (_fetch) {
+        w.u32(_fetch->nextByte);
+        w.u32(_fetch->end);
+        w.b(_fetch->dead);
+        w.b(_fetch->fillTibTarget.has_value());
+        if (_fetch->fillTibTarget)
+            w.u32(*_fetch->fillTibTarget);
+        w.b(_fetch->retargeted);
+    }
+    w.b(_want.has_value());
+    if (_want)
+        saveMemRequest(w, *_want);
+    w.b(_offchipInFlight);
+    w.u64(_squashDoneId);
+    w.u64(_targetPlannedId);
+    w.u32(std::uint32_t(_pendingTargets.size()));
+    for (Addr t : _pendingTargets)
+        w.u32(t);
+    w.u64(_deliveredInsts.value());
+    w.u64(_tibHits.value());
+    w.u64(_tibMisses.value());
+    w.u64(_offchipFetches.value());
+    w.u64(_squashedBytes.value());
+}
+
+void
+TibFetchUnit::restoreState(StateReader &r)
+{
+    restoreBaseState(r);
+    _follower.restoreState(r);
+    if (r.u32() != _entries.size())
+        r.fail("TIB geometry mismatch");
+    for (TibEntry &e : _entries) {
+        e.valid = r.b();
+        e.target = r.u32();
+        e.validBytes = r.u32();
+    }
+    _buffer.clear();
+    const std::uint32_t segs = r.u32();
+    for (std::uint32_t i = 0; i < segs; ++i) {
+        Segment seg;
+        seg.start = r.u32();
+        seg.len = r.u32();
+        _buffer.push_back(seg);
+    }
+    _occupancy = r.u32();
+    _fetch.reset();
+    if (r.b()) {
+        Fetch f;
+        f.nextByte = r.u32();
+        f.end = r.u32();
+        f.dead = r.b();
+        if (r.b())
+            f.fillTibTarget = r.u32();
+        f.retargeted = r.b();
+        _fetch = f;
+    }
+    _want.reset();
+    if (r.b()) {
+        MemRequest req = restoreMemRequest(r);
+        bindFetchCallbacks(req);
+        _want = std::move(req);
+    }
+    _offchipInFlight = r.b();
+    _squashDoneId = r.u64();
+    _targetPlannedId = r.u64();
+    _pendingTargets.clear();
+    const std::uint32_t targets = r.u32();
+    for (std::uint32_t i = 0; i < targets; ++i)
+        _pendingTargets.push_back(r.u32());
+    _deliveredInsts.set(r.u64());
+    _tibHits.set(r.u64());
+    _tibMisses.set(r.u64());
+    _offchipFetches.set(r.u64());
+    _squashedBytes.set(r.u64());
 }
 
 void

@@ -57,6 +57,9 @@ class TibFetchUnit : public FetchUnit
     void branchResolved(bool taken, Addr target) override;
     void regStats(StatGroup &stats, const std::string &prefix) override;
     void dumpState(std::ostream &os) const override;
+    void saveState(StateWriter &w) const override;
+    void restoreState(StateReader &r) override;
+    void rebindRequest(MemRequest &req) override;
 
     unsigned numEntries() const { return unsigned(_entries.size()); }
     unsigned entryBytes() const { return _entryBytes; }
@@ -91,6 +94,9 @@ class TibFetchUnit : public FetchUnit
     bool decoderStarving() const;
 
     void onBeatArrived(Addr addr, unsigned bytes);
+
+    /** Attach the fetch callbacks to @p req (creation and rebind). */
+    void bindFetchCallbacks(MemRequest &req);
 
     FetchConfig _cfg;
     StreamFollower _follower;

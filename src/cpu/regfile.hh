@@ -14,6 +14,7 @@
 
 #include <array>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 #include "isa/fields.hh"
 
@@ -43,6 +44,30 @@ class RegFile
 
     Addr readBranch(unsigned br) const;
     void writeBranch(unsigned br, Addr value);
+
+    void saveState(StateWriter &w) const
+    {
+        for (Word v : _regs)
+            w.u32(v);
+        for (Cycle c : _busy)
+            w.u64(c);
+        for (Addr a : _branch)
+            w.u32(a);
+        w.u32(_bank);
+    }
+
+    void restoreState(StateReader &r)
+    {
+        for (Word &v : _regs)
+            v = r.u32();
+        for (Cycle &c : _busy)
+            c = r.u64();
+        for (Addr &a : _branch)
+            a = r.u32();
+        _bank = r.u32();
+        if (_bank > 1)
+            r.fail("register bank holds ", _bank);
+    }
 
   private:
     unsigned index(unsigned r) const;

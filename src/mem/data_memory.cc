@@ -1,12 +1,16 @@
 #include "mem/data_memory.hh"
 
+#include <algorithm>
+
 #include "assembler/program.hh"
 #include "common/log.hh"
 
 namespace pipesim
 {
 
-DataMemory::DataMemory(std::size_t size_bytes) : _bytes(size_bytes, 0)
+DataMemory::DataMemory(std::size_t size_bytes)
+    : _bytes(size_bytes, 0),
+      _dirty((size_bytes + pageBytes - 1) / pageBytes, false)
 {
 }
 
@@ -22,6 +26,9 @@ DataMemory::loadProgram(const Program &program)
         std::copy(seg.bytes.begin(), seg.bytes.end(),
                   _bytes.begin() + seg.base);
     }
+    // The image is the checkpoint baseline: everything written after
+    // this point is what saveDirtyPages() captures.
+    std::fill(_dirty.begin(), _dirty.end(), false);
 }
 
 Word
@@ -36,6 +43,7 @@ void
 DataMemory::writeWord(Addr addr, Word value)
 {
     checkRange(addr, wordBytes);
+    markDirty(addr, wordBytes);
     _bytes[addr] = std::uint8_t(value & 0xff);
     _bytes[addr + 1] = std::uint8_t((value >> 8) & 0xff);
     _bytes[addr + 2] = std::uint8_t((value >> 16) & 0xff);
@@ -53,7 +61,60 @@ void
 DataMemory::writeByte(Addr addr, std::uint8_t value)
 {
     checkRange(addr, 1);
+    markDirty(addr, 1);
     _bytes[addr] = value;
+}
+
+void
+DataMemory::markDirty(Addr addr, unsigned bytes)
+{
+    const std::size_t first = addr / pageBytes;
+    const std::size_t last = (addr + bytes - 1) / pageBytes;
+    for (std::size_t p = first; p <= last; ++p)
+        _dirty[p] = true;
+}
+
+std::size_t
+DataMemory::dirtyPageCount() const
+{
+    std::size_t n = 0;
+    for (bool d : _dirty)
+        n += d ? 1 : 0;
+    return n;
+}
+
+void
+DataMemory::saveDirtyPages(StateWriter &w) const
+{
+    w.u64(_bytes.size());
+    w.u32(std::uint32_t(dirtyPageCount()));
+    for (std::size_t p = 0; p < _dirty.size(); ++p) {
+        if (!_dirty[p])
+            continue;
+        w.u32(std::uint32_t(p));
+        const std::size_t base = p * pageBytes;
+        const std::size_t len =
+            std::min(pageBytes, _bytes.size() - base);
+        w.bytes(_bytes.data() + base, len);
+    }
+}
+
+void
+DataMemory::restoreDirtyPages(StateReader &r)
+{
+    if (r.u64() != _bytes.size())
+        r.fail("data memory size mismatch");
+    const std::uint32_t pages = r.u32();
+    for (std::uint32_t i = 0; i < pages; ++i) {
+        const std::uint32_t p = r.u32();
+        if (p >= _dirty.size())
+            r.fail("dirty page index ", p, " out of range");
+        const std::size_t base = std::size_t(p) * pageBytes;
+        const std::size_t len =
+            std::min(pageBytes, _bytes.size() - base);
+        r.bytes(_bytes.data() + base, len);
+        _dirty[p] = true;
+    }
 }
 
 void

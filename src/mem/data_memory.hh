@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 
 namespace pipesim
@@ -41,10 +42,33 @@ class DataMemory
     /** Default backing size: 1 MiB, plenty for the workloads. */
     static constexpr std::size_t defaultSize = 1u << 20;
 
+    /** Dirty-page tracking granularity for checkpoints. */
+    static constexpr std::size_t pageBytes = 4096;
+
+    /** Pages written since the last loadProgram(). */
+    std::size_t dirtyPageCount() const;
+
+    /**
+     * Serialize the pages written since loadProgram().  Together with
+     * a fresh loadProgram() on the restore side this reproduces the
+     * full memory image at a fraction of the 1 MiB footprint (the
+     * workloads touch a handful of pages).
+     */
+    void saveDirtyPages(StateWriter &w) const;
+
+    /**
+     * Apply a dirty-page set saved by saveDirtyPages().  The caller
+     * must have called loadProgram() with the same program first; the
+     * applied pages are marked dirty so a re-save round-trips.
+     */
+    void restoreDirtyPages(StateReader &r);
+
   private:
     void checkRange(Addr addr, unsigned bytes) const;
+    void markDirty(Addr addr, unsigned bytes);
 
     std::vector<std::uint8_t> _bytes;
+    std::vector<bool> _dirty; //!< one bit per pageBytes page
 };
 
 } // namespace pipesim

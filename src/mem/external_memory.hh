@@ -81,6 +81,39 @@ class ExternalMemory
 
     void regStats(StatGroup &stats, const std::string &prefix);
 
+    /** Serialize timing state for a checkpoint.  @p rebind re-binds
+     *  restored requests' callbacks (see saveMemRequest). */
+    void saveState(StateWriter &w) const
+    {
+        w.b(_transferring);
+        w.u32(std::uint32_t(_inflight.size()));
+        for (const InFlight &f : _inflight) {
+            saveMemRequest(w, f.req);
+            w.u64(f.readyAt);
+        }
+        w.u64(_reads.value());
+        w.u64(_writes.value());
+        w.u64(_busyCycles.value());
+    }
+
+    void restoreState(StateReader &r,
+                      const std::function<void(MemRequest &)> &rebind)
+    {
+        _transferring = r.b();
+        _inflight.clear();
+        const std::uint32_t n = r.u32();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            InFlight f;
+            f.req = restoreMemRequest(r);
+            rebind(f.req);
+            f.readyAt = r.u64();
+            _inflight.push_back(std::move(f));
+        }
+        _reads.set(r.u64());
+        _writes.set(r.u64());
+        _busyCycles.set(r.u64());
+    }
+
   private:
     struct InFlight
     {

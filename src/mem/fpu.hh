@@ -99,6 +99,55 @@ class FpuDevice
 
     Cycle latency() const { return _latency; }
 
+    void saveState(StateWriter &w) const
+    {
+        for (Word a : _latchA)
+            w.u32(a);
+        for (const auto &kind : _results) {
+            w.u32(std::uint32_t(kind.size()));
+            for (const Result &res : kind) {
+                w.u64(res.readyAt);
+                w.u32(res.value);
+            }
+        }
+        for (const auto &kind : _reads) {
+            w.u32(std::uint32_t(kind.size()));
+            for (const PendingRead &pr : kind)
+                saveMemRequest(w, pr.req);
+        }
+        w.u64(_opsStarted.value());
+        w.u64(_resultsReturned.value());
+    }
+
+    void restoreState(StateReader &r,
+                      const std::function<void(MemRequest &)> &rebind)
+    {
+        for (Word &a : _latchA)
+            a = r.u32();
+        for (auto &kind : _results) {
+            kind.clear();
+            const std::uint32_t n = r.u32();
+            for (std::uint32_t i = 0; i < n; ++i) {
+                Result res;
+                res.readyAt = r.u64();
+                res.value = r.u32();
+                kind.push_back(res);
+            }
+        }
+        for (auto &kind : _reads) {
+            kind.clear();
+            const std::uint32_t n = r.u32();
+            for (std::uint32_t i = 0; i < n; ++i) {
+                PendingRead pr;
+                pr.req = restoreMemRequest(r);
+                rebind(pr.req);
+                kind.push_back(std::move(pr));
+            }
+        }
+        _opsStarted.set(r.u64());
+        _resultsReturned.set(r.u64());
+    }
+
   private:
     struct Result
     {

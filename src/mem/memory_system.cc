@@ -323,6 +323,86 @@ MemorySystem::quiescent() const
 }
 
 void
+MemorySystem::saveState(StateWriter &w) const
+{
+    w.b(_transfer.has_value());
+    if (_transfer) {
+        const Transfer &t = *_transfer;
+        saveMemRequest(w, t.req);
+        w.u32(t.nextAddr);
+        w.u32(t.bytesLeft);
+        w.b(t.fromExtMem);
+        w.u32(t.value);
+        w.b(t.corrupted);
+    }
+    w.b(_dcache.has_value());
+    if (_dcache)
+        _dcache->saveState(w);
+    w.u32(std::uint32_t(_localResponses.size()));
+    for (const LocalResponse &resp : _localResponses) {
+        saveMemRequest(w, resp.req);
+        w.u32(resp.value);
+        w.u64(resp.readyAt);
+    }
+    w.u64(_lastDcacheMissSeq);
+    w.u64(_nextDataDeliverSeq);
+    w.u64(_inputBusBusyCycles.value());
+    w.u64(_outputBusBusyCycles.value());
+    w.u64(_dataRequests.value());
+    w.u64(_dcacheHits.value());
+    w.u64(_dcacheMisses.value());
+    w.u64(_demandRequests.value());
+    w.u64(_prefetchRequests.value());
+    w.u64(_beatsDelivered.value());
+    _extMem.saveState(w);
+    _fpu.saveState(w);
+}
+
+void
+MemorySystem::restoreState(StateReader &r,
+                           const std::function<void(MemRequest &)> &rebind)
+{
+    _transfer.reset();
+    if (r.b()) {
+        Transfer t;
+        t.req = restoreMemRequest(r);
+        rebind(t.req);
+        t.nextAddr = r.u32();
+        t.bytesLeft = r.u32();
+        t.fromExtMem = r.b();
+        t.value = r.u32();
+        t.corrupted = r.b();
+        _transfer = std::move(t);
+    }
+    if (r.b() != _dcache.has_value())
+        r.fail("data cache presence mismatch");
+    if (_dcache)
+        _dcache->restoreState(r);
+    _localResponses.clear();
+    const std::uint32_t locals = r.u32();
+    for (std::uint32_t i = 0; i < locals; ++i) {
+        LocalResponse resp;
+        resp.req = restoreMemRequest(r);
+        rebind(resp.req);
+        resp.value = r.u32();
+        resp.readyAt = r.u64();
+        _localResponses.push_back(std::move(resp));
+    }
+    _lastDcacheMissSeq = r.u64();
+    _nextDataDeliverSeq = r.u64();
+    _inputBusBusyCycles.set(r.u64());
+    _outputBusBusyCycles.set(r.u64());
+    _dataRequests.set(r.u64());
+    _dcacheHits.set(r.u64());
+    _dcacheMisses.set(r.u64());
+    _demandRequests.set(r.u64());
+    _prefetchRequests.set(r.u64());
+    _beatsDelivered.set(r.u64());
+    _extMem.restoreState(r, rebind);
+    _fpu.restoreState(r, rebind);
+}
+
+void
 MemorySystem::regStats(StatGroup &stats, const std::string &prefix)
 {
     stats.regCounter(prefix + ".input_bus_busy_cycles",

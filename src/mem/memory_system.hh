@@ -21,9 +21,11 @@
 #define PIPESIM_MEM_MEMORY_SYSTEM_HH
 
 #include <deque>
+#include <functional>
 #include <iosfwd>
 #include <optional>
 
+#include "common/state_io.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/data_memory.hh"
@@ -115,6 +117,22 @@ class MemorySystem
     void dumpState(std::ostream &os) const;
 
     void regStats(StatGroup &stats, const std::string &prefix);
+
+    /**
+     * Serialize the full memory-side state (busses, external memory,
+     * FPU, data cache, counters) for a checkpoint.  DataMemory
+     * contents are saved separately by the owner (it is shared).
+     */
+    void saveState(StateWriter &w) const;
+
+    /**
+     * Restore state saved by saveState().  @p rebind re-attaches the
+     * callbacks of every in-flight request (dispatching on ReqClass
+     * to the pipeline or the fetch unit); geometry mismatches fail
+     * the reader.
+     */
+    void restoreState(StateReader &r,
+                      const std::function<void(MemRequest &)> &rebind);
 
   private:
     struct Transfer

@@ -12,6 +12,7 @@
 #include <functional>
 #include <optional>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 
 namespace pipesim
@@ -87,6 +88,46 @@ struct MemRequest
     /** Load value captured at acceptance (memory system internal). */
     Word loadData = 0;
 };
+
+/**
+ * Serialize the value fields of a request for a checkpoint.  The
+ * callbacks are deliberately not captured: they close over component
+ * pointers that are meaningless in another process, so the restore
+ * path re-binds them from the owning component (ReplayPipeline for
+ * Data requests, the fetch unit for instruction fills) after
+ * restoreMemRequest() rebuilds the plain fields.
+ */
+inline void
+saveMemRequest(StateWriter &w, const MemRequest &req)
+{
+    w.u32(req.addr);
+    w.u32(req.bytes);
+    w.b(req.isStore);
+    w.u32(req.storeData);
+    w.u8(std::uint8_t(req.cls));
+    w.u64(req.dataSeq);
+    w.u32(req.extraLatency);
+    w.u32(req.loadData);
+}
+
+/** Rebuild the value fields; callbacks stay empty until re-bound. */
+inline MemRequest
+restoreMemRequest(StateReader &r)
+{
+    MemRequest req;
+    req.addr = r.u32();
+    req.bytes = r.u32();
+    req.isStore = r.b();
+    req.storeData = r.u32();
+    const std::uint8_t cls = r.u8();
+    if (cls > std::uint8_t(ReqClass::IPrefetch))
+        r.fail("request class holds ", unsigned(cls));
+    req.cls = ReqClass(cls);
+    req.dataSeq = r.u64();
+    req.extraLatency = r.u32();
+    req.loadData = r.u32();
+    return req;
+}
 
 /** Stable lower-case name for a request class (reports, traces). */
 constexpr const char *

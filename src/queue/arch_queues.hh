@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "common/state_io.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "queue/fixed_queue.hh"
@@ -62,6 +63,60 @@ class ArchQueues
 
     /** Register occupancy statistics under @p prefix. */
     void regStats(StatGroup &stats, const std::string &prefix);
+
+    /**
+     * Serialize queue contents for a checkpoint.  The occupancy
+     * histograms are deliberately skipped: they never surface in the
+     * counter set that sampled replay compares and accumulates
+     * (StatGroup::counterNames covers counters only).
+     */
+    void saveState(StateWriter &w) const
+    {
+        auto savePending = [&](const FixedQueue<PendingAccess> &q) {
+            w.u32(std::uint32_t(q.size()));
+            for (std::size_t i = 0; i < q.size(); ++i) {
+                w.u64(q.at(i).seq);
+                w.u32(q.at(i).addr);
+            }
+        };
+        auto saveWords = [&](const FixedQueue<Word> &q) {
+            w.u32(std::uint32_t(q.size()));
+            for (std::size_t i = 0; i < q.size(); ++i)
+                w.u32(q.at(i));
+        };
+        savePending(_laq);
+        saveWords(_ldq);
+        savePending(_saq);
+        saveWords(_sdq);
+    }
+
+    void restoreState(StateReader &r)
+    {
+        auto loadPending = [&](FixedQueue<PendingAccess> &q) {
+            q.clear();
+            const std::uint32_t n = r.u32();
+            if (n > q.capacity())
+                r.fail("queue holds ", n, " > capacity ", q.capacity());
+            for (std::uint32_t i = 0; i < n; ++i) {
+                PendingAccess a;
+                a.seq = r.u64();
+                a.addr = r.u32();
+                q.push(a);
+            }
+        };
+        auto loadWords = [&](FixedQueue<Word> &q) {
+            q.clear();
+            const std::uint32_t n = r.u32();
+            if (n > q.capacity())
+                r.fail("queue holds ", n, " > capacity ", q.capacity());
+            for (std::uint32_t i = 0; i < n; ++i)
+                q.push(r.u32());
+        };
+        loadPending(_laq);
+        loadWords(_ldq);
+        loadPending(_saq);
+        loadWords(_sdq);
+    }
 
   private:
     FixedQueue<PendingAccess> _laq;

@@ -1,0 +1,80 @@
+#include "replay/replay_machine.hh"
+
+#include "common/abort.hh"
+#include "core/fetch_factory.hh"
+#include "mem/request.hh"
+
+namespace pipesim::replay
+{
+
+ReplayMachine::ReplayMachine(const SimConfig &config,
+                             const Program &program, const Trace &trace,
+                             std::size_t firstRecord, DataMemory &dataMem)
+    : mem(config.mem, dataMem),
+      fetch(makeFetchUnit(config.fetch, program, mem)),
+      pipe(config.cpu, *fetch, mem, trace, firstRecord)
+{
+    // Match Simulator's registration order so reports line up.
+    pipe.regStats(stats, "cpu");
+    fetch->regStats(stats, "fetch");
+    mem.regStats(stats, "mem");
+}
+
+void
+ReplayMachine::step()
+{
+    fetch->tick(now);
+    mem.tick(now);
+    pipe.tick(now);
+    if (pipe.instructionsRetired() != lastRetired) {
+        lastRetired = pipe.instructionsRetired();
+        lastProgressCycle = now;
+    }
+    ++now;
+}
+
+bool
+ReplayMachine::done() const
+{
+    return pipe.halted() && pipe.drained() && mem.quiescent();
+}
+
+void
+ReplayMachine::watchdogs(const SimConfig &config) const
+{
+    if (now > config.maxCycles)
+        simAbort("trace replay exceeded ", config.maxCycles, " cycles");
+    if (!pipe.halted() && now - lastProgressCycle > config.progressWindow)
+        simAbort("trace replay: no instruction retired for ",
+                 config.progressWindow,
+                 " cycles: machine deadlocked at cycle ", now);
+}
+
+void
+ReplayMachine::saveState(StateWriter &w) const
+{
+    w.u64(now);
+    w.u64(lastProgressCycle);
+    w.u64(lastRetired);
+    pipe.saveState(w);
+    fetch->saveState(w);
+    mem.saveState(w);
+}
+
+void
+ReplayMachine::restoreState(StateReader &r)
+{
+    now = r.u64();
+    lastProgressCycle = r.u64();
+    lastRetired = r.u64();
+    pipe.restoreState(r);
+    fetch->restoreState(r);
+    mem.restoreState(r, [this](MemRequest &req) {
+        if (req.cls == ReqClass::Data)
+            pipe.rebindDataRequest(req);
+        else
+            fetch->rebindRequest(req);
+    });
+}
+
+} // namespace pipesim::replay

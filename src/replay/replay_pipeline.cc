@@ -331,6 +331,148 @@ ReplayPipeline::tick(Cycle now)
 }
 
 void
+ReplayPipeline::rebindDataRequest(MemRequest &req)
+{
+    // Mirror of peekDataOp's binding: loads deliver into the LDQ,
+    // stores carry no callbacks.
+    if (req.isStore)
+        return;
+    req.onData = [this](Word) {
+        PIPESIM_ASSERT(!_queues.ldq().full(),
+                       "LDQ overflow: reservation logic broken");
+        _queues.ldq().push(0);
+        ++_loadsDelivered;
+    };
+}
+
+namespace
+{
+
+/**
+ * Latches serialize the full decoded instruction, not just the pc:
+ * the fetch unit can run ahead of a taken branch or past the code
+ * image and latch an instruction the pipeline will squash without
+ * executing, so re-decoding from the Program on restore would reject
+ * a state the live machine legitimately held.
+ */
+void
+saveLatch(StateWriter &w, const std::optional<isa::FetchedInst> &latch)
+{
+    w.b(latch.has_value());
+    if (!latch)
+        return;
+    w.u32(latch->pc);
+    const isa::Instruction &i = latch->inst;
+    w.u8(std::uint8_t(i.op));
+    w.u8(i.rd);
+    w.u8(i.rs1);
+    w.u8(i.rs2);
+    w.u8(i.br);
+    w.u8(i.count);
+    w.u8(std::uint8_t(i.cond));
+    w.u32(std::uint32_t(i.imm));
+    w.u8(i.parcels);
+}
+
+void
+restoreLatch(StateReader &r, std::optional<isa::FetchedInst> &latch)
+{
+    latch.reset();
+    if (!r.b())
+        return;
+    isa::FetchedInst fi;
+    fi.pc = r.u32();
+    const std::uint8_t op = r.u8();
+    if (op >= std::uint8_t(isa::Opcode::NumOpcodes))
+        r.fail("latched opcode ", unsigned(op), " out of range");
+    fi.inst.op = isa::Opcode(op);
+    fi.inst.rd = r.u8();
+    fi.inst.rs1 = r.u8();
+    fi.inst.rs2 = r.u8();
+    fi.inst.br = r.u8();
+    fi.inst.count = r.u8();
+    const std::uint8_t cond = r.u8();
+    if (cond > std::uint8_t(isa::Cond::Lez))
+        r.fail("latched condition ", unsigned(cond), " out of range");
+    fi.inst.cond = isa::Cond(cond);
+    fi.inst.imm = std::int32_t(r.u32());
+    fi.inst.parcels = r.u8();
+    latch = fi;
+}
+
+} // namespace
+
+void
+ReplayPipeline::saveState(StateWriter &w) const
+{
+    _regs.saveState(w);
+    _queues.saveState(w);
+    saveLatch(w, _idLatch);
+    saveLatch(w, _issueLatch);
+    w.b(_pendingResolve.has_value());
+    if (_pendingResolve) {
+        w.b(_pendingResolve->taken);
+        w.u32(_pendingResolve->target);
+    }
+    w.b(_halted);
+    w.u64(_haltCycle);
+    w.u64(_cursor);
+    w.u64(_memOpSeq);
+    w.u64(_loadsAccepted);
+    w.u64(_loadsIssued);
+    w.u64(_loadsDelivered);
+    w.u64(_retired.value());
+    w.u64(_issueStallRegBusy.value());
+    w.u64(_issueStallLdqEmpty.value());
+    w.u64(_issueStallSdqFull.value());
+    w.u64(_issueStallLaqFull.value());
+    w.u64(_issueStallLdqReserved.value());
+    w.u64(_issueStallSaqFull.value());
+    w.u64(_fetchStarveCycles.value());
+    w.u64(_loads.value());
+    w.u64(_stores.value());
+    w.u64(_pbrTaken.value());
+    w.u64(_pbrNotTaken.value());
+}
+
+void
+ReplayPipeline::restoreState(StateReader &r)
+{
+    _regs.restoreState(r);
+    _queues.restoreState(r);
+    restoreLatch(r, _idLatch);
+    restoreLatch(r, _issueLatch);
+    _pendingResolve.reset();
+    if (r.b()) {
+        Resolve res;
+        res.taken = r.b();
+        res.target = r.u32();
+        _pendingResolve = res;
+    }
+    _halted = r.b();
+    _haltCycle = r.u64();
+    _cursor = r.u64();
+    if (_cursor > _trace.records.size())
+        r.fail("cursor ", _cursor, " past trace end");
+    _memOpSeq = r.u64();
+    _loadsAccepted = r.u64();
+    _loadsIssued = r.u64();
+    _loadsDelivered = r.u64();
+    _retired.set(r.u64());
+    _issueStallRegBusy.set(r.u64());
+    _issueStallLdqEmpty.set(r.u64());
+    _issueStallSdqFull.set(r.u64());
+    _issueStallLaqFull.set(r.u64());
+    _issueStallLdqReserved.set(r.u64());
+    _issueStallSaqFull.set(r.u64());
+    _fetchStarveCycles.set(r.u64());
+    _loads.set(r.u64());
+    _stores.set(r.u64());
+    _pbrTaken.set(r.u64());
+    _pbrNotTaken.set(r.u64());
+}
+
+void
 ReplayPipeline::dumpState(std::ostream &os) const
 {
     os << "replay pipeline: " << (_halted ? "halted" : "running")

@@ -74,6 +74,25 @@ class ReplayPipeline
     void regStats(StatGroup &stats, const std::string &prefix);
     void dumpState(std::ostream &os) const;
 
+    /** Serialize the pipeline's full state for a checkpoint. */
+    void saveState(StateWriter &w) const;
+
+    /**
+     * Restore state saved by saveState().  Latched instructions
+     * carry their full decoding in the snapshot (a latch may hold a
+     * speculatively fetched instruction from outside the code image,
+     * squashed before execution, so the program cannot re-decode it).
+     */
+    void restoreState(StateReader &r);
+
+    /**
+     * Re-attach this pipeline's callbacks to an in-flight Data-class
+     * request restored by MemorySystem::restoreState (mirrors the
+     * binding in peekDataOp: loads deliver into the LDQ, stores have
+     * no callbacks).
+     */
+    void rebindDataRequest(MemRequest &req);
+
   private:
     class DataPort : public MemClient
     {

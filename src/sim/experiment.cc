@@ -261,9 +261,15 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
     // they are serialized under this mutex (see SweepSpec::preRun).
     std::mutex callbacks;
     auto attemptTracePoint = [&](SweepPoint &p) {
-        const replay::ReplayOptions opts{spec.samplePeriod,
-                                         spec.sampleWarmup,
-                                         spec.sampleMeasure};
+        replay::ReplayOptions opts;
+        opts.samplePeriod = spec.samplePeriod;
+        opts.sampleWarmup = spec.sampleWarmup;
+        opts.sampleMeasure = spec.sampleMeasure;
+        // Windows stay serial inside a point (jobs = 1): the sweep
+        // already parallelizes across points, and nesting pools would
+        // oversubscribe the host.
+        opts.ckptDir = spec.ckptDir;
+        opts.ckptCreate = spec.ckptCreate;
         const SimResult result =
             replay::replayTrace(p.cfg, program, *spec.trace, opts);
         cells[p.row][p.col] = std::to_string(result.totalCycles);

@@ -171,6 +171,18 @@ struct SweepSpec
     unsigned sampleMeasure = 700; //!< measured instructions per window
 
     /**
+     * Trace engine, sampled mode: live-points checkpoint directory
+     * (replay/checkpoint.hh).  Empty disables checkpoints.  With
+     * ckptCreate each point's serial sampled pass also snapshots its
+     * windows there; without it each point restores its windows from
+     * a matching checkpoint file, skipping every warm-up.  Points
+     * keep their windows serial either way — the sweep already
+     * parallelizes across points.
+     */
+    std::string ckptDir;
+    bool ckptCreate = false;
+
+    /**
      * Extra attempts granted to a failing point before its failure
      * is recorded (each attempt rebuilds the Simulator from the same
      * config, so a deterministic fault fails every attempt).

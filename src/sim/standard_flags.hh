@@ -9,7 +9,8 @@
  *   sweep control   --jobs, --obs-point, --fi-point, --fail-fast,
  *                   --point-retries, --progress
  *   engine          --engine cycle|trace, --trace-file,
- *                   --sample-period, --sample-warmup, --sample-measure
+ *                   --sample-period, --sample-warmup, --sample-measure,
+ *                   --ckpt-dir, --ckpt-create
  *
  * registerStandardFlags() registers the groups, standardFlagsFromCli()
  * reads them back, applyStandardFlags() pushes them onto a SweepSpec
@@ -67,6 +68,8 @@ struct StandardFlags
     unsigned samplePeriod = 0;    //!< replay sampling (0 = exact)
     unsigned sampleWarmup = 300;  //!< warm-up insts per window
     unsigned sampleMeasure = 700; //!< measured insts per window
+    std::string ckptDir;          //!< live-points checkpoint directory
+    bool ckptCreate = false;      //!< create/refresh the checkpoints
 };
 
 /** Register the standard groups on @p cli. */

@@ -2,17 +2,23 @@
  * pipesim-trace: capture, inspect and replay committed-instruction
  * traces (docs/trace_replay.md).
  *
- *     pipesim-trace capture <out.pipetrc> [--workload ...] [--scale f]
- *     pipesim-trace inspect <trace.pipetrc>
- *     pipesim-trace replay  <trace.pipetrc> [--strategy s] [--cache n]
- *                           [--sample-period n] [--stats-json path]
+ *     pipesim-trace capture    <out.pipetrc> [--workload ...] [--scale f]
+ *     pipesim-trace inspect    <trace.pipetrc>
+ *     pipesim-trace replay     <trace.pipetrc> [--strategy s] [--cache n]
+ *                              [--sample-period n] [--jobs n]
+ *                              [--ckpt-dir d [--ckpt-create]]
+ *                              [--stats-json path]
+ *     pipesim-trace checkpoint <ckpt.pipeckpt>
  *
  * A trace stores the committed fetch-address stream plus the traced
  * program's sha256, so `replay` rebuilds the same workload
  * (--workload/--scale must match the capture) and refuses a trace
  * whose program hash disagrees.  Replay is exact (bit-identical
  * counters and cycle count) by default; --sample-period enables
- * systematic sampling for a fast estimate.
+ * systematic sampling for a fast estimate, whose windows can run on a
+ * thread pool (--jobs) and skip their warm-ups entirely via a
+ * live-points checkpoint directory (--ckpt-dir; create the snapshots
+ * first with --ckpt-create).  `checkpoint` inspects a PIPECKPT file.
  */
 
 #include <fstream>
@@ -23,6 +29,7 @@
 #include "obs/profiler.hh"
 #include "obs/stats_export.hh"
 #include "replay/capture.hh"
+#include "replay/checkpoint.hh"
 #include "replay/replay_engine.hh"
 #include "replay/trace_format.hh"
 #include "sim/cli.hh"
@@ -130,6 +137,15 @@ runReplay(CliParser &cli)
     opt.samplePeriod = unsigned(cli.getInt("sample-period"));
     opt.sampleWarmup = unsigned(cli.getInt("sample-warmup"));
     opt.sampleMeasure = unsigned(cli.getInt("sample-measure"));
+    opt.jobs = unsigned(cli.getInt("jobs"));
+    opt.ckptDir = cli.get("ckpt-dir");
+    opt.ckptCreate = cli.getFlag("ckpt-create");
+    if (!opt.ckptDir.empty() && opt.samplePeriod == 0)
+        fatal("--ckpt-dir requires --sample-period > 0: checkpoints "
+              "snapshot sampling windows");
+    if (opt.ckptCreate && opt.ckptDir.empty())
+        fatal("--ckpt-create requires --ckpt-dir to name the "
+              "checkpoint directory");
 
     const SimResult result =
         replay::replayTrace(cfg, program, trace, opt);
@@ -157,10 +173,23 @@ runReplay(CliParser &cli)
 }
 
 int
+runCheckpointInspect(CliParser &cli)
+{
+    const auto &args = cli.positional();
+    if (args.size() != 2)
+        fatal("checkpoint needs exactly one checkpoint path: "
+              "pipesim-trace checkpoint <ckpt.pipeckpt>");
+    const replay::CheckpointSet set = replay::readCheckpoint(args[1]);
+    std::cout << replay::describeCheckpoint(set);
+    return 0;
+}
+
+int
 run(int argc, char **argv)
 {
     CliParser cli("capture, inspect and replay committed-instruction "
-                  "traces (subcommands: capture | inspect | replay)");
+                  "traces (subcommands: capture | inspect | replay | "
+                  "checkpoint)");
     addWorkloadOptions(cli);
     cli.addOption("strategy", "16-16",
                   "replay fetch strategy: conv | tib | <iq>-<iqb>");
@@ -171,6 +200,16 @@ run(int argc, char **argv)
                   "sampled replay: warm-up instructions per window");
     cli.addOption("sample-measure", "700",
                   "sampled replay: measured instructions per window");
+    cli.addOption("jobs", "1",
+                  "sampled replay: worker threads for the windows "
+                  "(0 = PIPESIM_JOBS env or hardware concurrency; "
+                  "results are bit-identical for any value)");
+    cli.addOption("ckpt-dir", "",
+                  "sampled replay: live-points checkpoint directory "
+                  "(restore windows from warm snapshots)");
+    cli.addFlag("ckpt-create",
+                "sampled replay: create/refresh the checkpoint file "
+                "under --ckpt-dir instead of requiring it");
     cli.addOption("stats-json", "",
                   "replay: write the result as JSON ('-' = stdout)");
     obs::ProfileOptions::addOptions(cli);
@@ -181,15 +220,17 @@ run(int argc, char **argv)
     const auto &args = cli.positional();
     if (args.empty())
         fatal("missing subcommand: pipesim-trace capture | inspect | "
-              "replay (--help for usage)");
+              "replay | checkpoint (--help for usage)");
     if (args[0] == "capture")
         return runCapture(cli);
     if (args[0] == "inspect")
         return runInspect(cli);
     if (args[0] == "replay")
         return runReplay(cli);
+    if (args[0] == "checkpoint")
+        return runCheckpointInspect(cli);
     fatal("unknown subcommand '", args[0],
-          "' (expected capture, inspect or replay)");
+          "' (expected capture, inspect, replay or checkpoint)");
 }
 
 } // namespace
