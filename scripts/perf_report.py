@@ -19,6 +19,7 @@ Stdlib only — no pip installs.
 
 import argparse
 import json
+import os
 import sys
 
 SCHEMAS = {"pipesim-bench", "pipesim-profile"}
@@ -104,6 +105,10 @@ def check_document(path, doc):
 
 
 def load(path):
+    if not os.path.exists(path):
+        raise ValueError(
+            f"{path}: bench-json file does not exist (run the bench "
+            f"with --bench-json {path} to produce it)")
     with open(path) as f:
         try:
             doc = json.load(f)

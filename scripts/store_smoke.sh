@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Crash-safety smoke test for the sweep result store
+# (docs/robustness.md, "Crash safety and resume").
+#
+# Exercises the PIPERES journal end to end against a real bench:
+#
+#   1. a --store-dir sweep renders the same table as a store-less one,
+#      and a warm repeat (every point served from the store) is
+#      byte-identical too;
+#   2. kill-resume chaos: the process is SIGKILLed at a deterministic
+#      mid-sweep point (PIPESIM_STORE_CRASH_AFTER_PUTS); the resumed
+#      sweep simulates only the missing points and its output is
+#      byte-identical to an uninterrupted cold run, at --jobs 1 and 8;
+#   3. pipesim-trace store inspect/compact round-trips the journal;
+#   4. a torn tail (journal truncated mid-record, as a crash leaves
+#      it) is recovered: the resumed sweep still matches the baseline;
+#   5. interior corruption (a flipped byte with records following it)
+#      is a FatalError naming the offset, never silently served;
+#   6. a wedged point under --point-deadline-ms renders ERR(timeout)
+#      without stalling the rest of the sweep.
+#
+# Usage: scripts/store_smoke.sh [build-dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+TOOL="$BUILD/tools/pipesim-trace"
+BENCH="$BUILD/bench/sweep_memspeed"
+SCALE=0.05
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+run_bench() { # jobs extra-args...
+    local jobs="$1"; shift
+    "$BENCH" --scale "$SCALE" --jobs "$jobs" "$@"
+}
+
+echo "== cold baseline (no store)"
+run_bench 1 > "$WORK/baseline.txt"
+
+echo "== store-backed sweep matches the baseline, cold and warm"
+run_bench 1 --store-dir "$WORK/store" > "$WORK/cold.txt"
+cmp "$WORK/baseline.txt" "$WORK/cold.txt"
+run_bench 1 --store-dir "$WORK/store" > "$WORK/warm.txt"
+cmp "$WORK/baseline.txt" "$WORK/warm.txt"
+run_bench 8 --store-dir "$WORK/store" > "$WORK/warm_j8.txt"
+cmp "$WORK/baseline.txt" "$WORK/warm_j8.txt"
+
+echo "== store inspects and compacts cleanly"
+"$TOOL" store inspect "$WORK/store" > "$WORK/inspect.txt"
+grep -q "entries:" "$WORK/inspect.txt"
+grep -q "recovered: clean" "$WORK/inspect.txt"
+ENTRIES=$(awk '/^entries:/ { print $2 }' "$WORK/inspect.txt")
+test "$ENTRIES" -gt 0
+"$TOOL" store compact "$WORK/store" > "$WORK/compact.txt"
+grep -q "compacted" "$WORK/compact.txt"
+grep -q "entries:   $ENTRIES" "$WORK/compact.txt"
+run_bench 1 --store-dir "$WORK/store" > "$WORK/after_compact.txt"
+cmp "$WORK/baseline.txt" "$WORK/after_compact.txt"
+
+echo "== kill-resume chaos: SIGKILL after 5 journaled points"
+for J in 1 8; do
+    DIR="$WORK/store_kill_j$J"
+    set +e
+    PIPESIM_STORE_CRASH_AFTER_PUTS=5 \
+        run_bench "$J" --store-dir "$DIR" > "$WORK/killed_j$J.txt" 2>&1
+    STATUS=$?
+    set -e
+    test "$STATUS" -eq 137 # 128 + SIGKILL
+    "$TOOL" store inspect "$DIR" > "$WORK/kill_inspect_j$J.txt"
+    grep -q "entries:   5" "$WORK/kill_inspect_j$J.txt"
+    run_bench "$J" --store-dir "$DIR" > "$WORK/resumed_j$J.txt"
+    cmp "$WORK/baseline.txt" "$WORK/resumed_j$J.txt"
+done
+
+echo "== torn tail is recovered, resume still matches the baseline"
+DIR="$WORK/store_torn"
+cp -r "$WORK/store_kill_j1" "$DIR"
+truncate -s -7 "$DIR/results.piperes" # cut into the last record
+run_bench 1 --store-dir "$DIR" > "$WORK/torn_resumed.txt"
+cmp "$WORK/baseline.txt" "$WORK/torn_resumed.txt"
+"$TOOL" store inspect "$DIR" > "$WORK/torn_inspect.txt"
+grep -q "recovered: clean" "$WORK/torn_inspect.txt" # repaired on open
+
+echo "== interior corruption raises FatalError, never a wrong result"
+DIR="$WORK/store_corrupt"
+cp -r "$WORK/store_kill_j1" "$DIR"
+# Flip one byte inside the first record's payload: records follow it,
+# so this must be fatal (a torn *tail* is the only recoverable damage).
+python3 - "$DIR/results.piperes" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, "rb").read())
+data[28] ^= 0x5A
+open(path, "wb").write(bytes(data))
+EOF
+set +e
+run_bench 1 --store-dir "$DIR" > "$WORK/corrupt.txt" 2>&1
+STATUS=$?
+set -e
+test "$STATUS" -eq 1 # FatalError exit code (sim/guard.hh)
+grep -q "fatal:" "$WORK/corrupt.txt"
+grep -q "byte offset" "$WORK/corrupt.txt"
+
+echo "== deadline: a wedged point renders ERR(timeout), sweep completes"
+run_bench 8 --fi-kind grant --fi-rate 1 --fi-point 16-16:64 \
+    --progress-window 1000000000 --point-deadline-ms 300 \
+    > "$WORK/deadline.txt"
+grep -q "ERR(timeout)" "$WORK/deadline.txt"
+grep -q "wall-clock deadline" "$WORK/deadline.txt"
+# Healthy cells still carry cycle counts (the sweep did not stall).
+grep -q "16 " "$WORK/deadline.txt"
+
+echo "store smoke: OK"

@@ -82,6 +82,21 @@ class SimAbort : public std::runtime_error
 };
 
 /**
+ * A SimAbort flavour for host-side wall-clock deadlines: the point's
+ * cooperative cancellation flag (SimConfig::cancelFlag, set by the
+ * sweep engine's deadline watchdog) was observed in the tick loop.
+ * The simulated machine may be perfectly healthy — it was just too
+ * slow for the budget — so the sweep dispositions it separately as
+ * ERR(timeout) (PointFailure::timeout) while everything downstream
+ * of SimAbort (snapshot attachment, guard exit code) works unchanged.
+ */
+class TimeoutAbort : public SimAbort
+{
+  public:
+    using SimAbort::SimAbort;
+};
+
+/**
  * Report that the simulated machine wedged.  Never returns.  The
  * thrown SimAbort has no snapshot; Simulator::run() attaches one.
  *

@@ -169,13 +169,13 @@ Table::toCsv() const
             return s;
         return "\"" + escape(s) + "\"";
     };
-    // "ERR" (failed point) and "-" (point not run) are sentinels for
-    // the human-readable renderings; in CSV they would poison numeric
-    // columns for downstream parsers, so they become empty fields and
-    // a trailing always-quoted "note" column says which columns held
-    // them.
+    // "ERR"/"ERR(timeout)" (failed point) and "-" (point not run) are
+    // sentinels for the human-readable renderings; in CSV they would
+    // poison numeric columns for downstream parsers, so they become
+    // empty fields and a trailing always-quoted "note" column says
+    // which columns held them.
     auto isSentinel = [](const std::string &s) {
-        return s == "ERR" || s == "-";
+        return s.rfind("ERR", 0) == 0 || s == "-";
     };
     bool hasSentinel = false;
     for (const auto &row : rows)
@@ -196,7 +196,7 @@ Table::toCsv() const
         for (std::size_t c = 0; c < row.size(); ++c) {
             if (isSentinel(row[c])) {
                 note += (note.empty() ? "" : "; ") + _headers[c] +
-                        (row[c] == "ERR" ? "=ERR" : "=no data");
+                        (row[c] == "-" ? "=no data" : "=" + row[c]);
             } else {
                 os << quote(row[c]);
             }

@@ -1,6 +1,7 @@
 #include "common/thread_pool.hh"
 
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <string>
 
@@ -131,6 +132,17 @@ ThreadPool::publishMetrics()
 void
 ThreadPool::workerLoop(std::size_t index)
 {
+    // Keep SIGINT/SIGTERM off the workers: the guard's handler only
+    // sets a flag so it would be safe anywhere, but masking here
+    // guarantees termination signals are always delivered to the
+    // main thread, whose polling sites (sim/guard.hh) own the
+    // cooperative-shutdown protocol.
+    sigset_t mask;
+    sigemptyset(&mask);
+    sigaddset(&mask, SIGINT);
+    sigaddset(&mask, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
     for (;;) {
         std::packaged_task<void()> task;
         {

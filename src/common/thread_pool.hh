@@ -17,6 +17,12 @@
  * plus a queue-depth histogram.  On destruction the aggregates are
  * published into the process-wide obs::MetricsRegistry under
  * "pool.*" (see docs/observability.md, "Host-side profiling").
+ *
+ * Workers mask SIGINT/SIGTERM, so termination signals are always
+ * delivered to the main thread and surface through the guard's
+ * cooperative-shutdown flag (sim/guard.hh): a task observing the
+ * flag returns early, the queue drains, and destruction joins as
+ * usual — the pool itself needs no cancellation machinery.
  */
 
 #ifndef PIPESIM_COMMON_THREAD_POOL_HH

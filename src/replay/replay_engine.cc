@@ -21,6 +21,15 @@
 namespace pipesim::replay
 {
 
+// Cancellation note: every tick loop below calls
+// ReplayMachine::watchdogs(config), which — in addition to the
+// simulated-time watchdogs — polls the sweep's per-point cancel flag
+// (SimConfig::cancelFlag, throwing TimeoutAbort) and the guard's
+// shutdown flag (throwing InterruptedError).  Under the pooled window
+// passes those exceptions are captured in each window's std::future
+// and rethrown at the plan-order collection point, so a deadline or a
+// SIGINT never strands a worker mid-window.
+
 namespace
 {
 

@@ -3,6 +3,7 @@
 #include "common/abort.hh"
 #include "core/fetch_factory.hh"
 #include "mem/request.hh"
+#include "sim/guard.hh"
 
 namespace pipesim::replay
 {
@@ -48,6 +49,17 @@ ReplayMachine::watchdogs(const SimConfig &config) const
         simAbort("trace replay: no instruction retired for ",
                  config.progressWindow,
                  " cycles: machine deadlocked at cycle ", now);
+    // Host-side watchdogs, mirroring Simulator::checkWatchdogs: the
+    // sweep's per-point wall-clock deadline and the guard's
+    // SIGINT/SIGTERM flag (no snapshot machinery here — replay
+    // failures report without forensics).
+    if (config.cancelFlag &&
+        config.cancelFlag->load(std::memory_order_relaxed))
+        throw TimeoutAbort("abort: trace replay point exceeded its "
+                           "wall-clock deadline (timeout): cancelled "
+                           "at cycle " +
+                           std::to_string(now));
+    checkInterrupt();
 }
 
 void

@@ -7,6 +7,7 @@
 #ifndef PIPESIM_SIM_CONFIG_HH
 #define PIPESIM_SIM_CONFIG_HH
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,17 @@ struct SimConfig
 
     /** Cycles without an instruction retiring => deadlock report. */
     Cycle progressWindow = 2'000'000;
+
+    /**
+     * Host-side cooperative cancellation.  When non-null, the tick
+     * loops (Simulator::checkWatchdogs, ReplayMachine::watchdogs)
+     * poll it and raise TimeoutAbort once it reads true — how the
+     * sweep engine's --point-deadline-ms watchdog stops a point that
+     * overran its wall-clock budget without killing the worker.  Not
+     * part of the machine's identity: replay::configSha256 (and with
+     * it every checkpoint and result-store cache key) ignores it.
+     */
+    const std::atomic<bool> *cancelFlag = nullptr;
 
     /** Human-readable description of the fetch side. */
     std::string fetchName() const;

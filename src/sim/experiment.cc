@@ -1,10 +1,15 @@
 #include "sim/experiment.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "common/abort.hh"
 #include "common/log.hh"
@@ -12,6 +17,9 @@
 #include "obs/metrics.hh"
 #include "obs/profiler.hh"
 #include "replay/replay_engine.hh"
+#include "replay/trace_format.hh"
+#include "sim/guard.hh"
+#include "store/result_store.hh"
 
 namespace pipesim
 {
@@ -25,7 +33,11 @@ SweepResult::failureReport() const
     os << failures.size() << " sweep point(s) failed:\n";
     for (const PointFailure &f : failures) {
         os << "  " << f.strategy << ":" << f.cacheBytes << " after "
-           << f.attempts << " attempt(s): " << f.message << "\n";
+           << f.attempts << " attempt(s)";
+        if (f.backoffNs)
+            os << " (retry backoff " << f.backoffNs / 1'000'000
+               << " ms)";
+        os << ": " << f.message << "\n";
         std::istringstream lines(f.snapshot);
         std::string line;
         while (std::getline(lines, line))
@@ -95,16 +107,34 @@ sweepPointValid(const SweepSpec &spec, const std::string &strategy,
     return makeValidSweepConfig(spec, strategy, cache_bytes).has_value();
 }
 
+std::uint64_t
+retryBackoffNs(const std::string &strategy, unsigned cache_bytes,
+               unsigned attempt, unsigned base_ms)
+{
+    if (base_ms == 0 || attempt <= 1)
+        return 0;
+    const std::uint64_t baseNs = std::uint64_t(base_ms) * 1'000'000;
+    const unsigned exponent = std::min(attempt - 2, 5u);
+    // Reuse the per-point fault-seed derivation for the jitter: its
+    // stream is already a pure function of the point identity, so the
+    // schedule never depends on which worker retries the point.
+    const std::uint64_t jitter = fault::FaultInjector::derivePointSeed(
+                                     0x524554525900ull + attempt,
+                                     strategy, cache_bytes) %
+                                 baseNs;
+    return (baseNs << exponent) + jitter;
+}
+
 namespace
 {
 
 /** One enumerated (size, strategy) cell of the sweep grid. */
 struct SweepPoint
 {
-    std::size_t row;      //!< index into spec.cacheSizes
-    std::size_t col;      //!< index into spec.strategies
-    unsigned cacheBytes;
-    const std::string *strategy;
+    std::size_t row = 0; //!< index into spec.cacheSizes
+    std::size_t col = 0; //!< index into spec.strategies
+    unsigned cacheBytes = 0;
+    const std::string *strategy = nullptr;
     SimConfig cfg; //!< built exactly once, at enumeration
 
     /** Set when the point exhausted its attempts (written by the
@@ -116,7 +146,85 @@ struct SweepPoint
      *  only after all workers joined (same publication rule). */
     std::uint64_t wallNs = 0;
     unsigned attemptsUsed = 0;
+
+    /** Back-off slept across this point's re-attempts. */
+    std::uint64_t backoffNs = 0;
+
+    /** Content key in the result store ("" when no store). */
+    std::string storeKey;
+
+    /** True when the store served this point (it never runs). */
+    bool served = false;
 };
+
+/**
+ * Host-side control block for one point, indexed alongside the
+ * points vector (separate because its atomics make SweepPoint
+ * unmovable).  deadlineNs is armed by the point's worker right
+ * before an attempt and observed by the deadline watchdog, which
+ * answers by setting cancel — the flag the simulated machine's tick
+ * loop polls through SimConfig::cancelFlag.
+ */
+struct PointControl
+{
+    std::atomic<std::uint64_t> deadlineNs{0}; //!< 0 = not running
+    std::atomic<bool> cancel{false};
+};
+
+/**
+ * The --point-deadline-ms watchdog: one thread scanning every
+ * in-flight point's armed deadline a few hundred times a second.
+ * Purely host-side — it never touches simulated state, only the
+ * cooperative cancel flags — so it cannot perturb results.
+ */
+class DeadlineEnforcer
+{
+  public:
+    DeadlineEnforcer(std::vector<PointControl> &controls, bool enabled)
+    {
+        if (enabled)
+            _thread = std::thread([this, &controls] { watch(controls); });
+    }
+
+    ~DeadlineEnforcer()
+    {
+        if (_thread.joinable()) {
+            _stop.store(true, std::memory_order_relaxed);
+            _thread.join();
+        }
+    }
+
+  private:
+    void
+    watch(std::vector<PointControl> &controls)
+    {
+        while (!_stop.load(std::memory_order_relaxed)) {
+            const std::uint64_t now = obs::profileNowNs();
+            for (PointControl &c : controls) {
+                const std::uint64_t deadline =
+                    c.deadlineNs.load(std::memory_order_relaxed);
+                if (deadline && now >= deadline)
+                    c.cancel.store(true, std::memory_order_relaxed);
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+    }
+
+    std::atomic<bool> _stop{false};
+    std::thread _thread;
+};
+
+/** Sleep @p ns, waking early if a shutdown signal arrives. */
+void
+interruptibleSleepNs(std::uint64_t ns)
+{
+    constexpr std::uint64_t kChunkNs = 5'000'000;
+    while (ns > 0 && !pendingSignal()) {
+        const std::uint64_t slice = std::min(ns, kChunkNs);
+        std::this_thread::sleep_for(std::chrono::nanoseconds(slice));
+        ns -= slice;
+    }
+}
 
 /** Turn the exception behind @p error into a structured record. */
 PointFailure
@@ -128,6 +236,11 @@ describeFailure(const SweepPoint &p, unsigned attempts)
     f.attempts = attempts;
     try {
         std::rethrow_exception(p.error);
+    } catch (const TimeoutAbort &e) {
+        f.message = e.what();
+        f.timeout = true;
+        if (e.hasSnapshot())
+            f.snapshot = e.snapshot().toString();
     } catch (const SimAbort &e) {
         f.message = e.what();
         if (e.hasSnapshot())
@@ -203,6 +316,12 @@ touchSweepMetrics()
     reg.gauge("pool.workers");
     reg.histogram("pool.queue_depth");
     reg.histogram("sweep.point_ns");
+    // Result-store and deadline metrics stay in the key set even for
+    // store-less sweeps, so exports compare cleanly across runs.
+    reg.counter("store.hits");
+    reg.counter("store.misses");
+    reg.counter("store.recovered");
+    reg.counter("point.timeouts");
 }
 
 } // namespace
@@ -232,6 +351,37 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
         headers.push_back(s);
     Table table(std::move(headers));
 
+    auto &reg = obs::MetricsRegistry::instance();
+
+    // Open (and recover) the crash-safe result store before anything
+    // is scheduled: completed points will be served from it, missing
+    // ones journaled into it as they finish.
+    std::unique_ptr<store::ResultStore> resultStore;
+    store::ResultKeyParams keyParams;
+    if (!spec.storeDir.empty()) {
+        resultStore = std::make_unique<store::ResultStore>(spec.storeDir);
+        if (resultStore->recoveredBytes())
+            reg.counter("store.recovered").add(1);
+        keyParams.programSha256 = replay::programSha256(program);
+        if (spec.engine == SweepEngine::Trace) {
+            keyParams.engine =
+                spec.samplePeriod ? "trace-sampled" : "trace-exact";
+            // An auto-captured trace has no encoded-stream hash yet;
+            // its program hash still pins the capture (the committed
+            // stream is a pure function of the program).
+            keyParams.traceSha256 = !spec.trace->sha256.empty()
+                                        ? spec.trace->sha256
+                                        : spec.trace->meta.programSha256;
+            keyParams.samplePeriod = spec.samplePeriod;
+            if (spec.samplePeriod) {
+                keyParams.sampleWarmup = spec.sampleWarmup;
+                keyParams.sampleMeasure = spec.sampleMeasure;
+            }
+        } else {
+            keyParams.engine = "cycle";
+        }
+    }
+
     // Enumerate every valid point up front, building each SimConfig
     // exactly once.  Invalid points render "-" in the assembled table.
     const std::size_t rows = spec.cacheSizes.size();
@@ -248,18 +398,63 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
                     spec, spec.strategies[c], spec.cacheSizes[r]);
                 if (!cfg)
                     continue;
-                points.push_back({r, c, spec.cacheSizes[r],
-                                  &spec.strategies[c], std::move(*cfg),
-                                  std::nullopt, nullptr});
+                SweepPoint p;
+                p.row = r;
+                p.col = c;
+                p.cacheBytes = spec.cacheSizes[r];
+                p.strategy = &spec.strategies[c];
+                p.cfg = std::move(*cfg);
+                points.push_back(std::move(p));
+                if (resultStore)
+                    points.back().storeKey =
+                        store::resultKeyHex(points.back().cfg, keyParams);
             }
         }
     }
-    ProgressReporter progress(spec.progress, points.size());
+
+    // Consult the store before scheduling, in enumeration order, so
+    // a resumed or repeated sweep only simulates the missing points
+    // and the table stays byte-identical for any --jobs.  Hits fire
+    // on_point (the stored result carries the full counters + meta)
+    // but not preRun/postRun — no Simulator exists, as with the
+    // trace engine.
+    std::size_t storeHits = 0, storeMisses = 0;
+    if (resultStore) {
+        obs::ScopedPhase phase("store_lookup");
+        for (auto &p : points) {
+            const auto hit = resultStore->lookup(p.storeKey);
+            if (!hit) {
+                ++storeMisses;
+                continue;
+            }
+            ++storeHits;
+            p.served = true;
+            cells[p.row][p.col] = std::to_string(hit->totalCycles);
+            if (on_point)
+                on_point(*p.strategy, p.cacheBytes, *hit);
+        }
+        reg.counter("store.hits").add(storeHits);
+        reg.counter("store.misses").add(storeMisses);
+    }
+
+    std::size_t pendingPoints = 0;
+    for (const auto &p : points)
+        pendingPoints += p.served ? 0 : 1;
+    ProgressReporter progress(spec.progress, pendingPoints);
 
     // Per-run state (Simulator, StatGroup, probe bus) is thread-local
     // to the point's worker; only the user callbacks share state, so
     // they are serialized under this mutex (see SweepSpec::preRun).
     std::mutex callbacks;
+    // Journal a completed point (appends serialize inside the store;
+    // a crash right after the flush still resumes losslessly).
+    auto journal = [&](const SweepPoint &p, const SimResult &result) {
+        if (resultStore)
+            resultStore->put(p.storeKey,
+                             *p.strategy + ":" +
+                                 std::to_string(p.cacheBytes),
+                             result);
+    };
     auto attemptTracePoint = [&](SweepPoint &p) {
         replay::ReplayOptions opts;
         opts.samplePeriod = spec.samplePeriod;
@@ -273,6 +468,7 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
         const SimResult result =
             replay::replayTrace(p.cfg, program, *spec.trace, opts);
         cells[p.row][p.col] = std::to_string(result.totalCycles);
+        journal(p, result);
         if (on_point) {
             std::lock_guard<std::mutex> lock(callbacks);
             on_point(*p.strategy, p.cacheBytes, result);
@@ -291,6 +487,7 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
         const SimResult result = sim.run();
         // Each point owns a distinct cell; no lock needed for it.
         cells[p.row][p.col] = std::to_string(result.totalCycles);
+        journal(p, result);
         if (spec.postRun || on_point) {
             std::lock_guard<std::mutex> lock(callbacks);
             if (spec.postRun)
@@ -299,10 +496,14 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
                 on_point(*p.strategy, p.cacheBytes, result);
         }
     };
-    // Never lets an exception escape: a failure is captured on the
-    // point itself and dispositioned after every worker has joined,
-    // so one bad point cannot take the sweep down mid-flight.
-    auto runPoint = [&](SweepPoint &p) {
+    // Never lets a point failure escape: it is captured on the point
+    // itself and dispositioned after every worker has joined, so one
+    // bad point cannot take the sweep down mid-flight.  The only
+    // early exit is a termination signal, which sets `interrupted`
+    // and lets the remaining workers drain their current points.
+    const bool deadlines = spec.pointDeadlineMs > 0;
+    std::atomic<bool> interrupted{false};
+    auto runPoint = [&](SweepPoint &p, PointControl &ctl) {
         // Scope::Root: the phase attaches at the executing thread's
         // root, so the aggregated "point" path is identical whether
         // the point ran inline (jobs=1) or on a pool worker.
@@ -311,17 +512,57 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
                                    std::to_string(p.cacheBytes));
         const std::uint64_t start = obs::profileNowNs();
         const unsigned attempts = 1 + spec.pointRetries;
+        if (deadlines)
+            p.cfg.cancelFlag = &ctl.cancel;
         for (unsigned a = 1; a <= attempts; ++a) {
+            if (pendingSignal()) {
+                interrupted.store(true, std::memory_order_relaxed);
+                break;
+            }
+            if (a > 1) {
+                // Deterministic, seeded back-off: a function of the
+                // point identity and attempt number only, so the
+                // failure report is identical for any --jobs.
+                const std::uint64_t backoff = retryBackoffNs(
+                    *p.strategy, p.cacheBytes, a, spec.retryBackoffMs);
+                p.backoffNs += backoff;
+                interruptibleSleepNs(backoff);
+                if (pendingSignal()) {
+                    interrupted.store(true, std::memory_order_relaxed);
+                    break;
+                }
+            }
+            ctl.cancel.store(false, std::memory_order_relaxed);
+            if (deadlines)
+                ctl.deadlineNs.store(
+                    obs::profileNowNs() +
+                        std::uint64_t(spec.pointDeadlineMs) * 1'000'000,
+                    std::memory_order_relaxed);
             try {
                 attemptPoint(p);
+                ctl.deadlineNs.store(0, std::memory_order_relaxed);
                 p.attemptsUsed = a;
                 break;
+            } catch (const InterruptedError &) {
+                ctl.deadlineNs.store(0, std::memory_order_relaxed);
+                // Not a point failure: the whole sweep is shutting
+                // down and will rethrow after the workers join.
+                interrupted.store(true, std::memory_order_relaxed);
+                break;
             } catch (...) {
+                ctl.deadlineNs.store(0, std::memory_order_relaxed);
+                p.error = std::current_exception();
+                PointFailure f = describeFailure(p, a);
+                if (f.timeout)
+                    reg.counter("point.timeouts").add(1);
                 if (a == attempts) {
                     p.attemptsUsed = a;
-                    p.error = std::current_exception();
-                    p.failure = describeFailure(p, a);
-                    cells[p.row][p.col] = "ERR";
+                    f.backoffNs = p.backoffNs;
+                    cells[p.row][p.col] =
+                        f.timeout ? "ERR(timeout)" : "ERR";
+                    p.failure = std::move(f);
+                } else {
+                    p.error = nullptr;
                 }
             }
         }
@@ -332,29 +573,47 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
         progress.pointDone();
     };
 
+    // Deadline control blocks live outside the (movable) points so
+    // the watcher thread and the workers share stable atomics.
+    std::vector<PointControl> controls(points.size());
     const unsigned jobs = resolveJobCount(spec.jobs);
     {
         // Same phase name for both execution shapes, so profiler key
         // sets match across worker counts.
         obs::ScopedPhase phase("run_points");
-        if (jobs <= 1 || points.size() <= 1) {
+        DeadlineEnforcer enforcer(controls,
+                                  deadlines && pendingPoints > 0);
+        if (jobs <= 1 || pendingPoints <= 1) {
             // Serial: run in deterministic (size, strategy) order on
             // the calling thread.
-            for (auto &p : points)
-                runPoint(p);
-        } else {
-            ThreadPool pool(std::min<std::size_t>(jobs, points.size()));
+            for (std::size_t i = 0; i < points.size(); ++i)
+                if (!points[i].served)
+                    runPoint(points[i], controls[i]);
+        } else if (pendingPoints > 0) {
+            ThreadPool pool(std::min<std::size_t>(jobs, pendingPoints));
             std::vector<std::future<void>> futures;
-            futures.reserve(points.size());
-            for (auto &p : points)
-                futures.push_back(pool.submit([&runPoint, &p] {
-                    runPoint(p);
-                }));
+            futures.reserve(pendingPoints);
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                if (points[i].served)
+                    continue;
+                futures.push_back(pool.submit(
+                    [&runPoint, &points, &controls, i] {
+                        runPoint(points[i], controls[i]);
+                    }));
+            }
             // runPoint captures failures instead of throwing; waiting
             // on every future is a pure join.
             for (auto &f : futures)
                 f.get();
         }
+    }
+
+    // A termination signal aborts the whole sweep (after the join, so
+    // in-flight points finished journaling): no table, no ERR cells —
+    // the guard reports the clean shutdown and the exit code.
+    if (interrupted.load(std::memory_order_relaxed) || pendingSignal()) {
+        const int sig = pendingSignal();
+        throw InterruptedError(sig ? sig : SIGINT);
     }
 
     obs::ScopedPhase assemblePhase("assemble");
@@ -392,7 +651,7 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
     if (spec.onSweepEnd)
         spec.onSweepEnd();
     return SweepResult{std::move(table), std::move(failures),
-                       std::move(timings)};
+                       std::move(timings), storeHits, storeMisses};
 }
 
 } // namespace pipesim

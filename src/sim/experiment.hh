@@ -71,6 +71,14 @@ struct PointFailure
     unsigned attempts = 0; //!< runs tried (1 + spec.pointRetries)
     std::string message;   //!< the exception's what()
     std::string snapshot;  //!< machine snapshot (SimAbort only)
+
+    /** True when the final attempt died on the --point-deadline-ms
+     *  wall-clock watchdog (the cell renders "ERR(timeout)"). */
+    bool timeout = false;
+
+    /** Total deterministic retry back-off slept across the attempts
+     *  (see retryBackoffNs()); part of the failure report. */
+    std::uint64_t backoffNs = 0;
 };
 
 /**
@@ -83,7 +91,8 @@ struct PointTiming
 {
     std::string strategy;
     unsigned cacheBytes = 0;
-    unsigned attempts = 0;   //!< runs tried (failed attempts included)
+    unsigned attempts = 0;   //!< runs tried (failed attempts included);
+                             //!< 0 = served from the result store
     std::uint64_t wallNs = 0; //!< host wall-clock across all attempts
 };
 
@@ -96,6 +105,11 @@ struct SweepResult
     /** Per-point host timings, in enumeration order (valid points
      *  only — one entry per non-"-" cell). */
     std::vector<PointTiming> timings;
+
+    /** Points served from SweepSpec::storeDir without simulating /
+     *  points that had to run (0/0 when no store was attached). */
+    std::size_t storeHits = 0;
+    std::size_t storeMisses = 0;
 
     /** @return true if every valid point completed. */
     bool ok() const { return failures.empty(); }
@@ -190,6 +204,40 @@ struct SweepSpec
     unsigned pointRetries = 0;
 
     /**
+     * Base of the deterministic retry back-off slept before each
+     * re-attempt (retryBackoffNs(): exponential in the attempt
+     * number, jittered from the point's identity — never from the
+     * worker or wall-clock, so the schedule is byte-identical for
+     * any --jobs).  0 disables the back-off (retries fire
+     * immediately, the pre-PR behaviour).
+     */
+    unsigned retryBackoffMs = 10;
+
+    /**
+     * Crash-safe result store directory (src/store/result_store.hh).
+     * Empty disables the store.  When set, every enumerated point is
+     * looked up by content key before scheduling — hits fill their
+     * cells (and fire on_point) without simulating, misses run and
+     * are journaled on completion — so a killed or repeated sweep
+     * resumes losslessly with a byte-identical table for any --jobs.
+     * Failed (ERR) points are never journaled: a resumed sweep
+     * re-attempts them.  preRun/postRun do not fire for served
+     * points (there is no Simulator), mirroring the trace engine's
+     * contract.
+     */
+    std::string storeDir;
+
+    /**
+     * Per-attempt wall-clock deadline in milliseconds (0 = none).
+     * A watchdog thread arms each running point's cooperative
+     * cancellation flag (SimConfig::cancelFlag) when its budget
+     * expires; the tick loops observe it and unwind with
+     * TimeoutAbort, dispositioned through the normal failure policy
+     * as "ERR(timeout)" — the pool keeps draining the other points.
+     */
+    unsigned pointDeadlineMs = 0;
+
+    /**
      * Fault injection applied to the swept machines (fault/fault.hh).
      * Each point derives its own seed from (fault.seed, strategy,
      * cache size), so its fault stream is independent of the worker
@@ -271,6 +319,21 @@ SimConfig makeSweepConfig(const SweepSpec &spec,
  */
 bool sweepPointValid(const SweepSpec &spec, const std::string &strategy,
                      unsigned cache_bytes);
+
+/**
+ * Deterministic retry back-off before attempt @p attempt (2-based:
+ * the first attempt never waits) of the point
+ * (@p strategy, @p cache_bytes): exponential in the attempt number
+ * (capped at 32x) on a base of @p base_ms milliseconds, plus a
+ * jitter below one base derived from the point's identity with the
+ * same splitmix64 machinery as the per-point fault seeds.  A pure
+ * function of its arguments — independent of worker count, wall
+ * clock and sweep composition — so retry schedules are reproducible.
+ * @return the back-off in nanoseconds (0 when base_ms is 0).
+ */
+std::uint64_t retryBackoffNs(const std::string &strategy,
+                             unsigned cache_bytes, unsigned attempt,
+                             unsigned base_ms);
 
 /**
  * Run the sweep over @p program, using spec.jobs worker threads.

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/abort.hh"
 #include "core/fetch_factory.hh"
 #include "obs/profiler.hh"
+#include "sim/guard.hh"
 
 namespace pipesim
 {
@@ -92,6 +94,16 @@ Simulator::checkWatchdogs()
         _now - _lastProgressCycle > _config.progressWindow)
         simAbort("no instruction retired for ", _config.progressWindow,
                  " cycles: machine deadlocked at cycle ", _now);
+    // Host-side watchdogs: the sweep's per-point wall-clock deadline
+    // (snapshot attached here so TimeoutAbort keeps its type through
+    // run()'s decoration) and the guard's SIGINT/SIGTERM flag.
+    if (_config.cancelFlag &&
+        _config.cancelFlag->load(std::memory_order_relaxed))
+        throw TimeoutAbort("abort: point exceeded its wall-clock "
+                           "deadline (timeout): cancelled at cycle " +
+                               std::to_string(_now),
+                           snapshot());
+    checkInterrupt();
 }
 
 void

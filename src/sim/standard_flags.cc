@@ -33,9 +33,25 @@ registerStandardFlags(CliParser &cli, const StandardFlagGroups &groups)
                     "of rendering ERR cells and reporting at the end");
         cli.addOption("point-retries", "0",
                       "extra attempts granted to a failing sweep point");
+        cli.addOption("retry-backoff-ms", "10",
+                      "base delay before a point's re-attempt, doubling "
+                      "per retry with a deterministic per-point jitter "
+                      "(0 = retry immediately)");
         cli.addFlag("progress",
                     "emit a throttled sweep heartbeat with ETA on "
                     "stderr (stdout tables are unaffected)");
+        cli.addOption("store-dir", "",
+                      "journal each completed point into this result "
+                      "store and serve already-completed points from "
+                      "it, so an interrupted sweep resumes losslessly "
+                      "(empty = no store)");
+        cli.addOption("point-deadline-ms", "0",
+                      "wall-clock budget per sweep point attempt; an "
+                      "overrunning point is cancelled and dispositioned "
+                      "as ERR(timeout) (0 = no deadline)");
+        cli.addOption("progress-window", "0",
+                      "override the engine's no-forward-progress "
+                      "watchdog window, in cycles (0 = engine default)");
     }
     if (groups.engine) {
         cli.addOption("engine", "cycle",
@@ -93,7 +109,11 @@ standardFlagsFromCli(const CliParser &cli, const StandardFlagGroups &groups)
         f.faultPoint = cli.get("fi-point");
         f.failFast = cli.getFlag("fail-fast");
         f.pointRetries = nonNegative(cli, "point-retries");
+        f.retryBackoffMs = nonNegative(cli, "retry-backoff-ms");
         f.progress = cli.getFlag("progress");
+        f.storeDir = cli.get("store-dir");
+        f.pointDeadlineMs = nonNegative(cli, "point-deadline-ms");
+        f.progressWindow = nonNegative(cli, "progress-window");
     }
     if (groups.engine) {
         const std::string engine = cli.get("engine");
@@ -163,6 +183,11 @@ applyStandardFlags(SweepSpec &spec, const StandardFlags &flags)
     spec.fault = flags.fault;
     spec.faultPoint = flags.faultPoint;
     spec.pointRetries = flags.pointRetries;
+    spec.retryBackoffMs = flags.retryBackoffMs;
+    spec.storeDir = flags.storeDir;
+    spec.pointDeadlineMs = flags.pointDeadlineMs;
+    if (flags.progressWindow)
+        spec.progressWindow = flags.progressWindow;
     spec.failurePolicy = flags.failFast
                              ? SweepFailurePolicy::FailFast
                              : SweepFailurePolicy::CollectAndContinue;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <csignal>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <tuple>
@@ -11,6 +13,7 @@
 #include "obs/metrics.hh"
 #include "obs/profiler.hh"
 #include "sim/experiment.hh"
+#include "sim/guard.hh"
 #include "workloads/benchmark_program.hh"
 
 using namespace pipesim;
@@ -24,6 +27,16 @@ tinyBenchmark()
     static const auto bench = workloads::buildLivermoreBenchmark(0.02);
     return bench;
 }
+
+struct ScratchDir
+{
+    explicit ScratchDir(std::string p) : path(std::move(p))
+    {
+        std::filesystem::remove_all(path);
+    }
+    ~ScratchDir() { std::filesystem::remove_all(path); }
+    std::string path;
+};
 
 } // namespace
 
@@ -448,4 +461,188 @@ TEST(ExperimentFaultIsolation, FailFastRethrowsTheSimAbort)
     } catch (const SimAbort &e) {
         EXPECT_TRUE(e.hasSnapshot());
     }
+}
+
+TEST(ExperimentRetryBackoff, DeterministicSeededSchedule)
+{
+    // The back-off is a pure function of the point identity and the
+    // attempt number: no worker count, clock or RNG state leaks in.
+    EXPECT_EQ(retryBackoffNs("8-8", 32, 2, 10),
+              retryBackoffNs("8-8", 32, 2, 10));
+    // The first attempt (and a zero base) never sleeps.
+    EXPECT_EQ(retryBackoffNs("8-8", 32, 1, 10), 0u);
+    EXPECT_EQ(retryBackoffNs("8-8", 32, 2, 0), 0u);
+    // Exponential growth: every later attempt waits strictly longer
+    // than the doubled floor of the one before it.
+    const std::uint64_t baseNs = 10ull * 1'000'000;
+    for (unsigned a = 2; a <= 7; ++a) {
+        const std::uint64_t d = retryBackoffNs("8-8", 32, a, 10);
+        EXPECT_GE(d, baseNs << (a - 2));
+        EXPECT_LT(d, (baseNs << (a - 2)) + baseNs); // jitter < base
+    }
+    // The jitter separates distinct points' schedules.
+    EXPECT_NE(retryBackoffNs("8-8", 32, 2, 10),
+              retryBackoffNs("conv", 64, 2, 10));
+}
+
+// ---------------------------------------------------------------------
+// The crash-safe result store wired through the sweep.
+
+TEST(ExperimentStore, WarmSweepIsServedEntirelyFromTheStore)
+{
+    ScratchDir dir("exp_store_warm");
+    SweepSpec spec;
+    spec.cacheSizes = {16, 32, 64};
+    spec.strategies = {"conv", "8-8"};
+    spec.storeDir = dir.path;
+
+    const SweepResult cold = runCacheSweep(spec, tinyBenchmark().program);
+    EXPECT_EQ(cold.storeHits, 0u);
+    EXPECT_EQ(cold.storeMisses, 6u);
+
+    const SweepResult warm = runCacheSweep(spec, tinyBenchmark().program);
+    EXPECT_EQ(warm.storeHits, 6u);
+    EXPECT_EQ(warm.storeMisses, 0u);
+    EXPECT_EQ(cold.table.toText(), warm.table.toText());
+    EXPECT_EQ(cold.table.toCsv(), warm.table.toCsv());
+    // Served points never ran: attempts reads 0 in the timings.
+    for (const auto &t : warm.timings)
+        EXPECT_EQ(t.attempts, 0u);
+
+    // The store-backed table matches a store-less sweep exactly.
+    SweepSpec plain = spec;
+    plain.storeDir.clear();
+    const SweepResult bare = runCacheSweep(plain, tinyBenchmark().program);
+    EXPECT_EQ(bare.table.toText(), warm.table.toText());
+}
+
+TEST(ExperimentStore, PartialStoreSimulatesOnlyTheMissingPoints)
+{
+    ScratchDir dir("exp_store_partial");
+    SweepSpec small;
+    small.cacheSizes = {16, 32};
+    small.strategies = {"conv", "8-8"};
+    small.storeDir = dir.path;
+    runCacheSweep(small, tinyBenchmark().program);
+
+    // Growing the sweep reuses the journaled points: keys are
+    // content-addressed, not positional.
+    SweepSpec grown = small;
+    grown.cacheSizes = {16, 32, 64};
+    const SweepResult r = runCacheSweep(grown, tinyBenchmark().program);
+    EXPECT_EQ(r.storeHits, 4u);
+    EXPECT_EQ(r.storeMisses, 2u);
+
+    SweepSpec plain = grown;
+    plain.storeDir.clear();
+    const SweepResult bare = runCacheSweep(plain, tinyBenchmark().program);
+    EXPECT_EQ(bare.table.toText(), r.table.toText());
+}
+
+TEST(ExperimentStore, ErrPointIsReattemptedOnResumeNotServed)
+{
+    // A failed point is never journaled: the resumed sweep serves the
+    // healthy points from the store and re-attempts the broken one,
+    // with identical dispositions for --jobs 1 and --jobs 8.
+    ScratchDir dir("exp_store_err");
+    auto sweep = [&](unsigned jobs) {
+        SweepSpec spec;
+        spec.cacheSizes = {16, 32};
+        spec.strategies = {"conv", "8-8"};
+        spec.jobs = jobs;
+        spec.storeDir = dir.path;
+        spec.failurePolicy = SweepFailurePolicy::CollectAndContinue;
+        spec.progressWindow = 20000;
+        spec.fault.kinds = fault::Grant;
+        spec.fault.rate = 1.0; // wedge exactly this point
+        spec.faultPoint = "8-8:32";
+        return runCacheSweep(spec, tinyBenchmark().program);
+    };
+    const SweepResult first = sweep(1);
+    ASSERT_EQ(first.failures.size(), 1u);
+    EXPECT_EQ(first.storeHits, 0u);
+    EXPECT_EQ(first.table.at(1, 2), "ERR");
+
+    const SweepResult resumed = sweep(1);
+    EXPECT_EQ(resumed.storeHits, 3u); // the healthy points
+    EXPECT_EQ(resumed.storeMisses, 1u);
+    ASSERT_EQ(resumed.failures.size(), 1u);
+    EXPECT_EQ(resumed.failures[0].strategy, "8-8");
+    EXPECT_EQ(resumed.failures[0].cacheBytes, 32u);
+    EXPECT_EQ(resumed.table.toText(), first.table.toText());
+
+    const SweepResult pooled = sweep(8);
+    EXPECT_EQ(pooled.storeHits, 3u);
+    EXPECT_EQ(pooled.table.toText(), resumed.table.toText());
+    EXPECT_EQ(pooled.failureReport(), resumed.failureReport());
+}
+
+TEST(ExperimentStore, DeadlineRendersTimeoutWithoutStallingTheSweep)
+{
+    // A point that exceeds --point-deadline-ms is cancelled
+    // cooperatively and dispositioned ERR(timeout); every other point
+    // completes normally.
+    SweepSpec spec;
+    spec.cacheSizes = {16, 32};
+    spec.strategies = {"conv", "8-8"};
+    spec.failurePolicy = SweepFailurePolicy::CollectAndContinue;
+    // Keep the simulated-time watchdogs out of the way so only the
+    // wall-clock deadline can fire on the wedged point.
+    spec.progressWindow = 2'000'000'000;
+    spec.fault.kinds = fault::Grant;
+    spec.fault.rate = 1.0;
+    spec.faultPoint = "8-8:32";
+    spec.pointDeadlineMs = 50;
+    const SweepResult r = runCacheSweep(spec, tinyBenchmark().program);
+    ASSERT_EQ(r.failures.size(), 1u);
+    EXPECT_TRUE(r.failures[0].timeout);
+    EXPECT_NE(r.failures[0].message.find("deadline"), std::string::npos);
+    EXPECT_EQ(r.table.at(1, 2), "ERR(timeout)");
+    EXPECT_GT(std::stoull(r.table.at(0, 1)), 0u);
+    EXPECT_GT(std::stoull(r.table.at(0, 2)), 0u);
+    EXPECT_GT(std::stoull(r.table.at(1, 1)), 0u);
+    // The CSV treats the timeout sentinel like any other ERR: the
+    // cell is blanked and the note column names it.
+    EXPECT_NE(r.table.toCsv().find("=ERR(timeout)"), std::string::npos);
+}
+
+TEST(ExperimentStore, SignalInterruptionAbortsThenResumesLosslessly)
+{
+    ScratchDir dir("exp_store_signal");
+    struct SignalGuard
+    {
+        ~SignalGuard() { clearPendingSignal(); }
+    } guard;
+
+    SweepSpec plain;
+    plain.cacheSizes = {16, 32, 64};
+    plain.strategies = {"conv", "8-8"};
+    plain.jobs = 1;
+    const SweepResult baseline =
+        runCacheSweep(plain, tinyBenchmark().program);
+
+    // "SIGINT" arrives while the third point is starting: the sweep
+    // must stop cleanly with the finished points journaled.
+    SweepSpec interruptedSpec = plain;
+    interruptedSpec.storeDir = dir.path;
+    int started = 0;
+    interruptedSpec.preRun = [&](Simulator &, const std::string &,
+                                 unsigned) {
+        if (++started == 3)
+            requestShutdown(SIGINT);
+    };
+    EXPECT_THROW(
+        runCacheSweep(interruptedSpec, tinyBenchmark().program),
+        InterruptedError);
+    clearPendingSignal();
+
+    // The resumed sweep serves the journaled prefix and produces a
+    // table byte-identical to the uninterrupted baseline.
+    SweepSpec resumedSpec = plain;
+    resumedSpec.storeDir = dir.path;
+    const SweepResult resumed =
+        runCacheSweep(resumedSpec, tinyBenchmark().program);
+    EXPECT_TRUE(resumed.ok());
+    EXPECT_GT(resumed.storeHits, 0u);
+    EXPECT_EQ(resumed.table.toText(), baseline.table.toText());
 }

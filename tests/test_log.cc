@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <csignal>
+
 #include "common/abort.hh"
 #include "common/log.hh"
 
@@ -104,4 +106,32 @@ TEST(Guard, MapsTaxonomyToExitCodes)
     EXPECT_EQ(runGuardedMain(
                   []() -> int { throw std::runtime_error("other"); }),
               2);
+    // Termination signals follow the shell convention (128 + signo),
+    // so wrapper scripts can tell an interrupted sweep from a crash.
+    EXPECT_EQ(runGuardedMain(
+                  []() -> int { throw InterruptedError(SIGINT); }),
+              130);
+    EXPECT_EQ(runGuardedMain(
+                  []() -> int { throw InterruptedError(SIGTERM); }),
+              143);
+}
+
+TEST(Guard, PendingSignalFlagRoundTrip)
+{
+    clearPendingSignal();
+    EXPECT_EQ(pendingSignal(), 0);
+    EXPECT_NO_THROW(checkInterrupt());
+    requestShutdown(SIGINT);
+    EXPECT_EQ(pendingSignal(), SIGINT);
+    try {
+        checkInterrupt();
+        FAIL() << "expected InterruptedError";
+    } catch (const InterruptedError &e) {
+        EXPECT_EQ(e.signalNumber(), SIGINT);
+        EXPECT_NE(std::string(e.what()).find("SIGINT"),
+                  std::string::npos);
+    }
+    clearPendingSignal();
+    EXPECT_EQ(pendingSignal(), 0);
+    EXPECT_NO_THROW(checkInterrupt());
 }

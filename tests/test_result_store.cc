@@ -1,0 +1,423 @@
+/**
+ * The PIPERES sweep result store (store/result_store.hh):
+ *
+ *  - results must round-trip through the journal bit-exactly (label,
+ *    cycles, instructions, every counter and meta entry) and survive
+ *    reopening the store;
+ *  - the content key must be a pure function of the simulation
+ *    identity — and *sensitive* to everything that changes a result
+ *    (program, machine config, engine, trace, sampling, fault
+ *    stream), while ignoring what cannot (watchdog limits, worker
+ *    count);
+ *  - a torn tail — the journal cut off at ANY byte, as a SIGKILL
+ *    mid-append leaves it — must be recovered: every complete record
+ *    before the tear is served, the tear is truncated away;
+ *  - interior corruption must stay fatal, in the same spirit as the
+ *    PIPETRC/PIPECKPT fuzzing: a flipped bit anywhere must either be
+ *    detected (FatalError naming an offset, or a recovered tail) or
+ *    be provably harmless — never silently served as a wrong result.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "sim/config.hh"
+#include "store/result_store.hh"
+
+using namespace pipesim;
+using namespace pipesim::store;
+
+namespace
+{
+
+struct ScratchDir
+{
+    explicit ScratchDir(std::string p) : path(std::move(p))
+    {
+        std::filesystem::remove_all(path);
+    }
+    ~ScratchDir() { std::filesystem::remove_all(path); }
+    std::string path;
+};
+
+SimResult
+sampleResult(std::uint64_t cycles)
+{
+    SimResult r;
+    r.totalCycles = cycles;
+    r.instructions = cycles / 2;
+    r.counters["fetch.hits"] = cycles + 1;
+    r.counters["fetch.misses"] = 7;
+    r.meta["engine"] = "cycle";
+    r.meta["note"] = "round-trip fixture";
+    return r;
+}
+
+std::string
+sampleKey(char fill)
+{
+    return std::string(64, fill);
+}
+
+std::vector<std::uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                     std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              std::streamsize(bytes.size()));
+}
+
+ResultKeyParams
+cycleParams()
+{
+    ResultKeyParams p;
+    p.programSha256 = std::string(64, 'c');
+    p.engine = "cycle";
+    return p;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Round-trips and persistence.
+
+TEST(ResultStoreTest, PutLookupRoundTripsEveryField)
+{
+    ScratchDir dir("store_test_roundtrip");
+    ResultStore store(dir.path);
+    EXPECT_EQ(store.entries(), 0u);
+    EXPECT_EQ(store.recoveredBytes(), 0u);
+    EXPECT_FALSE(store.lookup(sampleKey('a')).has_value());
+
+    const SimResult r = sampleResult(1234);
+    store.put(sampleKey('a'), "16-16:128", r);
+    const auto back = store.lookup(sampleKey('a'));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->totalCycles, r.totalCycles);
+    EXPECT_EQ(back->instructions, r.instructions);
+    EXPECT_EQ(back->counters, r.counters);
+    EXPECT_EQ(back->meta, r.meta);
+}
+
+TEST(ResultStoreTest, EntriesSurviveReopen)
+{
+    ScratchDir dir("store_test_reopen");
+    {
+        ResultStore store(dir.path);
+        store.put(sampleKey('a'), "conv:64", sampleResult(10));
+        store.put(sampleKey('b'), "conv:128", sampleResult(20));
+    }
+    ResultStore store(dir.path);
+    EXPECT_EQ(store.entries(), 2u);
+    EXPECT_EQ(store.recoveredBytes(), 0u);
+    ASSERT_TRUE(store.lookup(sampleKey('b')).has_value());
+    EXPECT_EQ(store.lookup(sampleKey('b'))->totalCycles, 20u);
+    const auto order = store.entriesInOrder();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0]->label, "conv:64");
+    EXPECT_EQ(order[1]->label, "conv:128");
+}
+
+TEST(ResultStoreTest, RepeatedKeyLastOneWins)
+{
+    ScratchDir dir("store_test_lastwins");
+    {
+        ResultStore store(dir.path);
+        store.put(sampleKey('a'), "16-16:128", sampleResult(10));
+        store.put(sampleKey('a'), "16-16:128", sampleResult(99));
+        EXPECT_EQ(store.entries(), 1u);
+        EXPECT_EQ(store.lookup(sampleKey('a'))->totalCycles, 99u);
+    }
+    // The journal replay applies the same last-wins rule.
+    ResultStore store(dir.path);
+    EXPECT_EQ(store.entries(), 1u);
+    EXPECT_EQ(store.lookup(sampleKey('a'))->totalCycles, 99u);
+}
+
+TEST(ResultStoreTest, CompactDropsShadowedRecordsAtomically)
+{
+    ScratchDir dir("store_test_compact");
+    ResultStore store(dir.path);
+    store.put(sampleKey('a'), "16-16:128", sampleResult(10));
+    store.put(sampleKey('b'), "16-16:256", sampleResult(20));
+    store.put(sampleKey('a'), "16-16:128", sampleResult(30));
+    const auto before = std::filesystem::file_size(store.path());
+    const std::uint64_t after = store.compact();
+    EXPECT_LT(after, before);
+    EXPECT_EQ(after, std::filesystem::file_size(store.path()));
+    // Still appendable and still serving the latest values...
+    EXPECT_EQ(store.lookup(sampleKey('a'))->totalCycles, 30u);
+    store.put(sampleKey('c'), "16-16:512", sampleResult(40));
+    // ...including after a reopen of the compacted journal.
+    ResultStore back(dir.path);
+    EXPECT_EQ(back.entries(), 3u);
+    EXPECT_EQ(back.recoveredBytes(), 0u);
+    EXPECT_EQ(back.lookup(sampleKey('a'))->totalCycles, 30u);
+    EXPECT_EQ(back.lookup(sampleKey('c'))->totalCycles, 40u);
+    const auto order = back.entriesInOrder();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0]->keyHex, sampleKey('a')); // first-seen order
+}
+
+// ---------------------------------------------------------------------
+// Content keys.
+
+TEST(ResultStoreKeyTest, DeterministicAndSensitive)
+{
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("16-16", 128);
+    const ResultKeyParams params = cycleParams();
+    const std::string key = resultKeyHex(cfg, params);
+    EXPECT_EQ(key.size(), 64u);
+    EXPECT_EQ(key, resultKeyHex(cfg, params));
+
+    // Machine configuration changes the key.
+    SimConfig other = cfg;
+    other.fetch = pipeConfigFor("16-16", 256);
+    EXPECT_NE(resultKeyHex(other, params), key);
+
+    // So does the program...
+    ResultKeyParams p2 = params;
+    p2.programSha256 = std::string(64, 'd');
+    EXPECT_NE(resultKeyHex(cfg, p2), key);
+
+    // ...the engine and its sampling parameters...
+    ResultKeyParams p3 = params;
+    p3.engine = "trace-exact";
+    p3.traceSha256 = std::string(64, 'e');
+    EXPECT_NE(resultKeyHex(cfg, p3), key);
+    ResultKeyParams p4 = p3;
+    p4.engine = "trace-sampled";
+    p4.samplePeriod = 5000;
+    EXPECT_NE(resultKeyHex(cfg, p4), resultKeyHex(cfg, p3));
+
+    // ...and the point's fault stream.
+    SimConfig faulty = cfg;
+    faulty.fault.kinds = fault::Grant;
+    faulty.fault.rate = 0.5;
+    EXPECT_NE(resultKeyHex(faulty, params), key);
+    SimConfig reseeded = faulty;
+    reseeded.fault.seed = 999;
+    EXPECT_NE(resultKeyHex(reseeded, params),
+              resultKeyHex(faulty, params));
+}
+
+TEST(ResultStoreKeyTest, IgnoresWatchdogLimitsAndInactiveFaults)
+{
+    SimConfig cfg;
+    cfg.fetch = pipeConfigFor("16-16", 128);
+    const ResultKeyParams params = cycleParams();
+    const std::string key = resultKeyHex(cfg, params);
+
+    // Watchdogs only abort a run; they never change a completed
+    // result, so they are not part of the identity.
+    SimConfig limits = cfg;
+    limits.maxCycles = 12345;
+    limits.progressWindow = 999;
+    EXPECT_EQ(resultKeyHex(limits, params), key);
+
+    // A disabled injector's leftover seed/rate must not split keys.
+    SimConfig inactive = cfg;
+    inactive.fault.seed = 777;
+    inactive.fault.rate = 0.9; // kinds == None: still disabled
+    EXPECT_EQ(resultKeyHex(inactive, params), key);
+}
+
+// ---------------------------------------------------------------------
+// Crash recovery: torn tails, damaged headers, interior corruption.
+
+TEST(ResultStoreRecoveryTest, TornTailAtEveryByteIsRecovered)
+{
+    ScratchDir dir("store_test_torntail");
+    std::vector<std::uint64_t> sizes; // journal size after each put
+    {
+        ResultStore store(dir.path);
+        for (int i = 0; i < 3; ++i) {
+            store.put(sampleKey(char('a' + i)), "pt", sampleResult(10u * (unsigned(i) + 1)));
+            sizes.push_back(std::filesystem::file_size(store.path()));
+        }
+    }
+    const std::string path = dir.path + "/results.piperes";
+    const std::vector<std::uint8_t> full = readFile(path);
+    ASSERT_EQ(full.size(), sizes.back());
+
+    const std::size_t headerBytes = 20;
+    for (std::size_t cut = headerBytes; cut < full.size(); ++cut) {
+        writeFile(path, std::vector<std::uint8_t>(full.begin(),
+                                                  full.begin() +
+                                                      std::ptrdiff_t(cut)));
+        ResultStore store(dir.path);
+        // Every record wholly before the cut is served; the tear is
+        // gone.
+        std::size_t complete = 0;
+        while (complete < sizes.size() && sizes[complete] <= cut)
+            ++complete;
+        EXPECT_EQ(store.entries(), complete) << "cut at byte " << cut;
+        const std::size_t goodEnd =
+            complete > 0 ? sizes[complete - 1] : headerBytes;
+        EXPECT_EQ(store.recoveredBytes(), cut - goodEnd)
+            << "cut at byte " << cut;
+        for (std::size_t i = 0; i < complete; ++i) {
+            const auto hit = store.lookup(sampleKey(char('a' + i)));
+            ASSERT_TRUE(hit.has_value()) << "cut at byte " << cut;
+            EXPECT_EQ(hit->totalCycles, 10u * (i + 1));
+        }
+    }
+}
+
+TEST(ResultStoreRecoveryTest, TruncationInsideHeaderStartsFresh)
+{
+    ScratchDir dir("store_test_shortheader");
+    {
+        ResultStore store(dir.path);
+        store.put(sampleKey('a'), "pt", sampleResult(10));
+    }
+    const std::string path = dir.path + "/results.piperes";
+    const std::vector<std::uint8_t> full = readFile(path);
+    for (std::size_t cut = 0; cut < 20; ++cut) {
+        writeFile(path, std::vector<std::uint8_t>(full.begin(),
+                                                  full.begin() +
+                                                      std::ptrdiff_t(cut)));
+        ResultStore store(dir.path);
+        EXPECT_EQ(store.entries(), 0u) << "cut at byte " << cut;
+        EXPECT_EQ(store.recoveredBytes(), cut) << "cut at byte " << cut;
+    }
+}
+
+TEST(ResultStoreRecoveryTest, DamagedHeaderIsFatal)
+{
+    ScratchDir dir("store_test_badheader");
+    {
+        ResultStore store(dir.path);
+        store.put(sampleKey('a'), "pt", sampleResult(10));
+    }
+    const std::string path = dir.path + "/results.piperes";
+    const std::vector<std::uint8_t> full = readFile(path);
+
+    {
+        auto bad = full;
+        bad[0] ^= 0xff; // magic
+        writeFile(path, bad);
+        EXPECT_THROW(ResultStore(dir.path), FatalError);
+    }
+    {
+        auto bad = full;
+        bad[8] ^= 0x01; // version word -> header CRC mismatch
+        writeFile(path, bad);
+        EXPECT_THROW(ResultStore(dir.path), FatalError);
+    }
+    {
+        auto bad = full;
+        bad[16] ^= 0x01; // the CRC itself
+        writeFile(path, bad);
+        EXPECT_THROW(ResultStore(dir.path), FatalError);
+    }
+}
+
+TEST(ResultStoreRecoveryTest, InteriorCorruptionIsFatalTailDamageIsNot)
+{
+    ScratchDir dir("store_test_interior");
+    {
+        ResultStore store(dir.path);
+        store.put(sampleKey('a'), "pt", sampleResult(10));
+        store.put(sampleKey('b'), "pt", sampleResult(20));
+        store.put(sampleKey('c'), "pt", sampleResult(30));
+    }
+    const std::string path = dir.path + "/results.piperes";
+    const std::vector<std::uint8_t> full = readFile(path);
+
+    // A flipped payload byte in the FIRST record, with records after
+    // it: the journal cannot be trusted.
+    {
+        auto bad = full;
+        bad[28] ^= 0x01; // inside record 0's payload (after 20B header
+                         // + 8B frame)
+        writeFile(path, bad);
+        try {
+            ResultStore store(dir.path);
+            FAIL() << "interior corruption must be fatal";
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find("byte offset"),
+                      std::string::npos);
+        }
+    }
+
+    // The same flip in the LAST record is a torn tail: the damaged
+    // record is dropped, everything before it is served.
+    {
+        auto bad = full;
+        bad[bad.size() - 1] ^= 0x01;
+        writeFile(path, bad);
+        ResultStore store(dir.path);
+        EXPECT_EQ(store.entries(), 2u);
+        EXPECT_GT(store.recoveredBytes(), 0u);
+        EXPECT_TRUE(store.lookup(sampleKey('a')).has_value());
+        EXPECT_TRUE(store.lookup(sampleKey('b')).has_value());
+        EXPECT_FALSE(store.lookup(sampleKey('c')).has_value());
+    }
+}
+
+TEST(ResultStoreRecoveryTest, BitFlipFuzzNeverServesSilentCorruption)
+{
+    ScratchDir dir("store_test_fuzz");
+    {
+        ResultStore store(dir.path);
+        store.put(sampleKey('a'), "pt", sampleResult(10));
+        store.put(sampleKey('b'), "pt", sampleResult(20));
+        store.put(sampleKey('c'), "pt", sampleResult(30));
+    }
+    const std::string path = dir.path + "/results.piperes";
+    const std::vector<std::uint8_t> full = readFile(path);
+
+    for (std::size_t i = 0; i < full.size(); ++i) {
+        auto bad = full;
+        bad[i] ^= 0x5a;
+        writeFile(path, bad);
+        try {
+            ResultStore store(dir.path);
+            // Opened: every entry it serves must be one of the
+            // original, uncorrupted results (a record whose CRC still
+            // matched) — never a silently altered value.
+            EXPECT_LE(store.entries(), 3u) << "flip at byte " << i;
+            for (char k = 'a'; k <= 'c'; ++k) {
+                const auto hit = store.lookup(sampleKey(k));
+                if (!hit)
+                    continue;
+                EXPECT_EQ(hit->totalCycles, 10u * unsigned(k - 'a' + 1))
+                    << "flip at byte " << i;
+                EXPECT_EQ(hit->counters,
+                          sampleResult(hit->totalCycles).counters)
+                    << "flip at byte " << i;
+            }
+        } catch (const FatalError &) {
+            // Detected and refused: equally acceptable.
+        }
+    }
+}
+
+TEST(ResultStoreRecoveryTest, DescribeNamesTheEssentials)
+{
+    ScratchDir dir("store_test_describe");
+    ResultStore store(dir.path);
+    store.put(sampleKey('a'), "16-16:128", sampleResult(10));
+    const std::string d = describeStore(store);
+    EXPECT_NE(d.find("results.piperes"), std::string::npos);
+    EXPECT_NE(d.find("16-16:128"), std::string::npos);
+    EXPECT_NE(d.find("entries:"), std::string::npos);
+    EXPECT_NE(d.find("clean"), std::string::npos);
+    EXPECT_NE(d.find(sampleKey('a').substr(0, 16)), std::string::npos);
+}

@@ -9,6 +9,8 @@
  *                              [--ckpt-dir d [--ckpt-create]]
  *                              [--stats-json path]
  *     pipesim-trace checkpoint <ckpt.pipeckpt>
+ *     pipesim-trace store      inspect <store-dir>
+ *     pipesim-trace store      compact <store-dir>
  *
  * A trace stores the committed fetch-address stream plus the traced
  * program's sha256, so `replay` rebuilds the same workload
@@ -19,8 +21,11 @@
  * thread pool (--jobs) and skip their warm-ups entirely via a
  * live-points checkpoint directory (--ckpt-dir; create the snapshots
  * first with --ckpt-create).  `checkpoint` inspects a PIPECKPT file.
+ * `store` inspects or compacts a sweep result store (a PIPERES
+ * journal written by --store-dir; see docs/robustness.md).
  */
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -36,6 +41,7 @@
 #include "sim/config.hh"
 #include "sim/guard.hh"
 #include "sim/simulator.hh"
+#include "store/result_store.hh"
 #include "workloads/benchmark_program.hh"
 #include "workloads/synthetic.hh"
 
@@ -185,11 +191,31 @@ runCheckpointInspect(CliParser &cli)
 }
 
 int
+runStore(CliParser &cli)
+{
+    const auto &args = cli.positional();
+    if (args.size() != 3 ||
+        (args[1] != "inspect" && args[1] != "compact"))
+        fatal("store needs an action and a directory: pipesim-trace "
+              "store <inspect|compact> <store-dir>");
+    store::ResultStore rs(args[2]);
+    if (args[1] == "compact") {
+        const std::uintmax_t before =
+            std::filesystem::file_size(rs.path());
+        const std::uint64_t after = rs.compact();
+        std::cout << "compacted " << rs.path() << ": " << before
+                  << " -> " << after << " bytes\n";
+    }
+    std::cout << store::describeStore(rs);
+    return 0;
+}
+
+int
 run(int argc, char **argv)
 {
     CliParser cli("capture, inspect and replay committed-instruction "
                   "traces (subcommands: capture | inspect | replay | "
-                  "checkpoint)");
+                  "checkpoint | store)");
     addWorkloadOptions(cli);
     cli.addOption("strategy", "16-16",
                   "replay fetch strategy: conv | tib | <iq>-<iqb>");
@@ -220,7 +246,7 @@ run(int argc, char **argv)
     const auto &args = cli.positional();
     if (args.empty())
         fatal("missing subcommand: pipesim-trace capture | inspect | "
-              "replay | checkpoint (--help for usage)");
+              "replay | checkpoint | store (--help for usage)");
     if (args[0] == "capture")
         return runCapture(cli);
     if (args[0] == "inspect")
@@ -229,8 +255,10 @@ run(int argc, char **argv)
         return runReplay(cli);
     if (args[0] == "checkpoint")
         return runCheckpointInspect(cli);
+    if (args[0] == "store")
+        return runStore(cli);
     fatal("unknown subcommand '", args[0],
-          "' (expected capture, inspect, replay or checkpoint)");
+          "' (expected capture, inspect, replay, checkpoint or store)");
 }
 
 } // namespace
