@@ -1,6 +1,8 @@
 #include "obs/metrics.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <sys/resource.h>
 
 #include "common/log.hh"
 #include "obs/json.hh"
@@ -196,6 +198,32 @@ MetricsRegistry::resetAll()
         g->reset();
     for (auto &[name, h] : _histograms)
         h->reset();
+}
+
+namespace
+{
+
+// Anchored once at static init so uptime measures the whole process
+// lifetime, not the time since the first export.
+const std::chrono::steady_clock::time_point processStart =
+    std::chrono::steady_clock::now();
+
+} // namespace
+
+void
+updateProcessGauges()
+{
+    auto &reg = MetricsRegistry::instance();
+    const auto up = std::chrono::steady_clock::now() - processStart;
+    reg.gauge("process.uptime_seconds")
+        .set(std::chrono::duration_cast<std::chrono::seconds>(up)
+                 .count());
+    struct rusage ru = {};
+    if (::getrusage(RUSAGE_SELF, &ru) == 0) {
+        // Linux reports ru_maxrss in KiB.
+        reg.gauge("process.max_rss_bytes")
+            .set(std::int64_t(ru.ru_maxrss) * 1024);
+    }
 }
 
 } // namespace pipesim::obs

@@ -194,6 +194,20 @@ class MetricsRegistry
     std::map<std::string, std::unique_ptr<LogHistogram>> _histograms;
 };
 
+/**
+ * Refresh the process-liveness gauges a long-running server is
+ * watched by:
+ *
+ *   process.uptime_seconds  wall seconds since the process started
+ *                           (steady clock, anchored at static init)
+ *   process.max_rss_bytes   peak resident set size (getrusage)
+ *
+ * Cheap enough to call right before every export; the stats-json
+ * "host" section and the pipesim-serve daemon's `stats` event both
+ * do, so the keys are part of every host export's key set.
+ */
+void updateProcessGauges();
+
 } // namespace pipesim::obs
 
 #endif // PIPESIM_OBS_METRICS_HH

@@ -42,6 +42,7 @@ writeStatsJson(std::ostream &os, const SimResult &result,
     // attached (--profile / --profile-json): detached runs emit
     // byte-identical stats documents to the pre-profiler ones.
     if (Profiler::enabled()) {
+        updateProcessGauges();
         w.key("host").beginObject();
         w.key("profile");
         Profiler::instance().writeJson(w);

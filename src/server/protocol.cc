@@ -1,0 +1,378 @@
+#include "server/protocol.hh"
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+#include "common/log.hh"
+#include "fault/fault.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+
+namespace pipesim::server
+{
+
+namespace
+{
+
+using obs::JsonValue;
+
+/** Reject ids that would corrupt logs or event framing. */
+void
+validateId(const std::string &id)
+{
+    if (id.empty())
+        fatal("request id must be non-empty");
+    if (id.size() > 128)
+        fatal("request id too long (", id.size(), " > 128 chars)");
+    for (const char c : id)
+        if (c < 0x20 || c == 0x7f)
+            fatal("request id contains control characters");
+}
+
+const JsonValue *
+member(const JsonValue &obj, const std::string &key)
+{
+    return obj.find(key);
+}
+
+std::string
+stringField(const JsonValue &obj, const std::string &key,
+            const std::string &def = "")
+{
+    const JsonValue *v = member(obj, key);
+    if (!v)
+        return def;
+    if (v->type != JsonValue::Type::String)
+        fatal("request field '", key, "' must be a string");
+    return v->string;
+}
+
+bool
+boolField(const JsonValue &obj, const std::string &key, bool def)
+{
+    const JsonValue *v = member(obj, key);
+    if (!v)
+        return def;
+    if (v->type != JsonValue::Type::Bool)
+        fatal("request field '", key, "' must be a boolean");
+    return v->boolean;
+}
+
+double
+numberField(const JsonValue &obj, const std::string &key, double def)
+{
+    const JsonValue *v = member(obj, key);
+    if (!v)
+        return def;
+    if (v->type != JsonValue::Type::Number)
+        fatal("request field '", key, "' must be a number");
+    return v->number;
+}
+
+/** A bounded non-negative integer field ([min, max], default def). */
+std::uint64_t
+uintField(const JsonValue &obj, const std::string &key, std::uint64_t def,
+          std::uint64_t min, std::uint64_t max)
+{
+    const double d = numberField(obj, key, double(def));
+    if (d < 0 || d != std::floor(d))
+        fatal("request field '", key,
+              "' must be a non-negative integer");
+    const std::uint64_t u = std::uint64_t(d);
+    if (u < min || u > max)
+        fatal("request field '", key, "' must be in [", min, ", ", max,
+              "], got ", u);
+    return u;
+}
+
+void
+parseGrid(const JsonValue &root, SweepSpec &spec)
+{
+    if (const JsonValue *sizes = member(root, "cache_sizes")) {
+        if (!sizes->isArray() || sizes->array.empty())
+            fatal("request field 'cache_sizes' must be a non-empty "
+                  "array of bytes");
+        spec.cacheSizes.clear();
+        for (const JsonValue &v : sizes->array) {
+            if (v.type != JsonValue::Type::Number || v.number < 1 ||
+                v.number > double(1u << 20) ||
+                v.number != std::floor(v.number))
+                fatal("cache_sizes entries must be integers in "
+                      "[1, 1048576]");
+            spec.cacheSizes.push_back(unsigned(v.number));
+        }
+    }
+    if (const JsonValue *strategies = member(root, "strategies")) {
+        if (!strategies->isArray() || strategies->array.empty())
+            fatal("request field 'strategies' must be a non-empty "
+                  "array of names");
+        spec.strategies.clear();
+        for (const JsonValue &v : strategies->array) {
+            if (v.type != JsonValue::Type::String || v.string.empty() ||
+                v.string.size() > 32)
+                fatal("strategies entries must be non-empty names");
+            spec.strategies.push_back(v.string);
+        }
+    }
+    const std::size_t points =
+        spec.cacheSizes.size() * spec.strategies.size();
+    if (points > maxRequestPoints)
+        fatal("sweep grid too large: ", spec.cacheSizes.size(), " x ",
+              spec.strategies.size(), " = ", points, " points (max ",
+              maxRequestPoints, ")");
+}
+
+void
+parseMem(const JsonValue &root, SweepSpec &spec)
+{
+    const JsonValue *mem = member(root, "mem");
+    if (!mem)
+        return;
+    if (!mem->isObject())
+        fatal("request field 'mem' must be an object");
+    spec.mem.accessTime =
+        unsigned(uintField(*mem, "access_time", spec.mem.accessTime, 1,
+                           1024));
+    spec.mem.busWidthBytes = unsigned(
+        uintField(*mem, "bus_width", spec.mem.busWidthBytes, 1, 64));
+    spec.mem.pipelined = boolField(*mem, "pipelined", spec.mem.pipelined);
+    spec.mem.dcacheBytes = unsigned(
+        uintField(*mem, "dcache_bytes", spec.mem.dcacheBytes, 0,
+                  1u << 20));
+}
+
+void
+parseEngine(const JsonValue &root, SweepRequest &req)
+{
+    const std::string engine = stringField(root, "engine", "cycle");
+    if (engine == "cycle") {
+        req.spec.engine = SweepEngine::Cycle;
+    } else if (engine == "trace") {
+        req.spec.engine = SweepEngine::Trace;
+        req.traceFile = stringField(root, "trace_file");
+        if (req.traceFile.empty())
+            fatal("engine 'trace' requires 'trace_file' (a trace "
+                  "path readable by the daemon)");
+    } else {
+        fatal("request field 'engine' must be \"cycle\" or \"trace\", "
+              "got \"", engine, "\"");
+    }
+    req.spec.samplePeriod =
+        unsigned(uintField(root, "sample_period", 0, 0, 1u << 24));
+    req.spec.sampleWarmup = unsigned(uintField(
+        root, "sample_warmup", req.spec.sampleWarmup, 1, 1u << 24));
+    req.spec.sampleMeasure = unsigned(uintField(
+        root, "sample_measure", req.spec.sampleMeasure, 1, 1u << 24));
+}
+
+void
+parseFault(const JsonValue &root, SweepSpec &spec)
+{
+    const JsonValue *fi = member(root, "fault");
+    if (!fi)
+        return;
+    if (!fi->isObject())
+        fatal("request field 'fault' must be an object");
+    spec.fault.kinds =
+        fault::faultKindsFromString(stringField(*fi, "kinds", "none"));
+    spec.fault.seed = uintField(*fi, "seed", 1, 0, ~std::uint64_t(0));
+    spec.fault.rate = numberField(*fi, "rate", 0.01);
+    if (spec.fault.rate < 0.0 || spec.fault.rate > 1.0)
+        fatal("fault.rate must be in [0,1], got ", spec.fault.rate);
+    spec.faultPoint = stringField(*fi, "point");
+    if (spec.fault.kinds != fault::None &&
+        spec.engine == SweepEngine::Trace)
+        fatal("the trace engine cannot inject faults; use engine "
+              "\"cycle\" for fault experiments");
+}
+
+} // namespace
+
+SweepRequest
+parseSweepRequest(const std::string &line)
+{
+    if (line.size() > maxRequestBytes)
+        fatal("request line too long (", line.size(), " > ",
+              maxRequestBytes, " bytes)");
+    const std::optional<JsonValue> doc = obs::parseJson(line);
+    if (!doc)
+        fatal("request is not valid JSON");
+    if (!doc->isObject())
+        fatal("request must be a JSON object");
+    const JsonValue &root = *doc;
+
+    const std::string type = stringField(root, "type");
+    if (type != "sweep")
+        fatal("request field 'type' must be \"sweep\", got \"", type,
+              "\"");
+
+    SweepRequest req;
+    req.id = stringField(root, "id");
+    validateId(req.id);
+
+    // The program: a named workload or inline assembly, never both.
+    req.workload = stringField(root, "workload");
+    req.programAsm = stringField(root, "asm");
+    if (!req.programAsm.empty() && !req.workload.empty())
+        fatal("request fields 'workload' and 'asm' are mutually "
+              "exclusive");
+    if (req.programAsm.empty()) {
+        if (req.workload.empty())
+            req.workload = "livermore";
+        if (req.workload != "livermore" && req.workload != "branchy")
+            fatal("request field 'workload' must be \"livermore\" or "
+                  "\"branchy\", got \"", req.workload, "\"");
+    }
+    req.scale = numberField(root, "scale", 1.0);
+    if (!(req.scale > 0.0) || req.scale > 100.0)
+        fatal("request field 'scale' must be in (0, 100], got ",
+              req.scale);
+    req.programSha256 = stringField(root, "program_sha256");
+
+    parseGrid(root, req.spec);
+    parseEngine(root, req);
+    parseMem(root, req.spec);
+    parseFault(root, req.spec);
+
+    req.spec.pointRetries =
+        unsigned(uintField(root, "point_retries", 0, 0, 10));
+    req.spec.retryBackoffMs = unsigned(
+        uintField(root, "retry_backoff_ms", req.spec.retryBackoffMs, 0,
+                  60'000));
+    req.spec.pointDeadlineMs = unsigned(
+        uintField(root, "point_deadline_ms", 0, 0, 3'600'000));
+    req.spec.maxCycles =
+        Cycle(uintField(root, "max_cycles", 0, 0, ~std::uint64_t(0) / 2));
+    req.spec.progressWindow = Cycle(
+        uintField(root, "progress_window", 0, 0, ~std::uint64_t(0) / 2));
+
+    // The daemon streams ERR cells instead of failing the request.
+    req.spec.failurePolicy = SweepFailurePolicy::CollectAndContinue;
+    return req;
+}
+
+namespace
+{
+
+/** Start one event object; the caller fills and finish()es it. */
+class EventLine
+{
+  public:
+    EventLine(const std::string &event, const std::string &id)
+        : _w(_os)
+    {
+        _w.beginObject();
+        _w.key("event").value(event);
+        if (!id.empty())
+            _w.key("id").value(id);
+    }
+
+    obs::JsonWriter &w() { return _w; }
+
+    std::string
+    finish()
+    {
+        _w.endObject();
+        _os << "\n";
+        return _os.str();
+    }
+
+  private:
+    std::ostringstream _os;
+    obs::JsonWriter _w;
+};
+
+void
+writePointIdentity(obs::JsonWriter &w, const SweepPointPlan &plan)
+{
+    w.key("strategy").value(plan.strategy);
+    w.key("cache_bytes").value(plan.cacheBytes);
+    if (!plan.storeKey.empty())
+        w.key("key").value(plan.storeKey);
+}
+
+} // namespace
+
+std::string
+errorEvent(const std::string &id, const std::string &message)
+{
+    EventLine e("error", id);
+    e.w().key("message").value(message);
+    return e.finish();
+}
+
+std::string
+acceptedEvent(const std::string &id, std::size_t points,
+              std::size_t cached, const std::string &programSha256,
+              const std::string &engine, bool storeAttached)
+{
+    EventLine e("accepted", id);
+    e.w().key("points").value(std::uint64_t(points));
+    e.w().key("cached").value(std::uint64_t(cached));
+    e.w().key("program_sha256").value(programSha256);
+    e.w().key("engine").value(engine);
+    e.w().key("store").value(storeAttached);
+    return e.finish();
+}
+
+std::string
+resultEvent(const std::string &id, const SweepPointPlan &plan,
+            const SimResult &result, bool cached)
+{
+    EventLine e("result", id);
+    writePointIdentity(e.w(), plan);
+    e.w().key("cycles").value(std::uint64_t(result.totalCycles));
+    e.w().key("instructions").value(result.instructions);
+    e.w().key("cpi").value(result.cpi());
+    e.w().key("cached").value(cached);
+    return e.finish();
+}
+
+std::string
+errEvent(const std::string &id, const SweepPointPlan &plan,
+         const std::string &message, unsigned attempts, bool timeout)
+{
+    EventLine e("err", id);
+    writePointIdentity(e.w(), plan);
+    e.w().key("message").value(message);
+    e.w().key("attempts").value(attempts);
+    e.w().key("timeout").value(timeout);
+    return e.finish();
+}
+
+std::string
+progressEvent(const std::string &id, std::size_t done, std::size_t total)
+{
+    EventLine e("progress", id);
+    e.w().key("done").value(std::uint64_t(done));
+    e.w().key("total").value(std::uint64_t(total));
+    return e.finish();
+}
+
+std::string
+tableEvent(const std::string &id, const Table &table)
+{
+    EventLine e("table", id);
+    e.w().key("text").value(table.toText());
+    e.w().key("csv").value(table.toCsv());
+    return e.finish();
+}
+
+std::string
+statsEvent(const std::string &id, std::size_t points, std::size_t cached,
+           std::size_t simulated, std::size_t failed)
+{
+    obs::updateProcessGauges();
+    EventLine e("stats", id);
+    e.w().key("points").value(std::uint64_t(points));
+    e.w().key("cached").value(std::uint64_t(cached));
+    e.w().key("simulated").value(std::uint64_t(simulated));
+    e.w().key("failed").value(std::uint64_t(failed));
+    e.w().key("host").beginObject();
+    obs::MetricsRegistry::instance().writeJson(e.w());
+    e.w().endObject();
+    return e.finish();
+}
+
+} // namespace pipesim::server

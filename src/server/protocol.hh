@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The pipesim-serve wire protocol: newline-delimited JSON both ways
+ * (docs/serving.md).
+ *
+ * A client sends exactly one request line per connection; the daemon
+ * answers with a stream of event lines and closes.  Requests carry
+ * the same sweep surface as the standard CLI flags
+ * (sim/standard_flags.hh): workload or inline assembly, the sweep
+ * grid, engine selection with sampling parameters, fault injection
+ * and the per-point robustness knobs.  Events echo the request id so
+ * logs from a shared daemon stay attributable.
+ *
+ * Parsing is strict: unknown `type`, malformed JSON, out-of-range
+ * values and oversized grids are FatalErrors, reported to the client
+ * as a single `error` event.  Validation happens before anything is
+ * scheduled, so a bad request can never occupy the pool.
+ */
+
+#ifndef PIPESIM_SERVER_PROTOCOL_HH
+#define PIPESIM_SERVER_PROTOCOL_HH
+
+#include <cstddef>
+#include <string>
+
+#include "common/table.hh"
+#include "sim/experiment.hh"
+
+namespace pipesim::server
+{
+
+/** Longest accepted request line (bytes, newline included). */
+inline constexpr std::size_t maxRequestBytes = 1u << 20;
+
+/** Largest accepted sweep grid (|cache_sizes| x |strategies|). */
+inline constexpr std::size_t maxRequestPoints = 10'000;
+
+/** A validated sweep request, ready to plan. */
+struct SweepRequest
+{
+    std::string id;       //!< client-chosen id, echoed in every event
+    std::string workload; //!< "livermore" | "branchy"; "" = inline asm
+    double scale = 1.0;   //!< livermore trip-count multiplier
+    std::string programAsm; //!< inline assembly source ("asm" field)
+
+    /** Expected program image hash; when non-empty the daemon
+     *  verifies the built program against it before running. */
+    std::string programSha256;
+
+    /** Server-side trace path for the trace engine ("trace_file"). */
+    std::string traceFile;
+
+    /** The validated grid and per-point parameters.  jobs/storeDir
+     *  are daemon-owned and never taken from the request. */
+    SweepSpec spec;
+};
+
+/**
+ * Parse and validate one request line.
+ * @throws FatalError describing the first problem found.
+ */
+SweepRequest parseSweepRequest(const std::string &line);
+
+/** @name Event lines (each returns one newline-terminated string) */
+///@{
+
+/** Fatal request/stream failure: `{"event":"error",...}`. */
+std::string errorEvent(const std::string &id, const std::string &message);
+
+/**
+ * First event of a successful request: the derived identity (program
+ * hash, engine, content-key count) and how many points the store
+ * already holds.
+ */
+std::string acceptedEvent(const std::string &id, std::size_t points,
+                          std::size_t cached,
+                          const std::string &programSha256,
+                          const std::string &engine, bool storeAttached);
+
+/** One completed point, in enumeration order. */
+std::string resultEvent(const std::string &id, const SweepPointPlan &plan,
+                        const SimResult &result, bool cached);
+
+/** One failed point (attempts exhausted), in enumeration order. */
+std::string errEvent(const std::string &id, const SweepPointPlan &plan,
+                     const std::string &message, unsigned attempts,
+                     bool timeout);
+
+/** Throttled heartbeat while points are in flight. */
+std::string progressEvent(const std::string &id, std::size_t done,
+                          std::size_t total);
+
+/** The assembled sweep table (text and CSV renderings). */
+std::string tableEvent(const std::string &id, const Table &table);
+
+/**
+ * Final event: request accounting (points/cached/simulated/failed)
+ * plus the daemon's host metrics (server.* and process.* gauges).
+ */
+std::string statsEvent(const std::string &id, std::size_t points,
+                       std::size_t cached, std::size_t simulated,
+                       std::size_t failed);
+
+///@}
+
+} // namespace pipesim::server
+
+#endif // PIPESIM_SERVER_PROTOCOL_HH

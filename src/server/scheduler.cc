@@ -1,0 +1,142 @@
+#include "server/scheduler.hh"
+
+#include "common/log.hh"
+#include "obs/metrics.hh"
+
+namespace pipesim::server
+{
+
+std::size_t
+Batch::total() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _total;
+}
+
+std::size_t
+Batch::settled() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _settled;
+}
+
+bool
+Batch::done() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _settled == _total;
+}
+
+void
+Batch::cancel()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _cancelled = true;
+    _settled += _pending.size();
+    _pending.clear();
+    _cv.notify_all();
+}
+
+bool
+Batch::cancelled() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _cancelled;
+}
+
+void
+Batch::wait()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _cv.wait(lock, [this] { return _settled == _total; });
+}
+
+bool
+Batch::waitFor(std::chrono::milliseconds timeout)
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    return _cv.wait_for(lock, timeout,
+                        [this] { return _settled == _total; });
+}
+
+FairScheduler::FairScheduler(unsigned workers) : _pool(workers) {}
+
+FairScheduler::~FairScheduler() = default;
+
+std::shared_ptr<Batch>
+FairScheduler::submit(std::vector<std::function<void()>> tasks)
+{
+    auto batch = std::make_shared<Batch>();
+    batch->_total = tasks.size();
+    for (auto &t : tasks)
+        batch->_pending.push_back(std::move(t));
+    if (batch->_total == 0)
+        return batch;
+
+    obs::MetricsRegistry::instance()
+        .histogram("server.queue_depth")
+        .sample(batch->_total);
+
+    std::lock_guard<std::mutex> lock(_mutex);
+    _active.push_back(batch);
+    // Keep one pump per worker alive while there is queued work; a
+    // pump retires itself once every batch is drained.
+    while (_pumps < _pool.workerCount()) {
+        ++_pumps;
+        _pool.submit([this] { pump(); });
+    }
+    return batch;
+}
+
+std::function<void()>
+FairScheduler::nextTask(std::shared_ptr<Batch> &batch)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    // One rotation over the active batches, dropping drained ones.
+    while (!_active.empty()) {
+        if (_cursor >= _active.size())
+            _cursor = 0;
+        std::shared_ptr<Batch> candidate = _active[_cursor];
+        std::function<void()> task;
+        {
+            std::lock_guard<std::mutex> blk(candidate->_mutex);
+            if (!candidate->_pending.empty()) {
+                task = std::move(candidate->_pending.front());
+                candidate->_pending.pop_front();
+            }
+        }
+        if (task) {
+            ++_cursor; // next pull starts at the following batch
+            batch = std::move(candidate);
+            return task;
+        }
+        // Drained (or cancelled): out of rotation; the batch object
+        // stays alive through the session's shared_ptr.
+        _active.erase(_active.begin() + std::ptrdiff_t(_cursor));
+    }
+    --_pumps;
+    return nullptr;
+}
+
+void
+FairScheduler::pump()
+{
+    for (;;) {
+        std::shared_ptr<Batch> batch;
+        std::function<void()> task = nextTask(batch);
+        if (!task)
+            return;
+        try {
+            task();
+        } catch (...) {
+            // The submit() contract forbids throwing tasks; a breach
+            // is a server bug, not a request failure.
+            panic("server scheduler: batch task threw an exception");
+        }
+        std::lock_guard<std::mutex> lock(batch->_mutex);
+        ++batch->_settled;
+        batch->_cv.notify_all();
+    }
+}
+
+} // namespace pipesim::server

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Fair multi-request scheduling on one shared ThreadPool.
+ *
+ * The daemon serves concurrent sweep requests from a single pool of
+ * simulation workers.  Submitting each request's points directly
+ * would starve late arrivals behind an earlier large sweep (the
+ * pool's queue is strict FIFO), so the FairScheduler interposes a
+ * round-robin dispatch layer: each request becomes a Batch holding
+ * its still-queued tasks, and a set of "pump" tasks on the pool
+ * repeatedly picks the next batch in rotation and runs one of its
+ * tasks.  With B active batches each gets ~1/B of the workers
+ * regardless of arrival order or batch size — a two-point request
+ * submitted behind a thousand-point one starts within one task
+ * length (docs/serving.md, "Fairness").
+ *
+ * Cancellation is cheap and cooperative: Batch::cancel() drops every
+ * still-queued task (they settle immediately without running);
+ * in-flight tasks finish normally — the session layer additionally
+ * arms per-point cancel flags when it wants in-flight work to stop
+ * early (sim/experiment.hh, PointControl).
+ */
+
+#ifndef PIPESIM_SERVER_SCHEDULER_HH
+#define PIPESIM_SERVER_SCHEDULER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace pipesim::server
+{
+
+/**
+ * One request's scheduled tasks.  Thread-safe; obtained from
+ * FairScheduler::submit() and shared with the session that waits on
+ * it.  A task is "settled" once it finished running or was dropped
+ * by cancel().
+ */
+class Batch
+{
+  public:
+    /** Tasks submitted (fixed at creation). */
+    std::size_t total() const;
+
+    /** Tasks finished or dropped so far. */
+    std::size_t settled() const;
+
+    /** @return true once every task settled. */
+    bool done() const;
+
+    /**
+     * Drop every still-queued task (each settles without running);
+     * tasks already on a worker finish normally.  Idempotent.
+     */
+    void cancel();
+
+    bool cancelled() const;
+
+    /** Block until done(). */
+    void wait();
+
+    /** Block until done() or @p timeout elapses; @return done(). */
+    bool waitFor(std::chrono::milliseconds timeout);
+
+  private:
+    friend class FairScheduler;
+
+    mutable std::mutex _mutex;
+    std::condition_variable _cv;
+    std::deque<std::function<void()>> _pending;
+    std::size_t _total = 0;
+    std::size_t _settled = 0;
+    bool _cancelled = false;
+};
+
+class FairScheduler
+{
+  public:
+    /** Start a pool of @p workers threads (0 = resolveJobCount). */
+    explicit FairScheduler(unsigned workers = 0);
+
+    /**
+     * Drain: cancels nothing — every queued task of every batch
+     * still runs; destruction blocks until the pool empties.
+     */
+    ~FairScheduler();
+
+    FairScheduler(const FairScheduler &) = delete;
+    FairScheduler &operator=(const FairScheduler &) = delete;
+
+    /**
+     * Enqueue @p tasks as one batch.  Tasks must not throw (a
+     * throwing task panics the process — the session layer wraps
+     * everything).  Within a batch, tasks start in submission order.
+     */
+    std::shared_ptr<Batch> submit(std::vector<std::function<void()>> tasks);
+
+    unsigned workerCount() const { return _pool.workerCount(); }
+
+  private:
+    /** One pool task: run batch tasks round-robin until none left. */
+    void pump();
+
+    /** Pop the next task in rotation; nullptr when all drained. */
+    std::function<void()> nextTask(std::shared_ptr<Batch> &batch);
+
+    mutable std::mutex _mutex;
+    std::vector<std::shared_ptr<Batch>> _active;
+    std::size_t _cursor = 0; //!< round-robin position in _active
+    unsigned _pumps = 0;     //!< pump tasks alive on the pool
+
+    /** Declared last: destruction joins the pumps while the members
+     *  above are still alive. */
+    ThreadPool _pool;
+};
+
+} // namespace pipesim::server
+
+#endif // PIPESIM_SERVER_SCHEDULER_HH

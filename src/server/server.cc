@@ -1,0 +1,235 @@
+#include "server/server.hh"
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "obs/metrics.hh"
+#include "server/scheduler.hh"
+#include "server/session.hh"
+#include "sim/guard.hh"
+#include "store/result_store.hh"
+
+namespace pipesim::server
+{
+
+namespace
+{
+
+/** Close-on-destruction fd wrapper for the listeners. */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : _fd(fd) {}
+    ~Fd() { reset(); }
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+    Fd(Fd &&other) noexcept : _fd(other._fd) { other._fd = -1; }
+    Fd &
+    operator=(Fd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            _fd = other._fd;
+            other._fd = -1;
+        }
+        return *this;
+    }
+
+    int get() const { return _fd; }
+    bool valid() const { return _fd >= 0; }
+
+    void
+    reset()
+    {
+        if (_fd >= 0)
+            ::close(_fd);
+        _fd = -1;
+    }
+
+  private:
+    int _fd = -1;
+};
+
+Fd
+listenUnix(const std::string &path)
+{
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid())
+        fatal("serve: cannot create unix socket: ",
+              std::strerror(errno));
+    struct sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        fatal("serve: socket path too long (", path.size(), " >= ",
+              sizeof(addr.sun_path), "): ", path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    // A stale socket file from a killed daemon would fail the bind;
+    // remove it (a live daemon would have accepted connections on
+    // it, and the store lock already enforces one daemon per store).
+    ::unlink(path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        fatal("serve: cannot bind ", path, ": ", std::strerror(errno));
+    if (::listen(fd.get(), 64) != 0)
+        fatal("serve: cannot listen on ", path, ": ",
+              std::strerror(errno));
+    return fd;
+}
+
+Fd
+listenTcp(unsigned port)
+{
+    Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid())
+        fatal("serve: cannot create TCP socket: ",
+              std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(std::uint16_t(port));
+    // Loopback only: the daemon speaks an unauthenticated protocol.
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd.get(), reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        fatal("serve: cannot bind 127.0.0.1:", port, ": ",
+              std::strerror(errno));
+    if (::listen(fd.get(), 64) != 0)
+        fatal("serve: cannot listen on 127.0.0.1:", port, ": ",
+              std::strerror(errno));
+    return fd;
+}
+
+/** One accepted connection being served on its own thread. */
+struct Session
+{
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+};
+
+/** Pre-create every server metric (the key-set contract:
+ *  obs/metrics.hh) so exports are shape-stable from the first
+ *  request. */
+void
+touchServerMetrics()
+{
+    auto &reg = obs::MetricsRegistry::instance();
+    reg.counter("server.requests");
+    reg.counter("server.points_total");
+    reg.counter("server.points_cached");
+    reg.counter("store.hits");
+    reg.counter("store.misses");
+    reg.counter("store.recovered");
+    reg.counter("point.timeouts");
+    reg.gauge("server.active");
+    reg.gauge("server.cache_hit_ratio");
+    reg.histogram("server.queue_depth");
+    obs::updateProcessGauges();
+}
+
+} // namespace
+
+int
+runServer(const ServeOptions &opts)
+{
+    if (opts.socketPath.empty())
+        fatal("serve: --socket is required");
+    // A dead client mid-stream must surface as a send() error, not
+    // kill the daemon.
+    std::signal(SIGPIPE, SIG_IGN);
+    installSignalGuard();
+    touchServerMetrics();
+
+    std::unique_ptr<store::ResultStore> store;
+    if (!opts.storeDir.empty()) {
+        store = std::make_unique<store::ResultStore>(opts.storeDir);
+        if (store->recoveredBytes())
+            obs::MetricsRegistry::instance()
+                .counter("store.recovered")
+                .add(1);
+    }
+    FairScheduler scheduler(opts.jobs);
+    ServerContext ctx{scheduler, store.get()};
+
+    Fd unixFd = listenUnix(opts.socketPath);
+    Fd tcpFd;
+    if (opts.port)
+        tcpFd = listenTcp(opts.port);
+
+    std::cerr << "[serve] listening on " << opts.socketPath;
+    if (opts.port)
+        std::cerr << " and 127.0.0.1:" << opts.port;
+    std::cerr << " (" << scheduler.workerCount() << " workers, store "
+              << (store ? opts.storeDir : std::string("off")) << ")\n";
+
+    std::vector<Session> sessions;
+    auto reap = [&sessions](bool all) {
+        for (auto it = sessions.begin(); it != sessions.end();) {
+            if (all || it->done->load(std::memory_order_acquire)) {
+                it->thread.join();
+                it = sessions.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    };
+
+    while (!pendingSignal()) {
+        struct pollfd pfds[2];
+        nfds_t n = 0;
+        pfds[n++] = {unixFd.get(), POLLIN, 0};
+        if (tcpFd.valid())
+            pfds[n++] = {tcpFd.get(), POLLIN, 0};
+        const int ready = ::poll(pfds, n, 200);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("serve: poll failed: ", std::strerror(errno));
+        }
+        reap(false);
+        if (ready == 0)
+            continue;
+        for (nfds_t i = 0; i < n; ++i) {
+            if (!(pfds[i].revents & POLLIN))
+                continue;
+            const int client = ::accept(pfds[i].fd, nullptr, nullptr);
+            if (client < 0)
+                continue;
+            auto done = std::make_shared<std::atomic<bool>>(false);
+            sessions.push_back(
+                {std::thread([client, &ctx, done] {
+                     handleConnection(client, ctx);
+                     ::close(client);
+                     done->store(true, std::memory_order_release);
+                 }),
+                 done});
+        }
+    }
+
+    // Shutdown: stop accepting, let every session observe the signal
+    // and drain its in-flight points into the journal, then report
+    // the interruption through the guard (exit 128+sig).
+    const int sig = pendingSignal();
+    unixFd.reset();
+    tcpFd.reset();
+    reap(true);
+    ::unlink(opts.socketPath.c_str());
+    throw InterruptedError(sig ? sig : SIGTERM);
+}
+
+} // namespace pipesim::server

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The pipesim-serve daemon: listeners, session threads and shutdown
+ * (docs/serving.md).
+ *
+ * runServer() owns the process-lifetime pieces — the shared
+ * FairScheduler, the single-writer result store, the Unix-domain
+ * (and optional loopback TCP) listeners — and spawns one detachedly
+ * tracked thread per accepted connection (server/session.hh).  The
+ * accept loop polls in short slices so a SIGTERM/SIGINT recorded by
+ * the signal guard (sim/guard.hh) is honoured promptly: listeners
+ * close, every session drains its in-flight points into the journal,
+ * and the function unwinds with InterruptedError so runGuardedMain
+ * exits 128+sig — the same discipline as every CLI sweep.
+ */
+
+#ifndef PIPESIM_SERVER_SERVER_HH
+#define PIPESIM_SERVER_SERVER_HH
+
+#include <string>
+
+namespace pipesim::server
+{
+
+struct ServeOptions
+{
+    /** Unix-domain socket path (required; unlinked on shutdown). */
+    std::string socketPath;
+
+    /** Loopback TCP port; 0 disables the TCP listener. */
+    unsigned port = 0;
+
+    /** Simulation workers (0 = --jobs/PIPESIM_JOBS/hardware). */
+    unsigned jobs = 0;
+
+    /** Crash-safe result store directory; empty disables caching. */
+    std::string storeDir;
+};
+
+/**
+ * Run the daemon until a termination signal.
+ * @throws InterruptedError on SIGTERM/SIGINT (after draining),
+ *         FatalError when a listener cannot be set up or the store
+ *         directory is already locked by another writer.
+ */
+int runServer(const ServeOptions &opts);
+
+} // namespace pipesim::server
+
+#endif // PIPESIM_SERVER_SERVER_HH

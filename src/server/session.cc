@@ -1,0 +1,469 @@
+#include "server/session.hh"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "assembler/assembler.hh"
+#include "common/abort.hh"
+#include "common/log.hh"
+#include "common/table.hh"
+#include "obs/metrics.hh"
+#include "obs/profiler.hh"
+#include "replay/trace_format.hh"
+#include "server/protocol.hh"
+#include "sim/guard.hh"
+#include "workloads/benchmark_program.hh"
+#include "workloads/synthetic.hh"
+
+namespace pipesim::server
+{
+
+namespace
+{
+
+/**
+ * Read the single request line, polling in 200 ms slices so a
+ * pending termination signal is never blocked on a silent client.
+ * Bounded: maxRequestBytes and a 30 s overall budget.
+ */
+std::optional<std::string>
+readRequestLine(int fd)
+{
+    using clock = std::chrono::steady_clock;
+    const auto deadline = clock::now() + std::chrono::seconds(30);
+    std::string line;
+    char buf[4096];
+    while (!pendingSignal() && clock::now() < deadline) {
+        struct pollfd pfd = {fd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return std::nullopt;
+        }
+        if (ready == 0)
+            continue;
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            return std::nullopt; // EOF or error before a full line
+        line.append(buf, std::size_t(n));
+        const std::size_t nl = line.find('\n');
+        if (nl != std::string::npos) {
+            line.resize(nl);
+            return line;
+        }
+        if (line.size() > maxRequestBytes)
+            return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+/** Write @p data fully; false once the client is gone (EPIPE &c). */
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += std::size_t(n);
+    }
+    return true;
+}
+
+Program
+buildProgram(const SweepRequest &req)
+{
+    if (!req.programAsm.empty())
+        return assembler::assemble(req.programAsm);
+    if (req.workload == "branchy")
+        return workloads::buildBranchyProgram({}).program;
+    return workloads::buildLivermoreBenchmark(req.scale).program;
+}
+
+/** Per-point outcome, settled exactly once by its worker task. */
+struct Slot
+{
+    enum class State { Pending, Done, Failed, Dropped };
+
+    State state = State::Pending;
+    SimResult result;    //!< valid when Done
+    std::string message; //!< valid when Failed
+    unsigned attempts = 0;
+    bool timeout = false;
+    bool cached = false; //!< Done via the store, never simulated
+};
+
+/** RAII: no task may outlive the session's locals it captures. */
+class BatchDrain
+{
+  public:
+    BatchDrain(std::shared_ptr<Batch> batch,
+               std::vector<PointControl> &controls,
+               std::atomic<bool> &aborted)
+        : _batch(std::move(batch)), _controls(controls),
+          _aborted(aborted)
+    {
+    }
+
+    /** Drop queued tasks and cancel in-flight ones cooperatively. */
+    void
+    abort()
+    {
+        _aborted.store(true, std::memory_order_relaxed);
+        _batch->cancel();
+        for (PointControl &c : _controls)
+            c.cancel.store(true, std::memory_order_relaxed);
+    }
+
+    /** Drop queued tasks; let in-flight ones finish and journal. */
+    void drain() { _batch->cancel(); }
+
+    ~BatchDrain()
+    {
+        _batch->cancel();
+        _batch->wait();
+    }
+
+  private:
+    std::shared_ptr<Batch> _batch;
+    std::vector<PointControl> &_controls;
+    std::atomic<bool> &_aborted;
+};
+
+void
+runSweepSession(int fd, ServerContext &ctx, const SweepRequest &req)
+{
+    auto &reg = obs::MetricsRegistry::instance();
+    const SweepSpec &spec = req.spec;
+
+    const Program program = buildProgram(req);
+    replay::Trace trace;
+    SweepSpec planned = spec; // owns the trace pointer
+    if (spec.engine == SweepEngine::Trace) {
+        trace = replay::readTrace(req.traceFile);
+        planned.trace = &trace;
+    }
+    const store::ResultKeyParams keys = sweepKeyParams(planned, program);
+    if (!req.programSha256.empty() &&
+        req.programSha256 != keys.programSha256)
+        fatal("program_sha256 mismatch: request pinned ",
+              req.programSha256, " but the daemon built ",
+              keys.programSha256);
+    if (spec.engine == SweepEngine::Trace &&
+        trace.meta.programSha256 != keys.programSha256)
+        fatal("trace ", req.traceFile,
+              " was captured from a different program (trace ",
+              trace.meta.programSha256, ", request ",
+              keys.programSha256, ")");
+
+    std::vector<SweepPointPlan> plans = planSweepPoints(planned, &keys);
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Slot> slots(plans.size());
+
+    // Serve what the store already holds before scheduling anything;
+    // hits settle their slots immediately and stream as cached
+    // results in enumeration order like everything else.
+    std::size_t cached = 0;
+    if (ctx.store) {
+        for (std::size_t i = 0; i < plans.size(); ++i) {
+            const auto hit = ctx.store->lookup(plans[i].storeKey);
+            if (!hit)
+                continue;
+            slots[i].state = Slot::State::Done;
+            slots[i].result = *hit;
+            slots[i].cached = true;
+            ++cached;
+        }
+        reg.counter("store.hits").add(cached);
+        reg.counter("store.misses").add(plans.size() - cached);
+    }
+    reg.counter("server.points_total").add(plans.size());
+    reg.counter("server.points_cached").add(cached);
+    const std::uint64_t totalPts =
+        reg.counter("server.points_total").value();
+    if (totalPts)
+        reg.gauge("server.cache_hit_ratio")
+            .set(std::int64_t(
+                reg.counter("server.points_cached").value() * 100 /
+                totalPts));
+
+    if (!writeAll(fd, acceptedEvent(req.id, plans.size(), cached,
+                                    keys.programSha256, keys.engine,
+                                    ctx.store != nullptr)))
+        return;
+
+    // Cancellation wiring: every point's simulated machine polls its
+    // PointControl flag — armed by the deadline watchdog and by the
+    // disconnect/shutdown paths below.
+    std::vector<PointControl> controls(plans.size());
+    for (std::size_t i = 0; i < plans.size(); ++i)
+        plans[i].cfg.cancelFlag = &controls[i].cancel;
+    const bool deadlines = spec.pointDeadlineMs > 0;
+    DeadlineEnforcer enforcer(controls,
+                              deadlines && cached < plans.size());
+    std::atomic<bool> aborted{false};
+
+    auto runPointTask = [&, &spec = planned](std::size_t i) {
+        Slot out;
+        out.state = Slot::State::Dropped;
+        PointControl &ctl = controls[i];
+        const unsigned attempts = 1 + spec.pointRetries;
+        for (unsigned a = 1; a <= attempts; ++a) {
+            if (pendingSignal() ||
+                aborted.load(std::memory_order_relaxed))
+                break;
+            if (a > 1) {
+                const std::uint64_t backoff = retryBackoffNs(
+                    plans[i].strategy, plans[i].cacheBytes, a,
+                    spec.retryBackoffMs);
+                const std::uint64_t until =
+                    obs::profileNowNs() + backoff;
+                while (obs::profileNowNs() < until &&
+                       !pendingSignal() &&
+                       !aborted.load(std::memory_order_relaxed))
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(2));
+                if (pendingSignal() ||
+                    aborted.load(std::memory_order_relaxed))
+                    break;
+            }
+            ctl.cancel.store(false, std::memory_order_relaxed);
+            if (deadlines)
+                ctl.deadlineNs.store(
+                    obs::profileNowNs() +
+                        std::uint64_t(spec.pointDeadlineMs) * 1'000'000,
+                    std::memory_order_relaxed);
+            try {
+                const SimResult result = runSweepPointOnce(
+                    spec, program, plans[i].cfg);
+                ctl.deadlineNs.store(0, std::memory_order_relaxed);
+                if (ctx.store)
+                    ctx.store->put(
+                        plans[i].storeKey,
+                        plans[i].strategy + ":" +
+                            std::to_string(plans[i].cacheBytes),
+                        result);
+                out.state = Slot::State::Done;
+                out.result = result;
+                out.attempts = a;
+                break;
+            } catch (const InterruptedError &) {
+                ctl.deadlineNs.store(0, std::memory_order_relaxed);
+                break; // daemon shutting down; slot stays Dropped
+            } catch (const TimeoutAbort &e) {
+                ctl.deadlineNs.store(0, std::memory_order_relaxed);
+                if (aborted.load(std::memory_order_relaxed))
+                    break; // cancelled by disconnect, not a failure
+                reg.counter("point.timeouts").add(1);
+                out.message = e.what();
+                out.timeout = true;
+            } catch (const std::exception &e) {
+                ctl.deadlineNs.store(0, std::memory_order_relaxed);
+                out.message = e.what();
+                out.timeout = false;
+            } catch (...) {
+                ctl.deadlineNs.store(0, std::memory_order_relaxed);
+                out.message = "unknown error";
+                out.timeout = false;
+            }
+            if (a == attempts) {
+                out.state = Slot::State::Failed;
+                out.attempts = a;
+            }
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        slots[i] = std::move(out);
+        cv.notify_all();
+    };
+
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(plans.size() - cached);
+    for (std::size_t i = 0; i < plans.size(); ++i)
+        if (!slots[i].cached)
+            tasks.push_back([&runPointTask, i] { runPointTask(i); });
+    std::shared_ptr<Batch> batch =
+        ctx.scheduler.submit(std::move(tasks));
+    BatchDrain guard(batch, controls, aborted);
+
+    // Stream the completed prefix in enumeration order; heartbeat
+    // roughly every second (which doubles as disconnect detection).
+    using clock = std::chrono::steady_clock;
+    auto lastBeat = clock::now();
+    std::size_t next = 0;
+    bool clientGone = false;
+    while (next < plans.size()) {
+        if (pendingSignal()) {
+            // Termination: drop queued points, let in-flight ones
+            // finish and journal, then report the interruption.
+            guard.drain();
+            batch->wait();
+            writeAll(fd, errorEvent(
+                             req.id,
+                             "interrupted: daemon shutting down "
+                             "(completed points are journaled; "
+                             "resubmit to resume)"));
+            return;
+        }
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait_for(lock, std::chrono::milliseconds(200));
+        }
+        for (; next < plans.size() && !clientGone; ++next) {
+            Slot snap;
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                if (slots[next].state == Slot::State::Pending)
+                    break;
+                snap = slots[next];
+            }
+            if (snap.state == Slot::State::Done) {
+                if (!writeAll(fd, resultEvent(req.id, plans[next],
+                                              snap.result,
+                                              snap.cached)))
+                    clientGone = true;
+            } else if (snap.state == Slot::State::Failed) {
+                if (!writeAll(fd, errEvent(req.id, plans[next],
+                                           snap.message, snap.attempts,
+                                           snap.timeout)))
+                    clientGone = true;
+            } else {
+                // Dropped: a worker observed the shutdown signal
+                // before this loop did.  Leave the slot unconsumed;
+                // the top-of-loop signal check runs the drain path.
+                if (!pendingSignal())
+                    clientGone = true;
+                break;
+            }
+        }
+        if (!clientGone && next < plans.size() &&
+            clock::now() - lastBeat >= std::chrono::seconds(1)) {
+            lastBeat = clock::now();
+            if (!writeAll(fd,
+                          progressEvent(req.id, next, plans.size())))
+                clientGone = true;
+        }
+        if (clientGone) {
+            // The socket is gone (or the request is unwinding):
+            // nothing should keep simulating for it.
+            guard.abort();
+            batch->wait();
+            return;
+        }
+    }
+
+    // Every point settled and streamed: assemble the table exactly
+    // like runCacheSweep so a served sweep is byte-identical to a
+    // local one.
+    std::vector<std::string> headers = {"cache_bytes"};
+    for (const auto &s : spec.strategies)
+        headers.push_back(s);
+    Table table(std::move(headers));
+    std::vector<std::vector<std::string>> cells(
+        spec.cacheSizes.size(),
+        std::vector<std::string>(spec.strategies.size(), "-"));
+    std::size_t failed = 0;
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+        if (slots[i].state == Slot::State::Done) {
+            cells[plans[i].row][plans[i].col] =
+                std::to_string(slots[i].result.totalCycles);
+        } else if (slots[i].state == Slot::State::Failed) {
+            cells[plans[i].row][plans[i].col] =
+                slots[i].timeout ? "ERR(timeout)" : "ERR";
+            ++failed;
+        }
+    }
+    for (std::size_t r = 0; r < spec.cacheSizes.size(); ++r) {
+        table.beginRow();
+        table.cell(spec.cacheSizes[r]);
+        for (std::size_t c = 0; c < spec.strategies.size(); ++c)
+            table.cell(cells[r][c]);
+    }
+    if (!writeAll(fd, tableEvent(req.id, table)))
+        return;
+    writeAll(fd, statsEvent(req.id, plans.size(), cached,
+                            plans.size() - cached - failed, failed));
+}
+
+/** server.active while a session is inside handleConnection. */
+class ActiveGuard
+{
+  public:
+    ActiveGuard()
+    {
+        std::lock_guard<std::mutex> lock(mutex());
+        obs::MetricsRegistry::instance()
+            .gauge("server.active")
+            .set(++count());
+    }
+    ~ActiveGuard()
+    {
+        std::lock_guard<std::mutex> lock(mutex());
+        obs::MetricsRegistry::instance()
+            .gauge("server.active")
+            .set(--count());
+    }
+
+  private:
+    static std::mutex &mutex()
+    {
+        static std::mutex m;
+        return m;
+    }
+    static std::int64_t &count()
+    {
+        static std::int64_t n = 0;
+        return n;
+    }
+};
+
+} // namespace
+
+void
+handleConnection(int fd, ServerContext &ctx)
+{
+    obs::MetricsRegistry::instance().counter("server.requests").add(1);
+    ActiveGuard active;
+
+    const std::optional<std::string> line = readRequestLine(fd);
+    if (!line) {
+        writeAll(fd, errorEvent("", "no request line received"));
+        return;
+    }
+    SweepRequest req;
+    try {
+        req = parseSweepRequest(*line);
+    } catch (const std::exception &e) {
+        writeAll(fd, errorEvent("", e.what()));
+        return;
+    }
+    try {
+        runSweepSession(fd, ctx, req);
+    } catch (const InterruptedError &) {
+        writeAll(fd, errorEvent(req.id, "interrupted: daemon shutting "
+                                        "down"));
+    } catch (const std::exception &e) {
+        writeAll(fd, errorEvent(req.id, e.what()));
+    } catch (...) {
+        writeAll(fd, errorEvent(req.id, "internal error"));
+    }
+}
+
+} // namespace pipesim::server

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * One pipesim-serve connection, request to close (docs/serving.md).
+ *
+ * handleConnection() owns the whole conversation: read and validate
+ * the request line, build the program, plan the sweep's points
+ * (sim/experiment.hh), serve what the result store already holds,
+ * schedule the rest on the shared FairScheduler, and stream NDJSON
+ * events back in enumeration order.  It takes a plain file
+ * descriptor, not a listener — tests drive it over a socketpair
+ * without a daemon process.
+ *
+ * Lifecycle guarantees:
+ *
+ *  - events stream in deterministic enumeration order (the completed
+ *    prefix flushes as points settle), so two identical requests
+ *    produce byte-identical result/table events for any worker count;
+ *  - a client disconnect cancels the request cooperatively: queued
+ *    points are dropped, in-flight points are cancelled through
+ *    their PointControl flags, and the session returns once they
+ *    unwound — nothing keeps simulating for a closed socket;
+ *  - a termination signal (SIGTERM/SIGINT) drains in-flight points
+ *    and journals them into the store, drops queued ones, and
+ *    reports the interruption to the client — the daemon exits
+ *    128+sig with a journal a resubmitted request resumes from.
+ */
+
+#ifndef PIPESIM_SERVER_SESSION_HH
+#define PIPESIM_SERVER_SESSION_HH
+
+#include "server/scheduler.hh"
+#include "store/result_store.hh"
+
+namespace pipesim::server
+{
+
+/** What every session shares: the worker pool and the result store. */
+struct ServerContext
+{
+    FairScheduler &scheduler;
+
+    /** nullptr when the daemon runs without --store-dir. */
+    store::ResultStore *store = nullptr;
+};
+
+/**
+ * Serve one connection on @p fd (not closed here — the caller owns
+ * it).  Never throws: every failure is reported to the client as an
+ * `error` event and swallowed, so session threads cannot take the
+ * daemon down.
+ */
+void handleConnection(int fd, ServerContext &ctx);
+
+} // namespace pipesim::server
+
+#endif // PIPESIM_SERVER_SESSION_HH

@@ -125,93 +125,141 @@ retryBackoffNs(const std::string &strategy, unsigned cache_bytes,
     return (baseNs << exponent) + jitter;
 }
 
+DeadlineEnforcer::DeadlineEnforcer(std::vector<PointControl> &controls,
+                                   bool enabled)
+{
+    if (enabled)
+        _thread = std::thread([this, &controls] { watch(controls); });
+}
+
+DeadlineEnforcer::~DeadlineEnforcer()
+{
+    if (_thread.joinable()) {
+        _stop.store(true, std::memory_order_relaxed);
+        _thread.join();
+    }
+}
+
+void
+DeadlineEnforcer::watch(std::vector<PointControl> &controls)
+{
+    while (!_stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t now = obs::profileNowNs();
+        for (PointControl &c : controls) {
+            const std::uint64_t deadline =
+                c.deadlineNs.load(std::memory_order_relaxed);
+            if (deadline && now >= deadline)
+                c.cancel.store(true, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+}
+
+store::ResultKeyParams
+sweepKeyParams(const SweepSpec &spec, const Program &program)
+{
+    store::ResultKeyParams keyParams;
+    keyParams.programSha256 = replay::programSha256(program);
+    if (spec.engine == SweepEngine::Trace) {
+        if (!spec.trace)
+            fatal("trace-engine sweep key requested without a trace "
+                  "(SweepSpec::trace is null)");
+        keyParams.engine =
+            spec.samplePeriod ? "trace-sampled" : "trace-exact";
+        // An auto-captured trace has no encoded-stream hash yet; its
+        // program hash still pins the capture (the committed stream
+        // is a pure function of the program).
+        keyParams.traceSha256 = !spec.trace->sha256.empty()
+                                    ? spec.trace->sha256
+                                    : spec.trace->meta.programSha256;
+        keyParams.samplePeriod = spec.samplePeriod;
+        if (spec.samplePeriod) {
+            keyParams.sampleWarmup = spec.sampleWarmup;
+            keyParams.sampleMeasure = spec.sampleMeasure;
+        }
+    } else {
+        keyParams.engine = "cycle";
+    }
+    return keyParams;
+}
+
+std::vector<SweepPointPlan>
+planSweepPoints(const SweepSpec &spec, const store::ResultKeyParams *keys)
+{
+    std::vector<SweepPointPlan> points;
+    points.reserve(spec.cacheSizes.size() * spec.strategies.size());
+    for (std::size_t r = 0; r < spec.cacheSizes.size(); ++r) {
+        for (std::size_t c = 0; c < spec.strategies.size(); ++c) {
+            auto cfg = makeValidSweepConfig(spec, spec.strategies[c],
+                                            spec.cacheSizes[r]);
+            if (!cfg)
+                continue;
+            SweepPointPlan p;
+            p.row = r;
+            p.col = c;
+            p.cacheBytes = spec.cacheSizes[r];
+            p.strategy = spec.strategies[c];
+            p.cfg = std::move(*cfg);
+            if (keys)
+                p.storeKey = store::resultKeyHex(p.cfg, *keys);
+            points.push_back(std::move(p));
+        }
+    }
+    return points;
+}
+
+SimResult
+runSweepPointOnce(
+    const SweepSpec &spec, const Program &program, const SimConfig &cfg,
+    const std::function<void(Simulator &)> &pre_run,
+    const std::function<void(Simulator &, const SimResult &)> &post_run)
+{
+    if (spec.engine == SweepEngine::Trace) {
+        replay::ReplayOptions opts;
+        opts.samplePeriod = spec.samplePeriod;
+        opts.sampleWarmup = spec.sampleWarmup;
+        opts.sampleMeasure = spec.sampleMeasure;
+        // Windows stay serial inside a point (jobs = 1): the caller
+        // already parallelizes across points, and nesting pools would
+        // oversubscribe the host.
+        opts.ckptDir = spec.ckptDir;
+        opts.ckptCreate = spec.ckptCreate;
+        return replay::replayTrace(cfg, program, *spec.trace, opts);
+    }
+    Simulator sim(cfg, program);
+    if (pre_run)
+        pre_run(sim);
+    const SimResult result = sim.run();
+    if (post_run)
+        post_run(sim, result);
+    return result;
+}
+
 namespace
 {
 
-/** One enumerated (size, strategy) cell of the sweep grid. */
+/**
+ * One planned point plus the runtime state runCacheSweep tracks for
+ * it.  Runtime fields are written by the point's own worker and read
+ * only after all workers joined.
+ */
 struct SweepPoint
 {
-    std::size_t row = 0; //!< index into spec.cacheSizes
-    std::size_t col = 0; //!< index into spec.strategies
-    unsigned cacheBytes = 0;
-    const std::string *strategy = nullptr;
-    SimConfig cfg; //!< built exactly once, at enumeration
+    SweepPointPlan plan;
 
-    /** Set when the point exhausted its attempts (written by the
-     *  point's own worker; read only after all workers joined). */
+    /** Set when the point exhausted its attempts. */
     std::optional<PointFailure> failure;
     std::exception_ptr error;
 
-    /** Host telemetry, written by the point's own worker and read
-     *  only after all workers joined (same publication rule). */
+    /** Host telemetry (same publication rule). */
     std::uint64_t wallNs = 0;
     unsigned attemptsUsed = 0;
 
     /** Back-off slept across this point's re-attempts. */
     std::uint64_t backoffNs = 0;
 
-    /** Content key in the result store ("" when no store). */
-    std::string storeKey;
-
     /** True when the store served this point (it never runs). */
     bool served = false;
-};
-
-/**
- * Host-side control block for one point, indexed alongside the
- * points vector (separate because its atomics make SweepPoint
- * unmovable).  deadlineNs is armed by the point's worker right
- * before an attempt and observed by the deadline watchdog, which
- * answers by setting cancel — the flag the simulated machine's tick
- * loop polls through SimConfig::cancelFlag.
- */
-struct PointControl
-{
-    std::atomic<std::uint64_t> deadlineNs{0}; //!< 0 = not running
-    std::atomic<bool> cancel{false};
-};
-
-/**
- * The --point-deadline-ms watchdog: one thread scanning every
- * in-flight point's armed deadline a few hundred times a second.
- * Purely host-side — it never touches simulated state, only the
- * cooperative cancel flags — so it cannot perturb results.
- */
-class DeadlineEnforcer
-{
-  public:
-    DeadlineEnforcer(std::vector<PointControl> &controls, bool enabled)
-    {
-        if (enabled)
-            _thread = std::thread([this, &controls] { watch(controls); });
-    }
-
-    ~DeadlineEnforcer()
-    {
-        if (_thread.joinable()) {
-            _stop.store(true, std::memory_order_relaxed);
-            _thread.join();
-        }
-    }
-
-  private:
-    void
-    watch(std::vector<PointControl> &controls)
-    {
-        while (!_stop.load(std::memory_order_relaxed)) {
-            const std::uint64_t now = obs::profileNowNs();
-            for (PointControl &c : controls) {
-                const std::uint64_t deadline =
-                    c.deadlineNs.load(std::memory_order_relaxed);
-                if (deadline && now >= deadline)
-                    c.cancel.store(true, std::memory_order_relaxed);
-            }
-            std::this_thread::sleep_for(std::chrono::milliseconds(2));
-        }
-    }
-
-    std::atomic<bool> _stop{false};
-    std::thread _thread;
 };
 
 /** Sleep @p ns, waking early if a shutdown signal arrives. */
@@ -231,8 +279,8 @@ PointFailure
 describeFailure(const SweepPoint &p, unsigned attempts)
 {
     PointFailure f;
-    f.strategy = *p.strategy;
-    f.cacheBytes = p.cacheBytes;
+    f.strategy = p.plan.strategy;
+    f.cacheBytes = p.plan.cacheBytes;
     f.attempts = attempts;
     try {
         std::rethrow_exception(p.error);
@@ -362,24 +410,7 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
         resultStore = std::make_unique<store::ResultStore>(spec.storeDir);
         if (resultStore->recoveredBytes())
             reg.counter("store.recovered").add(1);
-        keyParams.programSha256 = replay::programSha256(program);
-        if (spec.engine == SweepEngine::Trace) {
-            keyParams.engine =
-                spec.samplePeriod ? "trace-sampled" : "trace-exact";
-            // An auto-captured trace has no encoded-stream hash yet;
-            // its program hash still pins the capture (the committed
-            // stream is a pure function of the program).
-            keyParams.traceSha256 = !spec.trace->sha256.empty()
-                                        ? spec.trace->sha256
-                                        : spec.trace->meta.programSha256;
-            keyParams.samplePeriod = spec.samplePeriod;
-            if (spec.samplePeriod) {
-                keyParams.sampleWarmup = spec.sampleWarmup;
-                keyParams.sampleMeasure = spec.sampleMeasure;
-            }
-        } else {
-            keyParams.engine = "cycle";
-        }
+        keyParams = sweepKeyParams(spec, program);
     }
 
     // Enumerate every valid point up front, building each SimConfig
@@ -389,26 +420,15 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
     std::vector<std::vector<std::string>> cells(
         rows, std::vector<std::string>(cols, "-"));
     std::vector<SweepPoint> points;
-    points.reserve(rows * cols);
     {
         obs::ScopedPhase phase("enumerate");
-        for (std::size_t r = 0; r < rows; ++r) {
-            for (std::size_t c = 0; c < cols; ++c) {
-                auto cfg = makeValidSweepConfig(
-                    spec, spec.strategies[c], spec.cacheSizes[r]);
-                if (!cfg)
-                    continue;
-                SweepPoint p;
-                p.row = r;
-                p.col = c;
-                p.cacheBytes = spec.cacheSizes[r];
-                p.strategy = &spec.strategies[c];
-                p.cfg = std::move(*cfg);
-                points.push_back(std::move(p));
-                if (resultStore)
-                    points.back().storeKey =
-                        store::resultKeyHex(points.back().cfg, keyParams);
-            }
+        std::vector<SweepPointPlan> plans = planSweepPoints(
+            spec, resultStore ? &keyParams : nullptr);
+        points.reserve(plans.size());
+        for (SweepPointPlan &plan : plans) {
+            SweepPoint p;
+            p.plan = std::move(plan);
+            points.push_back(std::move(p));
         }
     }
 
@@ -422,16 +442,17 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
     if (resultStore) {
         obs::ScopedPhase phase("store_lookup");
         for (auto &p : points) {
-            const auto hit = resultStore->lookup(p.storeKey);
+            const auto hit = resultStore->lookup(p.plan.storeKey);
             if (!hit) {
                 ++storeMisses;
                 continue;
             }
             ++storeHits;
             p.served = true;
-            cells[p.row][p.col] = std::to_string(hit->totalCycles);
+            cells[p.plan.row][p.plan.col] =
+                std::to_string(hit->totalCycles);
             if (on_point)
-                on_point(*p.strategy, p.cacheBytes, *hit);
+                on_point(p.plan.strategy, p.plan.cacheBytes, *hit);
         }
         reg.counter("store.hits").add(storeHits);
         reg.counter("store.misses").add(storeMisses);
@@ -450,50 +471,41 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
     // a crash right after the flush still resumes losslessly).
     auto journal = [&](const SweepPoint &p, const SimResult &result) {
         if (resultStore)
-            resultStore->put(p.storeKey,
-                             *p.strategy + ":" +
-                                 std::to_string(p.cacheBytes),
+            resultStore->put(p.plan.storeKey,
+                             p.plan.strategy + ":" +
+                                 std::to_string(p.plan.cacheBytes),
                              result);
-    };
-    auto attemptTracePoint = [&](SweepPoint &p) {
-        replay::ReplayOptions opts;
-        opts.samplePeriod = spec.samplePeriod;
-        opts.sampleWarmup = spec.sampleWarmup;
-        opts.sampleMeasure = spec.sampleMeasure;
-        // Windows stay serial inside a point (jobs = 1): the sweep
-        // already parallelizes across points, and nesting pools would
-        // oversubscribe the host.
-        opts.ckptDir = spec.ckptDir;
-        opts.ckptCreate = spec.ckptCreate;
-        const SimResult result =
-            replay::replayTrace(p.cfg, program, *spec.trace, opts);
-        cells[p.row][p.col] = std::to_string(result.totalCycles);
-        journal(p, result);
-        if (on_point) {
-            std::lock_guard<std::mutex> lock(callbacks);
-            on_point(*p.strategy, p.cacheBytes, result);
-        }
     };
     auto attemptPoint = [&](SweepPoint &p) {
         if (spec.engine == SweepEngine::Trace) {
-            attemptTracePoint(p);
+            const SimResult result =
+                runSweepPointOnce(spec, program, p.plan.cfg);
+            cells[p.plan.row][p.plan.col] =
+                std::to_string(result.totalCycles);
+            journal(p, result);
+            if (on_point) {
+                std::lock_guard<std::mutex> lock(callbacks);
+                on_point(p.plan.strategy, p.plan.cacheBytes, result);
+            }
             return;
         }
-        Simulator sim(p.cfg, program);
+        Simulator sim(p.plan.cfg, program);
         if (spec.preRun) {
             std::lock_guard<std::mutex> lock(callbacks);
-            spec.preRun(sim, *p.strategy, p.cacheBytes);
+            spec.preRun(sim, p.plan.strategy, p.plan.cacheBytes);
         }
         const SimResult result = sim.run();
         // Each point owns a distinct cell; no lock needed for it.
-        cells[p.row][p.col] = std::to_string(result.totalCycles);
+        cells[p.plan.row][p.plan.col] =
+            std::to_string(result.totalCycles);
         journal(p, result);
         if (spec.postRun || on_point) {
             std::lock_guard<std::mutex> lock(callbacks);
             if (spec.postRun)
-                spec.postRun(sim, *p.strategy, p.cacheBytes, result);
+                spec.postRun(sim, p.plan.strategy, p.plan.cacheBytes,
+                             result);
             if (on_point)
-                on_point(*p.strategy, p.cacheBytes, result);
+                on_point(p.plan.strategy, p.plan.cacheBytes, result);
         }
     };
     // Never lets a point failure escape: it is captured on the point
@@ -508,12 +520,12 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
         // root, so the aggregated "point" path is identical whether
         // the point ran inline (jobs=1) or on a pool worker.
         obs::ScopedPhase phase("point", obs::Scope::Root,
-                               *p.strategy + ":" +
-                                   std::to_string(p.cacheBytes));
+                               p.plan.strategy + ":" +
+                                   std::to_string(p.plan.cacheBytes));
         const std::uint64_t start = obs::profileNowNs();
         const unsigned attempts = 1 + spec.pointRetries;
         if (deadlines)
-            p.cfg.cancelFlag = &ctl.cancel;
+            p.plan.cfg.cancelFlag = &ctl.cancel;
         for (unsigned a = 1; a <= attempts; ++a) {
             if (pendingSignal()) {
                 interrupted.store(true, std::memory_order_relaxed);
@@ -524,7 +536,8 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
                 // point identity and attempt number only, so the
                 // failure report is identical for any --jobs.
                 const std::uint64_t backoff = retryBackoffNs(
-                    *p.strategy, p.cacheBytes, a, spec.retryBackoffMs);
+                    p.plan.strategy, p.plan.cacheBytes, a,
+                    spec.retryBackoffMs);
                 p.backoffNs += backoff;
                 interruptibleSleepNs(backoff);
                 if (pendingSignal()) {
@@ -558,7 +571,7 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
                 if (a == attempts) {
                     p.attemptsUsed = a;
                     f.backoffNs = p.backoffNs;
-                    cells[p.row][p.col] =
+                    cells[p.plan.row][p.plan.col] =
                         f.timeout ? "ERR(timeout)" : "ERR";
                     p.failure = std::move(f);
                 } else {
@@ -638,8 +651,8 @@ runCacheSweep(const SweepSpec &spec, const Program &program,
     std::vector<PointTiming> timings;
     timings.reserve(points.size());
     for (const auto &p : points)
-        timings.push_back(
-            {*p.strategy, p.cacheBytes, p.attemptsUsed, p.wallNs});
+        timings.push_back({p.plan.strategy, p.plan.cacheBytes,
+                           p.attemptsUsed, p.wallNs});
 
     for (std::size_t r = 0; r < rows; ++r) {
         table.beginRow();

@@ -1,12 +1,16 @@
 #include "store/result_store.hh"
 
 #include <array>
+#include <cerrno>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <fcntl.h>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <sys/file.h>
+#include <unistd.h>
 
 #include "common/log.hh"
 #include "common/sha256.hh"
@@ -165,7 +169,26 @@ ResultStore::ResultStore(const std::string &dir)
         fatal("result store: cannot create directory ", dir, ": ",
               ec.message());
     _path = dir + "/results.piperes";
+    acquireWriterLock(dir);
+    // From here on the lock is held: any constructor failure (a
+    // corrupt journal is a FatalError) must release it, or the fd
+    // would pin the lock for the rest of the process.
+    try {
+        loadJournal();
+    } catch (...) {
+        if (_file)
+            std::fclose(_file);
+        _file = nullptr;
+        ::close(_lockFd);
+        _lockFd = -1;
+        throw;
+    }
+}
 
+void
+ResultStore::loadJournal()
+{
+    std::error_code ec;
     std::vector<std::uint8_t> bytes;
     {
         std::ifstream in(_path, std::ios::binary);
@@ -252,6 +275,49 @@ ResultStore::~ResultStore()
 {
     if (_file)
         std::fclose(_file);
+    if (_lockFd >= 0)
+        ::close(_lockFd); // releases the advisory flock
+}
+
+void
+ResultStore::acquireWriterLock(const std::string &dir)
+{
+    const std::string lockPath = dir + "/results.piperes.lock";
+    _lockFd = ::open(lockPath.c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
+                     0644);
+    if (_lockFd < 0)
+        fatal("result store: cannot open lock file ", lockPath, ": ",
+              std::strerror(errno));
+    if (::flock(_lockFd, LOCK_EX | LOCK_NB) != 0) {
+        // Contended: the file's content names the current holder
+        // (written below by whoever won the lock).
+        char buf[128] = {};
+        const ssize_t n = ::pread(_lockFd, buf, sizeof(buf) - 1, 0);
+        std::string holder =
+            n > 0 ? std::string(buf, std::size_t(n)) : "another process";
+        while (!holder.empty() &&
+               (holder.back() == '\n' || holder.back() == '\r'))
+            holder.pop_back();
+        ::close(_lockFd);
+        _lockFd = -1;
+        fatal("result store ", dir, " is already open for writing by ",
+              holder, " (single-writer advisory lock on ", lockPath,
+              "); a daemon and a concurrent sweep must not share a "
+              "--store-dir -- wait for the holder or use a different "
+              "directory");
+    }
+    // Won the lock: record our identity for the next loser's message.
+#ifdef __GLIBC__
+    const char *name = program_invocation_short_name;
+#else
+    const char *name = "pipesim";
+#endif
+    const std::string ident =
+        "pid " + std::to_string(::getpid()) + " (" + name + ")\n";
+    if (::ftruncate(_lockFd, 0) != 0 ||
+        ::pwrite(_lockFd, ident.data(), ident.size(), 0) < 0) {
+        // Best effort: the lock itself is held either way.
+    }
 }
 
 void

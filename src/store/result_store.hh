@@ -39,8 +39,17 @@
  *
  * Appends are serialized under the store's mutex and flushed
  * record-at-a-time, so a SIGKILL at any instant loses at most the
- * record being written.  One process owns a store directory at a
- * time; there is no cross-process locking.
+ * record being written.
+ *
+ * Single-writer discipline: opening a store takes an exclusive
+ * advisory flock(2) on `<dir>/results.piperes.lock` for the store's
+ * lifetime, so a daemon and a concurrent CLI sweep pointed at the
+ * same --store-dir can never interleave journal appends — the second
+ * opener gets a FatalError naming the holder (pid and program).  The
+ * lock is advisory per open file description: it protects against
+ * other ResultStore instances (same or different process), dies with
+ * the holding process (SIGKILL releases it), and never outlives a
+ * crash.
  */
 
 #ifndef PIPESIM_STORE_RESULT_STORE_HH
@@ -104,8 +113,10 @@ class ResultStore
     /**
      * Open (or create) the journal under @p dir, replaying it with
      * the recovery discipline above.
-     * @throws FatalError on interior corruption, a damaged header or
-     *         an unwritable directory.
+     * @throws FatalError on interior corruption, a damaged header, an
+     *         unwritable directory, or when another ResultStore holds
+     *         the directory's single-writer lock (the error names the
+     *         holder).
      */
     explicit ResultStore(const std::string &dir);
     ~ResultStore();
@@ -147,11 +158,14 @@ class ResultStore
   private:
     void writeHeader(std::FILE *f) const;
     void openForAppend();
+    void acquireWriterLock(const std::string &dir);
+    void loadJournal();
     std::vector<std::uint8_t> encodeRecord(const StoreEntry &e) const;
 
     mutable std::mutex _mutex;
     std::string _path;
     std::FILE *_file = nullptr;
+    int _lockFd = -1; //!< holds the single-writer advisory flock
     std::map<std::string, StoreEntry> _entries; //!< by keyHex
     std::vector<std::string> _order;            //!< first-seen key order
     std::uint64_t _recoveredBytes = 0;

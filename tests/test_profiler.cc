@@ -305,6 +305,31 @@ TEST_F(ProfilerTest, StatsJsonCarriesHostSectionWhenProfiling)
     EXPECT_EQ(metrics->find("test.stats_json")->number, 7.0);
 }
 
+TEST_F(ProfilerTest, HostSectionCarriesProcessGauges)
+{
+    obs::Profiler::instance().enable();
+    SimResult r;
+    r.totalCycles = 10;
+    r.instructions = 5;
+    std::ostringstream os;
+    obs::writeStatsJson(os, r, nullptr, "label");
+    const auto doc = obs::parseJson(os.str());
+    ASSERT_TRUE(doc.has_value());
+    const auto *host = doc->find("host");
+    ASSERT_NE(host, nullptr);
+    const auto *metrics = host->find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    // The process gauges are refreshed on every export
+    // (obs::updateProcessGauges): uptime counts from static init,
+    // max RSS comes from getrusage and is always at least a page.
+    const auto *uptime = metrics->find("process.uptime_seconds");
+    ASSERT_NE(uptime, nullptr);
+    EXPECT_GE(uptime->number, 0.0);
+    const auto *rss = metrics->find("process.max_rss_bytes");
+    ASSERT_NE(rss, nullptr);
+    EXPECT_GT(rss->number, 4096.0);
+}
+
 TEST_F(ProfilerTest, ChromeTraceGrowsHostLaneWhenProfiling)
 {
     obs::Profiler::instance().enable();

@@ -151,17 +151,19 @@ TEST(ResultStoreTest, RepeatedKeyLastOneWins)
 TEST(ResultStoreTest, CompactDropsShadowedRecordsAtomically)
 {
     ScratchDir dir("store_test_compact");
-    ResultStore store(dir.path);
-    store.put(sampleKey('a'), "16-16:128", sampleResult(10));
-    store.put(sampleKey('b'), "16-16:256", sampleResult(20));
-    store.put(sampleKey('a'), "16-16:128", sampleResult(30));
-    const auto before = std::filesystem::file_size(store.path());
-    const std::uint64_t after = store.compact();
-    EXPECT_LT(after, before);
-    EXPECT_EQ(after, std::filesystem::file_size(store.path()));
-    // Still appendable and still serving the latest values...
-    EXPECT_EQ(store.lookup(sampleKey('a'))->totalCycles, 30u);
-    store.put(sampleKey('c'), "16-16:512", sampleResult(40));
+    {
+        ResultStore store(dir.path);
+        store.put(sampleKey('a'), "16-16:128", sampleResult(10));
+        store.put(sampleKey('b'), "16-16:256", sampleResult(20));
+        store.put(sampleKey('a'), "16-16:128", sampleResult(30));
+        const auto before = std::filesystem::file_size(store.path());
+        const std::uint64_t after = store.compact();
+        EXPECT_LT(after, before);
+        EXPECT_EQ(after, std::filesystem::file_size(store.path()));
+        // Still appendable and still serving the latest values...
+        EXPECT_EQ(store.lookup(sampleKey('a'))->totalCycles, 30u);
+        store.put(sampleKey('c'), "16-16:512", sampleResult(40));
+    } // close: the writer lock is single-holder, even in-process
     // ...including after a reopen of the compacted journal.
     ResultStore back(dir.path);
     EXPECT_EQ(back.entries(), 3u);
@@ -420,4 +422,100 @@ TEST(ResultStoreRecoveryTest, DescribeNamesTheEssentials)
     EXPECT_NE(d.find("entries:"), std::string::npos);
     EXPECT_NE(d.find("clean"), std::string::npos);
     EXPECT_NE(d.find(sampleKey('a').substr(0, 16)), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Single-writer discipline: an exclusive advisory flock on
+// <dir>/results.piperes.lock, held for the store's lifetime.
+// ---------------------------------------------------------------------
+
+TEST(ResultStoreLockTest, SecondWriterIsRejectedWhileFirstIsOpen)
+{
+    ScratchDir dir("store_test_lock");
+    ResultStore store(dir.path);
+    store.put(sampleKey('a'), "pt", sampleResult(10));
+    // flock is per open file description, so a second open in the
+    // same process conflicts exactly like a second process would.
+    try {
+        ResultStore second(dir.path);
+        FAIL() << "second writer must be rejected";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("already open for writing"),
+                  std::string::npos)
+            << msg;
+        // The error names the holder (pid + program).
+        EXPECT_NE(msg.find("pid "), std::string::npos) << msg;
+        EXPECT_NE(msg.find("results.piperes.lock"), std::string::npos)
+            << msg;
+    }
+    // The rejected open must not have disturbed the holder.
+    EXPECT_TRUE(store.lookup(sampleKey('a')).has_value());
+    store.put(sampleKey('b'), "pt", sampleResult(20));
+    EXPECT_EQ(store.entries(), 2u);
+}
+
+TEST(ResultStoreLockTest, LockIsReleasedWhenTheWriterCloses)
+{
+    ScratchDir dir("store_test_lock_release");
+    {
+        ResultStore store(dir.path);
+        store.put(sampleKey('a'), "pt", sampleResult(10));
+    }
+    ResultStore reopened(dir.path);
+    EXPECT_EQ(reopened.entries(), 1u);
+    EXPECT_TRUE(reopened.lookup(sampleKey('a')).has_value());
+}
+
+// ---------------------------------------------------------------------
+// Reopen while appending: a reader that opens the journal while a
+// writer is mid-append sees either the completed record or a
+// recovered torn tail -- never a crash, never a corrupt earlier
+// record.  The lock serializes live writers, so the mid-append states
+// are reproduced by copying every append prefix into a fresh
+// directory (exactly the bytes a reader could observe: fwrite is one
+// record per call, but the kernel may expose any prefix).
+// ---------------------------------------------------------------------
+
+TEST(ResultStoreRecoveryTest, ReopenWhileAppendingSeesPrefixOrWhole)
+{
+    ScratchDir dir("store_test_midappend");
+    std::uint64_t afterFirst = 0;
+    {
+        ResultStore store(dir.path);
+        store.put(sampleKey('a'), "first", sampleResult(10));
+        afterFirst = std::filesystem::file_size(store.path());
+        store.put(sampleKey('b'), "second", sampleResult(20));
+    }
+    const std::vector<std::uint8_t> full =
+        readFile(dir.path + "/results.piperes");
+    ASSERT_GT(full.size(), afterFirst);
+
+    // Every byte state the journal passes through while record 2 is
+    // being appended, observed by a fresh reader.
+    for (std::size_t seen = afterFirst; seen <= full.size(); ++seen) {
+        ScratchDir reader("store_test_midappend_reader");
+        std::filesystem::create_directories(reader.path);
+        writeFile(reader.path + "/results.piperes",
+                  std::vector<std::uint8_t>(full.begin(),
+                                            full.begin() +
+                                                std::ptrdiff_t(seen)));
+        ResultStore store(reader.path); // must never throw
+        // Record 1 is always intact and served bit-exactly.
+        const auto first = store.lookup(sampleKey('a'));
+        ASSERT_TRUE(first.has_value()) << "seen " << seen << " bytes";
+        EXPECT_EQ(first->totalCycles, 10u);
+        if (seen == full.size()) {
+            // The append completed: both records served, tail clean.
+            EXPECT_EQ(store.entries(), 2u);
+            EXPECT_EQ(store.recoveredBytes(), 0u);
+            EXPECT_EQ(store.lookup(sampleKey('b'))->totalCycles, 20u);
+        } else {
+            // Mid-append: the torn record is truncated away.
+            EXPECT_EQ(store.entries(), 1u) << "seen " << seen;
+            EXPECT_EQ(store.recoveredBytes(), seen - afterFirst)
+                << "seen " << seen;
+            EXPECT_FALSE(store.lookup(sampleKey('b')).has_value());
+        }
+    }
 }

@@ -1,0 +1,345 @@
+/**
+ * pipesim-client: submit one sweep to a pipesim-serve daemon and
+ * render the streamed results (docs/serving.md).
+ *
+ *     pipesim-client --socket /path/daemon.sock [sweep flags...]
+ *     pipesim-client --host 127.0.0.1 --port 7421 [sweep flags...]
+ *     pipesim-client --socket S --request req.json   # raw request
+ *
+ * Builds the request from the familiar sweep flags (--workload,
+ * --cache-sizes, --strategies, --engine, --fi-*, ...) unless
+ * --request supplies a ready-made JSON line ("-" = stdin).  The
+ * event stream renders as: progress and per-point notes on stderr,
+ * the final table text on stdout (byte-identical to the same sweep
+ * run locally), and optionally the raw NDJSON events into --events.
+ *
+ * Exit codes: 0 success, 1 request rejected or any point failed,
+ * 2 stream ended before the table (daemon interrupted or crashed).
+ */
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+#include "obs/json.hh"
+#include "sim/cli.hh"
+#include "sim/guard.hh"
+
+using namespace pipesim;
+
+namespace
+{
+
+int
+connectUnix(const std::string &path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        fatal("client: cannot create socket: ", std::strerror(errno));
+    struct sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        fatal("client: socket path too long: ", path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        fatal("client: cannot connect to ", path, ": ",
+              std::strerror(errno));
+    }
+    return fd;
+}
+
+int
+connectTcp(const std::string &host, unsigned port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        fatal("client: cannot create socket: ", std::strerror(errno));
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(std::uint16_t(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        fatal("client: --host must be an IPv4 address, got ", host);
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        fatal("client: cannot connect to ", host, ":", port, ": ",
+              std::strerror(errno));
+    }
+    return fd;
+}
+
+void
+addSweepRequestOptions(CliParser &cli)
+{
+    cli.addOption("id", "cli", "request id echoed in every event");
+    cli.addOption("workload", "livermore",
+                  "workload: livermore | branchy");
+    cli.addOption("scale", "1.0", "livermore trip-count multiplier");
+    cli.addOption("cache-sizes", "",
+                  "comma list of cache sizes in bytes (empty = "
+                  "server default grid)");
+    cli.addOption("strategies", "",
+                  "comma list of strategies (empty = server default)");
+    cli.addOption("engine", "cycle", "point engine: cycle | trace");
+    cli.addOption("trace-file", "",
+                  "server-side trace path for --engine trace");
+    cli.addOption("sample-period", "0",
+                  "trace engine: sampling period (0 = exact)");
+    cli.addOption("sample-warmup", "300",
+                  "trace engine: warm-up insts per window");
+    cli.addOption("sample-measure", "700",
+                  "trace engine: measured insts per window");
+    cli.addOption("point-retries", "0",
+                  "extra attempts for a failing point");
+    cli.addOption("retry-backoff-ms", "10",
+                  "deterministic retry back-off base (0 = none)");
+    cli.addOption("point-deadline-ms", "0",
+                  "per-attempt wall-clock deadline (0 = none)");
+    cli.addOption("max-cycles", "0",
+                  "per-point cycle watchdog override (0 = default)");
+    cli.addOption("progress-window", "0",
+                  "per-point progress watchdog override");
+    cli.addOption("fi-kind", "none",
+                  "fault kinds: none, all, or latency,grant,parity");
+    cli.addOption("fi-seed", "1", "fault-injection seed");
+    cli.addOption("fi-rate", "0.01", "per-opportunity fault rate");
+    cli.addOption("fi-point", "",
+                  "restrict injection to strategy:cachebytes");
+}
+
+std::string
+buildRequestLine(const CliParser &cli)
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.key("type").value("sweep");
+    w.key("id").value(cli.get("id"));
+    w.key("workload").value(cli.get("workload"));
+    w.key("scale").value(cli.getDouble("scale"));
+    if (!cli.get("cache-sizes").empty()) {
+        w.key("cache_sizes").beginArray();
+        for (const std::string &s : split(cli.get("cache-sizes"), ','))
+            w.value(std::uint64_t(std::stoull(s)));
+        w.endArray();
+    }
+    if (!cli.get("strategies").empty()) {
+        w.key("strategies").beginArray();
+        for (const std::string &s : split(cli.get("strategies"), ','))
+            w.value(s);
+        w.endArray();
+    }
+    w.key("engine").value(cli.get("engine"));
+    if (!cli.get("trace-file").empty())
+        w.key("trace_file").value(cli.get("trace-file"));
+    for (const char *opt : {"sample-period", "sample-warmup",
+                            "sample-measure", "point-retries",
+                            "retry-backoff-ms", "point-deadline-ms",
+                            "max-cycles", "progress-window"}) {
+        std::string key(opt);
+        for (char &c : key)
+            if (c == '-')
+                c = '_';
+        w.key(key).value(std::uint64_t(cli.getInt(opt)));
+    }
+    if (cli.get("fi-kind") != "none") {
+        w.key("fault").beginObject();
+        w.key("kinds").value(cli.get("fi-kind"));
+        w.key("seed").value(std::uint64_t(cli.getInt("fi-seed")));
+        w.key("rate").value(cli.getDouble("fi-rate"));
+        if (!cli.get("fi-point").empty())
+            w.key("point").value(cli.get("fi-point"));
+        w.endObject();
+    }
+    w.endObject();
+    return os.str();
+}
+
+std::string
+loadRequestLine(const std::string &path)
+{
+    std::ostringstream buf;
+    if (path == "-") {
+        buf << std::cin.rdbuf();
+    } else {
+        std::ifstream in(path);
+        if (!in)
+            fatal("client: cannot read --request file ", path);
+        buf << in.rdbuf();
+    }
+    std::string line = buf.str();
+    const std::size_t nl = line.find('\n');
+    if (nl != std::string::npos)
+        line.resize(nl);
+    if (line.empty())
+        fatal("client: --request ", path, " is empty");
+    return line;
+}
+
+/** Render one event line; @return an exit code once terminal. */
+std::optional<int>
+renderEvent(const std::string &line, bool &anyFailed)
+{
+    const std::optional<obs::JsonValue> doc = obs::parseJson(line);
+    if (!doc || !doc->isObject()) {
+        std::cerr << "[client] unparseable event: " << line << "\n";
+        return std::nullopt;
+    }
+    const obs::JsonValue *ev = doc->find("event");
+    const std::string event =
+        ev && ev->type == obs::JsonValue::Type::String ? ev->string
+                                                       : "";
+    auto str = [&](const char *k) {
+        const obs::JsonValue *v = doc->find(k);
+        return v && v->type == obs::JsonValue::Type::String ? v->string
+                                                            : "";
+    };
+    auto num = [&](const char *k) -> std::uint64_t {
+        const obs::JsonValue *v = doc->find(k);
+        return v && v->type == obs::JsonValue::Type::Number
+                   ? std::uint64_t(v->number)
+                   : 0;
+    };
+    if (event == "error") {
+        std::cerr << "[client] request failed: " << str("message")
+                  << "\n";
+        return 1;
+    }
+    if (event == "accepted") {
+        std::cerr << "[client] accepted: " << num("points")
+                  << " points, " << num("cached")
+                  << " already cached (program "
+                  << str("program_sha256").substr(0, 16) << "..., "
+                  << str("engine") << ")\n";
+    } else if (event == "progress") {
+        std::cerr << "[client] progress: " << num("done") << "/"
+                  << num("total") << " points\n";
+    } else if (event == "err") {
+        anyFailed = true;
+        std::cerr << "[client] point " << str("strategy") << ":"
+                  << num("cache_bytes") << " failed after "
+                  << num("attempts") << " attempts: " << str("message")
+                  << "\n";
+    } else if (event == "table") {
+        std::cout << str("text");
+        std::cout.flush();
+    } else if (event == "stats") {
+        std::cerr << "[client] done: " << num("points") << " points ("
+                  << num("cached") << " cached, " << num("simulated")
+                  << " simulated, " << num("failed") << " failed)\n";
+        return anyFailed ? 1 : 0;
+    }
+    return std::nullopt;
+}
+
+int
+run(int argc, char **argv)
+{
+    CliParser cli("submit one sweep request to a pipesim-serve "
+                  "daemon and render the streamed results "
+                  "(docs/serving.md)");
+    cli.addOption("socket", "", "daemon Unix-domain socket path");
+    cli.addOption("host", "127.0.0.1", "daemon TCP host (with --port)");
+    cli.addOption("port", "0", "daemon TCP port (0 = use --socket)");
+    cli.addOption("request", "",
+                  "send this JSON request file verbatim ('-' = "
+                  "stdin) instead of building one from the flags");
+    cli.addOption("events", "",
+                  "also append the raw NDJSON event stream here");
+    addSweepRequestOptions(cli);
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    const std::string request = !cli.get("request").empty()
+                                    ? loadRequestLine(cli.get("request"))
+                                    : buildRequestLine(cli);
+
+    const std::int64_t port = cli.getInt("port");
+    if (port < 0 || port > 65535)
+        fatal("--port must be in [0, 65535], got ", port);
+    if (port == 0 && cli.get("socket").empty())
+        fatal("client: --socket (or --host/--port) is required");
+    const int fd = port ? connectTcp(cli.get("host"), unsigned(port))
+                        : connectUnix(cli.get("socket"));
+
+    std::ofstream events;
+    if (!cli.get("events").empty()) {
+        events.open(cli.get("events"), std::ios::app);
+        if (!events)
+            fatal("client: cannot open --events file ",
+                  cli.get("events"));
+    }
+
+    const std::string line = request + "\n";
+    std::size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n =
+            ::send(fd, line.data() + off, line.size() - off,
+                   MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            fatal("client: send failed: ", std::strerror(errno));
+        }
+        off += std::size_t(n);
+    }
+
+    std::string buffer;
+    char chunk[4096];
+    bool anyFailed = false;
+    int exitCode = 2; // stream ended before the stats event
+    for (;;) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0)
+            break;
+        buffer.append(chunk, std::size_t(n));
+        std::size_t nl;
+        bool terminal = false;
+        while ((nl = buffer.find('\n')) != std::string::npos) {
+            const std::string evLine = buffer.substr(0, nl);
+            buffer.erase(0, nl + 1);
+            if (events.is_open())
+                events << evLine << "\n";
+            if (const auto code = renderEvent(evLine, anyFailed)) {
+                exitCode = *code;
+                terminal = true;
+            }
+        }
+        if (terminal)
+            break;
+    }
+    ::close(fd);
+    if (exitCode == 2)
+        std::cerr << "[client] stream ended before completion "
+                     "(daemon interrupted?)\n";
+    return exitCode;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return runGuardedMain([&] { return run(argc, argv); });
+}

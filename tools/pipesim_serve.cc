@@ -1,0 +1,56 @@
+/**
+ * pipesim-serve: the batch sweep daemon (docs/serving.md).
+ *
+ *     pipesim-serve --socket /path/daemon.sock [--port 7421]
+ *                   [--jobs N] [--store-dir DIR]
+ *
+ * Listens on a Unix-domain socket (and optionally loopback TCP) for
+ * newline-delimited JSON sweep requests, schedules their points
+ * fairly on one shared worker pool, serves repeated points from the
+ * content-addressed result store, and streams NDJSON result events
+ * back (src/server/).  SIGTERM drains in-flight points into the
+ * journal and exits 128+sig; a SIGKILLed daemon loses at most the
+ * records being written and resumes from the journal on restart.
+ */
+
+#include "common/log.hh"
+#include "server/server.hh"
+#include "sim/cli.hh"
+#include "sim/guard.hh"
+
+using namespace pipesim;
+
+int
+main(int argc, char **argv)
+{
+    return runGuardedMain([&] {
+        CliParser cli("batch sweep daemon: accepts NDJSON sweep "
+                      "requests on a Unix-domain socket and streams "
+                      "results back (docs/serving.md)");
+        cli.addOption("socket", "", "Unix-domain socket path to "
+                                    "listen on (required)");
+        cli.addOption("port", "0", "also listen on 127.0.0.1:<port> "
+                                   "(0 = unix socket only)");
+        cli.addOption("jobs", "0", "simulation workers (0 = "
+                                   "PIPESIM_JOBS or hardware "
+                                   "concurrency)");
+        cli.addOption("store-dir", "",
+                      "content-addressed result store directory "
+                      "(empty = no caching)");
+        if (!cli.parse(argc, argv))
+            return 0;
+
+        server::ServeOptions opts;
+        opts.socketPath = cli.get("socket");
+        const std::int64_t port = cli.getInt("port");
+        if (port < 0 || port > 65535)
+            fatal("--port must be in [0, 65535], got ", port);
+        opts.port = unsigned(port);
+        const std::int64_t jobs = cli.getInt("jobs");
+        if (jobs < 0)
+            fatal("--jobs must be >= 0, got ", jobs);
+        opts.jobs = unsigned(jobs);
+        opts.storeDir = cli.get("store-dir");
+        return server::runServer(opts);
+    });
+}

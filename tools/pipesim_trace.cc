@@ -8,8 +8,8 @@
  *                              [--sample-period n] [--jobs n]
  *                              [--ckpt-dir d [--ckpt-create]]
  *                              [--stats-json path]
- *     pipesim-trace checkpoint <ckpt.pipeckpt>
- *     pipesim-trace store      inspect <store-dir>
+ *     pipesim-trace checkpoint <ckpt.pipeckpt> [--json]
+ *     pipesim-trace store      inspect <store-dir> [--json]
  *     pipesim-trace store      compact <store-dir>
  *
  * A trace stores the committed fetch-address stream plus the traced
@@ -31,6 +31,7 @@
 #include <string>
 
 #include "common/log.hh"
+#include "obs/json.hh"
 #include "obs/profiler.hh"
 #include "obs/stats_export.hh"
 #include "replay/capture.hh"
@@ -186,7 +187,28 @@ runCheckpointInspect(CliParser &cli)
         fatal("checkpoint needs exactly one checkpoint path: "
               "pipesim-trace checkpoint <ckpt.pipeckpt>");
     const replay::CheckpointSet set = replay::readCheckpoint(args[1]);
-    std::cout << replay::describeCheckpoint(set);
+    if (!cli.getFlag("json")) {
+        std::cout << replay::describeCheckpoint(set);
+        return 0;
+    }
+    obs::JsonWriter w(std::cout);
+    w.beginObject();
+    w.key("file_sha256").value(set.sha256);
+    w.key("trace_sha256").value(set.meta.traceSha256);
+    w.key("program_sha256").value(set.meta.programSha256);
+    w.key("config_sha256").value(set.meta.configSha256);
+    w.key("sample_period").value(set.meta.samplePeriod);
+    w.key("sample_warmup").value(set.meta.sampleWarmup);
+    w.key("sample_measure").value(set.meta.sampleMeasure);
+    w.key("trace_records").value(set.meta.traceRecords);
+    w.key("provenance").value(set.meta.provenance);
+    std::uint64_t stateBytes = 0;
+    for (const auto &win : set.windows)
+        stateBytes += win.payload.size();
+    w.key("windows").value(std::uint64_t(set.windows.size()));
+    w.key("state_bytes").value(stateBytes);
+    w.endObject();
+    std::cout << "\n";
     return 0;
 }
 
@@ -205,6 +227,29 @@ runStore(CliParser &cli)
         const std::uint64_t after = rs.compact();
         std::cout << "compacted " << rs.path() << ": " << before
                   << " -> " << after << " bytes\n";
+    }
+    if (args[1] == "inspect" && cli.getFlag("json")) {
+        obs::JsonWriter w(std::cout);
+        w.beginObject();
+        w.key("path").value(rs.path());
+        w.key("entries").value(std::uint64_t(rs.entries()));
+        w.key("recovered_bytes").value(rs.recoveredBytes());
+        w.key("bytes").value(std::uint64_t(
+            std::filesystem::file_size(rs.path())));
+        w.key("results").beginArray();
+        for (const store::StoreEntry *e : rs.entriesInOrder()) {
+            w.beginObject();
+            w.key("key").value(e->keyHex);
+            w.key("label").value(e->label);
+            w.key("cycles").value(
+                std::uint64_t(e->result.totalCycles));
+            w.key("instructions").value(e->result.instructions);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        std::cout << "\n";
+        return 0;
     }
     std::cout << store::describeStore(rs);
     return 0;
@@ -238,6 +283,9 @@ run(int argc, char **argv)
                 "under --ckpt-dir instead of requiring it");
     cli.addOption("stats-json", "",
                   "replay: write the result as JSON ('-' = stdout)");
+    cli.addFlag("json",
+                "checkpoint / store inspect: emit machine-readable "
+                "JSON on stdout instead of the human summary");
     obs::ProfileOptions::addOptions(cli);
     if (!cli.parse(argc, argv))
         return 0;
